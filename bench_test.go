@@ -1,0 +1,300 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one Benchmark per figure, running the corresponding
+// experiment at reduced scale) plus micro-benchmarks of the core
+// operations whose complexities the paper states, and ablation benches
+// for the design choices called out in DESIGN.md.
+//
+// Run everything:   go test -bench=. -benchmem
+// One figure:       go test -bench=BenchmarkFig06 -benchmem
+package probsum_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"probsum/internal/conflict"
+	"probsum/internal/core"
+	"probsum/internal/experiments"
+	"probsum/internal/match"
+	"probsum/internal/pairwise"
+	"probsum/internal/store"
+	"probsum/internal/subscription"
+	"probsum/internal/workload"
+)
+
+// benchScale keeps figure benchmarks to a few hundred milliseconds;
+// cmd/paperbench runs the full paper scale.
+const benchScale = experiments.Scale(0.02)
+
+// benchFigure runs one experiment per iteration.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Run(id, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkFig06RedundantCoveringReduction(b *testing.B)  { benchFigure(b, "fig6") }
+func BenchmarkFig07RedundantCoveringTrialBound(b *testing.B) { benchFigure(b, "fig7") }
+func BenchmarkFig08NonCoverReduction(b *testing.B)           { benchFigure(b, "fig8") }
+func BenchmarkFig09NonCoverTrialBound(b *testing.B)          { benchFigure(b, "fig9") }
+func BenchmarkFig10NonCoverActualIterations(b *testing.B)    { benchFigure(b, "fig10") }
+func BenchmarkFig11ExtremeIterations(b *testing.B)           { benchFigure(b, "fig11") }
+func BenchmarkFig12ExtremeFalseDecisions(b *testing.B)       { benchFigure(b, "fig12") }
+func BenchmarkFig13ComparisonGrowth(b *testing.B)            { benchFigure(b, "fig13") }
+func BenchmarkFig14ComparisonRatio(b *testing.B)             { benchFigure(b, "fig14") }
+func BenchmarkEq2Chain(b *testing.B)                         { benchFigure(b, "eq2") }
+
+// Micro-benchmarks of the paper's complexity claims.
+
+// benchInstance builds a representative instance (k=100, m=10).
+func benchInstance(scenario string) workload.Instance {
+	rng := rand.New(rand.NewPCG(1, 2))
+	cfg := workload.Config{K: 100, M: 10}
+	switch scenario {
+	case "cover":
+		return workload.RedundantCovering(rng, cfg)
+	case "noncover":
+		return workload.NonCover(rng, cfg, 0.05)
+	default:
+		panic("unknown scenario " + scenario)
+	}
+}
+
+// BenchmarkConflictTableBuild measures the O(m·k) table construction.
+func BenchmarkConflictTableBuild(b *testing.B) {
+	in := benchInstance("cover")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conflict.Build(in.S, in.Set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMCS measures the minimized-cover-set reduction with the
+// per-attribute extrema optimization (OPT-2).
+func BenchmarkMCS(b *testing.B) {
+	in := benchInstance("cover")
+	tbl, err := conflict.Build(in.S, in.Set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.MCS(tbl)
+	}
+}
+
+// BenchmarkMCSNaive is the ablation against the paper's literal
+// O(m²k³) formulation.
+func BenchmarkMCSNaive(b *testing.B) {
+	in := benchInstance("cover")
+	tbl, err := conflict.Build(in.S, in.Set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.MCSNaive(tbl)
+	}
+}
+
+// BenchmarkRSPC measures the Monte-Carlo point-witness search on a
+// non-covered instance (it usually terminates early with a witness).
+func BenchmarkRSPC(b *testing.B) {
+	in := benchInstance("noncover")
+	rng := rand.New(rand.NewPCG(7, 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RSPC(in.S, in.Set, nil, 1000, rng)
+	}
+}
+
+// BenchmarkCheckerCovered measures the full Algorithm 4 pipeline on
+// the covered scenario (worst case: all trials execute).
+func BenchmarkCheckerCovered(b *testing.B) {
+	in := benchInstance("cover")
+	checker, err := core.NewChecker(
+		core.WithErrorProbability(1e-6),
+		core.WithSeed(1, 2),
+		core.WithMaxTrials(2000),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checker.Covered(in.S, in.Set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckerNonCover measures the pipeline when fast paths can
+// short-circuit.
+func BenchmarkCheckerNonCover(b *testing.B) {
+	in := benchInstance("noncover")
+	checker, err := core.NewChecker(core.WithErrorProbability(1e-6), core.WithSeed(3, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checker.Covered(in.S, in.Set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckerNoMCSAblation quantifies what MCS buys: the same
+// covered instance without the reduction.
+func BenchmarkCheckerNoMCSAblation(b *testing.B) {
+	in := benchInstance("cover")
+	checker, err := core.NewChecker(
+		core.WithErrorProbability(1e-6),
+		core.WithSeed(5, 6),
+		core.WithMCS(false),
+		core.WithMaxTrials(2000),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checker.Covered(in.S, in.Set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPairwiseBaseline measures the classical pairwise check the
+// paper compares against.
+func BenchmarkPairwiseBaseline(b *testing.B) {
+	in := benchInstance("cover")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pairwise.CoveredBySingle(in.S, in.Set)
+	}
+}
+
+// Matching benchmarks (Algorithm 5 substrate).
+
+func benchMatchSetup(b *testing.B) (*subscription.Schema, []match.ID, []subscription.Subscription, []subscription.Publication) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(11, 12))
+	schema := subscription.UniformSchema(8, 0, 9999)
+	stream, err := workload.NewComparisonStream(rng, workload.DefaultComparisonConfig(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 2000
+	ids := make([]match.ID, k)
+	subs := make([]subscription.Subscription, k)
+	for i := 0; i < k; i++ {
+		ids[i] = match.ID(i)
+		subs[i] = stream.Next()
+	}
+	pubs := make([]subscription.Publication, 256)
+	for i := range pubs {
+		vals := make([]int64, 8)
+		for a := range vals {
+			vals[a] = rng.Int64N(10_000)
+		}
+		pubs[i] = subscription.Publication{Values: vals}
+	}
+	return schema, ids, subs, pubs
+}
+
+// BenchmarkMatchBruteForce is the O(k·m) scan baseline.
+func BenchmarkMatchBruteForce(b *testing.B) {
+	_, ids, subs, pubs := benchMatchSetup(b)
+	var bf match.BruteForce
+	for i, id := range ids {
+		bf.Add(id, subs[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bf.Match(pubs[i%len(pubs)])
+	}
+}
+
+// BenchmarkMatchCountingIndex is the counting-algorithm index
+// (reference [18] of the paper).
+func BenchmarkMatchCountingIndex(b *testing.B) {
+	schema, ids, subs, pubs := benchMatchSetup(b)
+	idx, err := match.NewCountingIndex(schema, ids, subs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Match(pubs[i%len(pubs)])
+	}
+}
+
+// BenchmarkStoreMatchForest measures Algorithm 5 with the multi-level
+// cover forest versus its two-phase literal form.
+func BenchmarkStoreMatchForest(b *testing.B) {
+	st, pubs := benchStoreSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Match(pubs[i%len(pubs)])
+	}
+}
+
+// BenchmarkStoreMatchTwoPhase is the literal Algorithm 5 baseline.
+func BenchmarkStoreMatchTwoPhase(b *testing.B) {
+	st, pubs := benchStoreSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.MatchTwoPhase(pubs[i%len(pubs)])
+	}
+}
+
+func benchStoreSetup(b *testing.B) (*store.Store, []subscription.Publication) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(21, 22))
+	stream, err := workload.NewComparisonStream(rng, workload.DefaultComparisonConfig(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := store.New(store.PolicyPairwise)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1500; i++ {
+		if _, err := st.Subscribe(store.ID(i), stream.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pubs := make([]subscription.Publication, 256)
+	for i := range pubs {
+		vals := make([]int64, 8)
+		for a := range vals {
+			vals[a] = rng.Int64N(10_000)
+		}
+		pubs[i] = subscription.Publication{Values: vals}
+	}
+	return st, pubs
+}

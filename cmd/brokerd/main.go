@@ -1,0 +1,114 @@
+// Command brokerd runs one content-based publish/subscribe broker
+// over TCP. Brokers form an overlay by dialing each other; clients
+// connect with cmd/psclient.
+//
+// Usage (three-broker chain):
+//
+//	brokerd -id B1 -listen :7001 -policy group
+//	brokerd -id B2 -listen :7002 -peer B1=localhost:7001
+//	brokerd -id B3 -listen :7003 -peer B2=localhost:7002
+//
+// Every -peer link is dialed outward; the remote side registers the
+// reverse direction automatically when our hello arrives, but for a
+// fully bidirectional overlay each daemon should list its neighbors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"probsum/internal/broker"
+	"probsum/internal/store"
+	"probsum/internal/wire"
+)
+
+// peerList collects repeated -peer NAME=ADDR flags.
+type peerList map[string]string
+
+func (p peerList) String() string { return fmt.Sprint(map[string]string(p)) }
+
+func (p peerList) Set(v string) error {
+	name, addr, ok := strings.Cut(v, "=")
+	if !ok || name == "" || addr == "" {
+		return fmt.Errorf("want NAME=ADDR, got %q", v)
+	}
+	p[name] = addr
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "brokerd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	peers := peerList{}
+	var (
+		id       = flag.String("id", "", "broker identifier (required)")
+		listen   = flag.String("listen", "127.0.0.1:7001", "listen address")
+		policyIn = flag.String("policy", "group", "coverage policy: flood | pairwise | group")
+		delta    = flag.Float64("delta", 1e-6, "group policy error probability")
+		seed     = flag.Uint64("seed", 1, "group policy random seed")
+		retries  = flag.Int("peer-retries", 10, "dial attempts per peer (1s apart)")
+	)
+	flag.Var(peers, "peer", "neighbor broker as NAME=ADDR (repeatable)")
+	flag.Parse()
+
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	var policy store.Policy
+	switch *policyIn {
+	case "flood":
+		policy = store.PolicyNone
+	case "pairwise":
+		policy = store.PolicyPairwise
+	case "group":
+		policy = store.PolicyGroup
+	default:
+		return fmt.Errorf("unknown policy %q", *policyIn)
+	}
+
+	b, err := broker.New(*id, policy, broker.WithCheckerConfig(*delta, 100_000, *seed))
+	if err != nil {
+		return err
+	}
+	srv, err := wire.NewServer(b, *listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("brokerd %s listening on %s (policy %s)\n", *id, srv.Addr(), *policyIn)
+
+	for name, addr := range peers {
+		if err := dialWithRetry(srv, name, addr, *retries); err != nil {
+			return err
+		}
+		fmt.Printf("connected peer %s at %s\n", name, addr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}
+
+// dialWithRetry keeps trying so daemons can start in any order.
+func dialWithRetry(srv *wire.Server, name, addr string, attempts int) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = srv.ConnectPeer(name, addr); err == nil {
+			return nil
+		}
+		time.Sleep(time.Second)
+	}
+	return fmt.Errorf("peer %s at %s unreachable: %w", name, addr, err)
+}

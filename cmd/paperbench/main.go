@@ -1,0 +1,91 @@
+// Command paperbench regenerates every table and figure of the
+// paper's evaluation (Section 6) plus the Section 5 Equation 2
+// analysis. Results print as ASCII tables and can optionally be saved
+// as CSV files.
+//
+// Usage:
+//
+//	paperbench -all                 # every experiment at paper scale
+//	paperbench -run fig6,fig12     # selected experiments
+//	paperbench -scale 0.1 -all     # 10% of the paper's run counts
+//	paperbench -all -csv out/      # also write out/<id>.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"probsum/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		all    = flag.Bool("all", false, "run every experiment")
+		runIDs = flag.String("run", "", "comma-separated experiment ids (see -list)")
+		scale  = flag.Float64("scale", 1.0, "fraction of the paper's run counts (speed/precision trade-off)")
+		csvDir = flag.String("csv", "", "directory to write <id>.csv files into")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *runIDs != "":
+		for _, id := range strings.Split(*runIDs, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	default:
+		flag.Usage()
+		return fmt.Errorf("nothing to do: pass -all or -run")
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return fmt.Errorf("create csv dir: %w", err)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := experiments.Run(id, experiments.Scale(*scale))
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			f, err := os.Create(filepath.Join(*csvDir, id+".csv"))
+			if err != nil {
+				return fmt.Errorf("%s: create csv: %w", id, err)
+			}
+			if err := tbl.WriteCSV(f); err != nil {
+				f.Close()
+				return fmt.Errorf("%s: write csv: %w", id, err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("%s: close csv: %w", id, err)
+			}
+		}
+	}
+	return nil
+}

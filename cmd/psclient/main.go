@@ -1,0 +1,99 @@
+// Command psclient is a publish/subscribe client for brokerd.
+//
+// Usage:
+//
+//	# subscribe and stream notifications (Ctrl-C to stop)
+//	psclient -broker localhost:7001 -name alice \
+//	         -subscribe '{"x1":[0,500]}' \
+//	         -schema '[{"name":"x1","lo":0,"hi":10000},{"name":"x2","lo":0,"hi":10000}]'
+//
+//	# publish one event
+//	psclient -broker localhost:7002 -name bob \
+//	         -publish '{"x1":42,"x2":7}' -schema '...'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"probsum/internal/subscription"
+	"probsum/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "psclient: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		brokerAddr = flag.String("broker", "127.0.0.1:7001", "broker address")
+		name       = flag.String("name", "", "client name (required, unique per broker)")
+		schemaIn   = flag.String("schema", "", "schema JSON (required)")
+		subIn      = flag.String("subscribe", "", "subscription JSON: stream notifications until interrupted")
+		pubIn      = flag.String("publish", "", "publication JSON: publish once and exit")
+		subID      = flag.String("sub-id", "", "subscription id (default <name>/1)")
+		pubID      = flag.String("pub-id", "", "publication id (default <name>/p1)")
+	)
+	flag.Parse()
+
+	if *name == "" {
+		return fmt.Errorf("-name is required")
+	}
+	if *schemaIn == "" {
+		return fmt.Errorf("-schema is required")
+	}
+	schema, err := subscription.UnmarshalSchema([]byte(*schemaIn))
+	if err != nil {
+		return err
+	}
+
+	client, err := wire.Dial(*brokerAddr, *name)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	switch {
+	case *subIn != "":
+		sub, err := subscription.UnmarshalSubscription([]byte(*subIn), schema)
+		if err != nil {
+			return err
+		}
+		id := *subID
+		if id == "" {
+			id = *name + "/1"
+		}
+		if err := client.Subscribe(id, sub); err != nil {
+			return err
+		}
+		fmt.Printf("subscribed as %s: %v\n", id, sub)
+		for {
+			msg, err := client.Recv()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("notify %s: %v (matched %s)\n", msg.PubID, msg.Pub, msg.SubID)
+		}
+	case *pubIn != "":
+		pub, err := subscription.UnmarshalPublication([]byte(*pubIn), schema)
+		if err != nil {
+			return err
+		}
+		id := *pubID
+		if id == "" {
+			id = *name + "/p1"
+		}
+		if err := client.Publish(id, pub); err != nil {
+			return err
+		}
+		fmt.Printf("published %s: %v\n", id, pub)
+		return nil
+	default:
+		flag.Usage()
+		return fmt.Errorf("nothing to do: pass -subscribe or -publish")
+	}
+}

@@ -1,0 +1,122 @@
+// Bike rental: the paper's Section 3 motivating scenario.
+//
+// A sensor-enriched bicycle rental system where rental posts publish
+// available bikes and users subscribe with preferences (Table 1 of
+// the paper). The example shows how verbose preferences compile into
+// range subscriptions, how publications match, and how group coverage
+// keeps the subscription table small as many similar users subscribe.
+//
+// Run with: go run ./examples/bikerental
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"probsum/subsume"
+)
+
+// Attribute encoding per the paper: bike IDs classify the bike type,
+// brands are enumerated, rental-post IDs encode location, dates are
+// epoch seconds.
+const (
+	brandX = 1
+	brandY = 2
+
+	t1600 = 1143820800 // 2006-03-31T16:00:00Z
+	t2000 = 1143835200 // 2006-03-31T20:00:00Z
+	t1200 = 1143806400 // 2006-03-31T12:00:00Z
+	t1400 = 1143813600 // 2006-03-31T14:00:00Z
+	t1823 = 1143829385 // 2006-03-31T18:23:05Z
+	t1223 = 1143807785 // 2006-03-31T12:23:05Z
+)
+
+func main() {
+	schema := subsume.NewSchema(
+		subsume.Attr("bID", 1, 100_000),
+		subsume.Attr("size", 10, 30),
+		subsume.Attr("brand", 1, 100),
+		subsume.Attr("rpID", 1, 1000),
+		subsume.Attr("date", 0, 2_000_000_000),
+	)
+
+	// s1: "lady mountain bike size 19, brand X, Friday evening, near
+	// home" — Table 1, row 1.
+	s1 := subsume.NewSubscription(schema).
+		Range("bID", 1000, 1999).
+		Eq("size", 19).
+		Eq("brand", brandX).
+		Range("rpID", 820, 840).
+		Range("date", t1600, t2000).
+		Build()
+
+	// s2: "any bike size 17-19 in my current vicinity over lunch" —
+	// Table 1, row 2 (brand unconstrained).
+	s2 := subsume.NewSubscription(schema).
+		Range("bID", 1, 1999).
+		Range("size", 17, 19).
+		Range("rpID", 10, 12).
+		Range("date", t1200, t1400).
+		Build()
+
+	// Publications from rental posts detecting available bikes.
+	p1 := subsume.NewPublication(1036, 19, brandX, 825, t1823)
+	p2 := subsume.NewPublication(1035, 17, brandY, 11, t1223)
+
+	fmt.Println("matching (paper Table 1):")
+	for _, c := range []struct {
+		name string
+		sub  subsume.Subscription
+		pub  subsume.Publication
+	}{
+		{"s1 vs p1", s1, p1}, {"s1 vs p2", s1, p2},
+		{"s2 vs p1", s2, p1}, {"s2 vs p2", s2, p2},
+	} {
+		fmt.Printf("  %s: %v\n", c.name, c.sub.Matches(c.pub))
+	}
+
+	// Many users near the same rental posts define similar weekend
+	// preferences; group coverage suppresses most of them.
+	checker, err := subsume.NewChecker(subsume.WithErrorProbability(1e-6), subsume.WithSeed(7, 8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(99, 100))
+	var active []subsume.Subscription
+	suppressed := 0
+	for i := 0; i < 400; i++ {
+		sub := randomWeekendPreference(rng, schema)
+		res, err := checker.Covered(sub, active)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Covered() {
+			suppressed++
+			continue
+		}
+		active = append(active, sub)
+	}
+	fmt.Printf("\n400 similar user subscriptions -> %d active, %d suppressed by group coverage (%.0f%%)\n",
+		len(active), suppressed, float64(suppressed)/4.0)
+}
+
+// randomWeekendPreference generates a plausible user subscription:
+// popular bike categories, common sizes, a favorite rental area, and
+// the Friday-evening window with per-user slack.
+func randomWeekendPreference(rng *rand.Rand, schema *subsume.Schema) subsume.Subscription {
+	category := []int64{1000, 2000, 3000}[rng.IntN(3)]
+	size := 17 + 2*rng.Int64N(3) // 17, 19, or 21
+	area := 800 + rng.Int64N(5)*10
+	start := int64(t1600) - rng.Int64N(4)*900
+	end := int64(t2000) + rng.Int64N(4)*900
+	b := subsume.NewSubscription(schema).
+		Range("bID", category, category+999).
+		Range("size", size-1, size+1).
+		Range("rpID", area, area+20+rng.Int64N(10)).
+		Range("date", start, end)
+	if rng.IntN(3) == 0 { // a third of users insist on brand X
+		b = b.Eq("brand", brandX)
+	}
+	return b.Build()
+}

@@ -1,0 +1,90 @@
+// Broker network: the paper's Figure 1 walkthrough.
+//
+// Nine brokers, two subscribers (S1 at B1, S2 at B6 with s2 ⊑ s1) and
+// two publishers (P1 at B9, P2 at B5). The example reproduces the
+// delivery trees the paper traces and prints per-broker publication
+// traffic so the reverse-path + covering behavior is visible.
+//
+// Run with: go run ./examples/brokernet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"probsum/pubsub"
+	"probsum/subsume"
+)
+
+func main() {
+	schema := subsume.NewSchema(
+		subsume.Attr("x1", 0, 100),
+		subsume.Attr("x2", 0, 100),
+	)
+
+	net, err := pubsub.NewNetwork(pubsub.Pairwise, pubsub.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i <= 9; i++ {
+		must(net.AddBroker(fmt.Sprintf("B%d", i)))
+	}
+	// Figure 1's overlay (see DESIGN.md for the edge derivation).
+	for _, e := range [][2]string{
+		{"B1", "B3"}, {"B2", "B3"}, {"B3", "B4"},
+		{"B4", "B5"}, {"B4", "B6"}, {"B4", "B7"},
+		{"B7", "B8"}, {"B7", "B9"},
+	} {
+		must(net.Connect(e[0], e[1]))
+	}
+	must(net.AttachClient("S1", "B1"))
+	must(net.AttachClient("S2", "B6"))
+	must(net.AttachClient("P1", "B9"))
+	must(net.AttachClient("P2", "B5"))
+
+	// s1 is broad; s2 ⊑ s1 is S2's narrower interest.
+	s1 := subsume.NewSubscription(schema).Range("x1", 0, 100).Range("x2", 0, 100).Build()
+	s2 := subsume.NewSubscription(schema).Range("x1", 40, 60).Range("x2", 40, 60).Build()
+
+	must(net.Subscribe("S1", "s1", s1))
+	before := net.Metrics()
+	must(net.Subscribe("S2", "s2", s2))
+	after := net.Metrics()
+	fmt.Printf("s1 flooded over %d links\n", before.SubsForwarded)
+	fmt.Printf("s2 (covered by s1) travelled only %d links; %d forwards suppressed\n",
+		after.SubsForwarded-before.SubsForwarded, after.SubsSuppressed)
+
+	// n1 matches s2 (and therefore s1): the paper's delivery tree is
+	// B9, B7, B4, B3, B1, B6.
+	must(net.Publish("P1", "n1", subsume.NewPublication(50, 50)))
+	printTree(net, "n1 (from P1@B9, matches s1 and s2)", 1)
+
+	// n2 matches only s1: delivery tree B5, B4, B3, B1.
+	must(net.Publish("P2", "n2", subsume.NewPublication(10, 10)))
+	printTree(net, "n2 (from P2@B5, matches s1 only)", 2)
+
+	fmt.Printf("\nS1 notifications: %d (expected 2)\n", len(net.Notifications("S1")))
+	fmt.Printf("S2 notifications: %d (expected 1)\n", len(net.Notifications("S2")))
+}
+
+// printTree lists the brokers that have seen exactly `upto`
+// publications so far — i.e. the cumulative delivery trees.
+func printTree(net *pubsub.Network, label string, upto int) {
+	fmt.Printf("\ndelivery tree for %s:\n  ", label)
+	for _, id := range net.Brokers() {
+		m, err := net.BrokerMetrics(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if m.PubsReceived > 0 {
+			fmt.Printf("%s(saw %d) ", id, m.PubsReceived)
+		}
+	}
+	fmt.Println()
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

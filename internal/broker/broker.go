@@ -1,0 +1,419 @@
+// Package broker implements a content-based publish/subscribe broker
+// as a pure state machine: messages in, messages out, no I/O. That
+// makes brokers deterministic under the simulator (package simnet) and
+// reusable behind the TCP transport (package wire).
+//
+// Routing follows the paper's Section 2: subscriptions flood the
+// overlay with duplicate suppression (first arrival defines the
+// reverse path), and each broker keeps one outgoing coverage table per
+// neighbor so a subscription is forwarded to a neighbor only when the
+// subscriptions already sent to that neighbor do not cover it — under
+// the configured policy (flooding, pairwise, or the paper's
+// probabilistic group coverage). Publications travel the reverse paths
+// of matching subscriptions. Unsubscriptions promote covered
+// subscriptions per Section 5.
+package broker
+
+import (
+	"fmt"
+	"sort"
+
+	"probsum/internal/core"
+	"probsum/internal/store"
+	"probsum/internal/subscription"
+)
+
+// MsgKind enumerates protocol messages.
+type MsgKind int
+
+// Protocol message kinds.
+const (
+	// MsgSubscribe announces a subscription along the overlay.
+	MsgSubscribe MsgKind = iota + 1
+	// MsgUnsubscribe cancels a previously announced subscription.
+	MsgUnsubscribe
+	// MsgPublish carries a publication toward subscribers.
+	MsgPublish
+	// MsgNotify delivers a matched publication to a local client.
+	MsgNotify
+)
+
+// String returns the message kind name.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgSubscribe:
+		return "subscribe"
+	case MsgUnsubscribe:
+		return "unsubscribe"
+	case MsgPublish:
+		return "publish"
+	case MsgNotify:
+		return "notify"
+	default:
+		return "unknown"
+	}
+}
+
+// Message is the single wire format exchanged between ports (neighbor
+// brokers and local clients).
+type Message struct {
+	Kind MsgKind `json:"kind"`
+	// SubID is the globally unique subscription identifier for
+	// subscribe/unsubscribe; Notify echoes the matched subscription.
+	SubID string `json:"sub_id,omitempty"`
+	// Sub is the subscription payload for MsgSubscribe.
+	Sub subscription.Subscription `json:"sub,omitempty"`
+	// PubID uniquely identifies a publication for duplicate
+	// suppression on cyclic overlays.
+	PubID string `json:"pub_id,omitempty"`
+	// Pub is the publication payload for MsgPublish / MsgNotify.
+	Pub subscription.Publication `json:"pub,omitempty"`
+}
+
+// Outbound pairs a message with its destination port.
+type Outbound struct {
+	To  string
+	Msg Message
+}
+
+// Metrics counts broker activity; the evaluation experiments read
+// these to compare coverage policies.
+type Metrics struct {
+	SubsReceived    int // subscribe messages processed (non-duplicate)
+	SubsForwarded   int // subscribe messages sent to neighbors
+	SubsSuppressed  int // per-neighbor forwards suppressed by coverage
+	DupSubsDropped  int // duplicate subscription arrivals dropped
+	UnsubsForwarded int
+	PubsReceived    int
+	PubsForwarded   int
+	DupPubsDropped  int
+	Notifications   int
+	Promotions      int // covered subscriptions promoted after unsubscribe
+}
+
+// Option configures a Broker.
+type Option func(*Broker)
+
+// WithCheckerConfig sets the probabilistic checker parameters used by
+// the per-neighbor coverage tables under store.PolicyGroup. The seed
+// is combined with the broker and neighbor identities so every table
+// gets an independent, reproducible stream.
+func WithCheckerConfig(delta float64, maxTrials int, seed uint64) Option {
+	return func(b *Broker) {
+		b.delta = delta
+		b.maxTrials = maxTrials
+		b.seed = seed
+	}
+}
+
+// Broker is a single node of the overlay. Not safe for concurrent use;
+// wrap with simnet or wire for transport.
+type Broker struct {
+	id        string
+	policy    store.Policy
+	delta     float64
+	maxTrials int
+	seed      uint64
+
+	neighbors map[string]bool
+	clients   map[string]bool
+
+	// out holds one coverage table per neighbor: the subscriptions this
+	// broker has forwarded to that neighbor, reduced under the policy.
+	out map[string]*store.Store
+	// outIDs maps subscription IDs to per-store numeric IDs; idToSub is
+	// its inverse, used when promotions must be re-announced.
+	outIDs  map[string]store.ID
+	idToSub map[store.ID]string
+	nextID  store.ID
+
+	// in records, per port, the subscriptions received from that port:
+	// the reverse-path routing table.
+	in map[string]map[string]subscription.Subscription
+	// source records the first-arrival port of each known subscription.
+	source map[string]string
+
+	seenPubs map[string]bool
+
+	metrics Metrics
+}
+
+// New creates a broker. Policy selects subscription-forwarding
+// reduction; see store.Policy.
+func New(id string, policy store.Policy, opts ...Option) (*Broker, error) {
+	if id == "" {
+		return nil, fmt.Errorf("broker: empty id")
+	}
+	b := &Broker{
+		id:        id,
+		policy:    policy,
+		delta:     core.DefaultErrorProbability,
+		maxTrials: core.DefaultMaxTrials,
+		seed:      1,
+		neighbors: make(map[string]bool),
+		clients:   make(map[string]bool),
+		out:       make(map[string]*store.Store),
+		outIDs:    make(map[string]store.ID),
+		idToSub:   make(map[store.ID]string),
+		in:        make(map[string]map[string]subscription.Subscription),
+		source:    make(map[string]string),
+		seenPubs:  make(map[string]bool),
+	}
+	for _, opt := range opts {
+		opt(b)
+	}
+	return b, nil
+}
+
+// ID returns the broker identifier.
+func (b *Broker) ID() string { return b.id }
+
+// Metrics returns a copy of the activity counters.
+func (b *Broker) Metrics() Metrics { return b.metrics }
+
+// Neighbors returns the connected neighbor ports, sorted.
+func (b *Broker) Neighbors() []string { return sortedKeys(b.neighbors) }
+
+// Clients returns the attached client ports, sorted.
+func (b *Broker) Clients() []string { return sortedKeys(b.clients) }
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fnv1a hashes a string into a 64-bit seed component.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// ConnectNeighbor registers a neighbor port and creates its outgoing
+// coverage table.
+func (b *Broker) ConnectNeighbor(id string) error {
+	if id == b.id {
+		return fmt.Errorf("broker %s: cannot neighbor itself", b.id)
+	}
+	if b.neighbors[id] {
+		return nil
+	}
+	var opts []store.Option
+	if b.policy == store.PolicyGroup {
+		checker, err := core.NewChecker(
+			core.WithErrorProbability(b.delta),
+			core.WithMaxTrials(b.maxTrials),
+			core.WithSeed(b.seed^fnv1a(b.id), fnv1a(id)|1),
+		)
+		if err != nil {
+			return fmt.Errorf("broker %s: neighbor %s: %w", b.id, id, err)
+		}
+		opts = append(opts, store.WithChecker(checker))
+	}
+	st, err := store.New(b.policy, opts...)
+	if err != nil {
+		return fmt.Errorf("broker %s: neighbor %s: %w", b.id, id, err)
+	}
+	b.neighbors[id] = true
+	b.out[id] = st
+	return nil
+}
+
+// AttachClient registers a local client port.
+func (b *Broker) AttachClient(id string) {
+	b.clients[id] = true
+	if b.in[id] == nil {
+		b.in[id] = make(map[string]subscription.Subscription)
+	}
+}
+
+// Handle processes one message arriving on port from and returns the
+// messages to emit. It is the broker's entire behavior.
+func (b *Broker) Handle(from string, msg Message) ([]Outbound, error) {
+	switch msg.Kind {
+	case MsgSubscribe:
+		return b.handleSubscribe(from, msg)
+	case MsgUnsubscribe:
+		return b.handleUnsubscribe(from, msg)
+	case MsgPublish:
+		return b.handlePublish(from, msg)
+	default:
+		return nil, fmt.Errorf("broker %s: unexpected message kind %v from %s", b.id, msg.Kind, from)
+	}
+}
+
+// storeID returns (allocating if needed) the numeric per-broker ID for
+// a subscription identifier.
+func (b *Broker) storeID(subID string) store.ID {
+	if id, ok := b.outIDs[subID]; ok {
+		return id
+	}
+	b.nextID++
+	b.outIDs[subID] = b.nextID
+	b.idToSub[b.nextID] = subID
+	return b.nextID
+}
+
+func (b *Broker) handleSubscribe(from string, msg Message) ([]Outbound, error) {
+	if msg.SubID == "" {
+		return nil, fmt.Errorf("broker %s: subscribe without SubID", b.id)
+	}
+	if _, seen := b.source[msg.SubID]; seen {
+		// Duplicate arrival over a cycle: the first arrival defined
+		// the reverse path; drop this copy.
+		b.metrics.DupSubsDropped++
+		return nil, nil
+	}
+	b.metrics.SubsReceived++
+	b.source[msg.SubID] = from
+	if b.in[from] == nil {
+		b.in[from] = make(map[string]subscription.Subscription)
+	}
+	b.in[from][msg.SubID] = msg.Sub
+
+	id := b.storeID(msg.SubID)
+	var out []Outbound
+	for _, n := range b.Neighbors() {
+		if n == from {
+			continue
+		}
+		res, err := b.out[n].Subscribe(id, msg.Sub)
+		if err != nil {
+			return nil, fmt.Errorf("broker %s: neighbor %s: %w", b.id, n, err)
+		}
+		if res.Status == store.StatusActive {
+			b.metrics.SubsForwarded++
+			out = append(out, Outbound{To: n, Msg: msg})
+		} else {
+			b.metrics.SubsSuppressed++
+		}
+	}
+	return out, nil
+}
+
+func (b *Broker) handleUnsubscribe(from string, msg Message) ([]Outbound, error) {
+	src, known := b.source[msg.SubID]
+	if !known {
+		return nil, nil // unsubscribe for an unknown subscription
+	}
+	if src != from {
+		// Unsubscriptions follow the same tree as the subscription;
+		// copies arriving over other links are dropped.
+		return nil, nil
+	}
+	delete(b.source, msg.SubID)
+	delete(b.in[from], msg.SubID)
+
+	id, ok := b.outIDs[msg.SubID]
+	if !ok {
+		return nil, nil
+	}
+	delete(b.outIDs, msg.SubID)
+	delete(b.idToSub, id)
+
+	var out []Outbound
+	for _, n := range b.Neighbors() {
+		if n == from {
+			continue
+		}
+		res, err := b.out[n].Unsubscribe(id)
+		if err != nil {
+			return nil, fmt.Errorf("broker %s: neighbor %s: %w", b.id, n, err)
+		}
+		if !res.Existed {
+			continue
+		}
+		if res.WasActive {
+			// The neighbor knew this subscription: propagate the
+			// cancellation.
+			b.metrics.UnsubsForwarded++
+			out = append(out, Outbound{To: n, Msg: msg})
+		}
+		// Late-forward promoted subscriptions: they were suppressed
+		// while covered and must now reach the neighbor (Section 5).
+		for _, pid := range res.Promoted {
+			sub, _, found := b.out[n].Get(pid)
+			if !found {
+				continue
+			}
+			subID := b.idToSub[pid]
+			if subID == "" {
+				continue
+			}
+			b.metrics.Promotions++
+			b.metrics.SubsForwarded++
+			out = append(out, Outbound{To: n, Msg: Message{Kind: MsgSubscribe, SubID: subID, Sub: sub}})
+		}
+	}
+	return out, nil
+}
+
+func (b *Broker) handlePublish(from string, msg Message) ([]Outbound, error) {
+	if msg.PubID == "" {
+		return nil, fmt.Errorf("broker %s: publish without PubID", b.id)
+	}
+	if b.seenPubs[msg.PubID] {
+		b.metrics.DupPubsDropped++
+		return nil, nil
+	}
+	b.seenPubs[msg.PubID] = true
+	b.metrics.PubsReceived++
+
+	var out []Outbound
+	// Deliver to local clients whose subscriptions match.
+	for _, c := range b.Clients() {
+		if c == from {
+			continue
+		}
+		for subID, sub := range b.in[c] {
+			if sub.Matches(msg.Pub) {
+				b.metrics.Notifications++
+				out = append(out, Outbound{To: c, Msg: Message{
+					Kind:  MsgNotify,
+					SubID: subID,
+					PubID: msg.PubID,
+					Pub:   msg.Pub,
+				}})
+			}
+		}
+	}
+	// Reverse-path forwarding: send to every neighbor that announced a
+	// matching subscription.
+	for _, n := range b.Neighbors() {
+		if n == from {
+			continue
+		}
+		for _, sub := range b.in[n] {
+			if sub.Matches(msg.Pub) {
+				b.metrics.PubsForwarded++
+				out = append(out, Outbound{To: n, Msg: msg})
+				break
+			}
+		}
+	}
+	sortOutbound(out)
+	return out, nil
+}
+
+// sortOutbound orders messages deterministically (by destination, then
+// subscription ID) so simulation runs are reproducible regardless of
+// map iteration order.
+func sortOutbound(out []Outbound) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].To != out[j].To {
+			return out[i].To < out[j].To
+		}
+		return out[i].Msg.SubID < out[j].Msg.SubID
+	})
+}

@@ -1,0 +1,163 @@
+package conflict
+
+// This file implements conflict-free entry detection (Definition 5,
+// Proposition 3). The naive test compares every pair of defined entries
+// and costs O(m^2 k^2) per table; the Analysis type exploits the
+// geometry of range predicates to answer "does this entry conflict with
+// anything" in O(1):
+//
+// Entries conflict only when they are opposite bounds of the same
+// attribute whose selected slices of s do not overlap. For a low entry
+// {x_a < u} the most conflicting counterpart is the defined high entry
+// with the LARGEST bound v (conflict is monotone in v), and vice versa
+// for high entries, so per attribute it suffices to track the top-2
+// high bounds and bottom-2 low bounds over the alive rows (top-2 so the
+// entry's own row can be excluded).
+
+// boundAt pairs a bound value with the row that contributed it.
+type boundAt struct {
+	value int64
+	row   int
+}
+
+// Analysis holds per-attribute extrema of defined entry bounds over a
+// subset of rows, enabling O(1) conflict-freeness tests.
+type Analysis struct {
+	t *Table
+	// maxHigh[a][0] is the largest defined high-entry bound on
+	// attribute a, maxHigh[a][1] the second largest; row -1 marks
+	// absence. minLow mirrors this with the smallest low-entry bounds.
+	maxHigh [][2]boundAt
+	minLow  [][2]boundAt
+}
+
+// NewAnalysis scans the alive rows (nil means all) and records the
+// per-attribute extrema in O(m*k).
+func NewAnalysis(t *Table, alive []bool) *Analysis {
+	an := &Analysis{
+		t:       t,
+		maxHigh: make([][2]boundAt, t.m),
+		minLow:  make([][2]boundAt, t.m),
+	}
+	for a := 0; a < t.m; a++ {
+		an.maxHigh[a] = [2]boundAt{{row: -1}, {row: -1}}
+		an.minLow[a] = [2]boundAt{{row: -1}, {row: -1}}
+	}
+	for i := range t.subs {
+		if alive != nil && !alive[i] {
+			continue
+		}
+		for a := 0; a < t.m; a++ {
+			if t.Defined(i, a, SideLow) {
+				v := t.subs[i].Bounds[a].Lo
+				e := &an.minLow[a]
+				switch {
+				case e[0].row == -1 || v < e[0].value:
+					e[1] = e[0]
+					e[0] = boundAt{value: v, row: i}
+				case e[1].row == -1 || v < e[1].value:
+					e[1] = boundAt{value: v, row: i}
+				}
+			}
+			if t.Defined(i, a, SideHigh) {
+				v := t.subs[i].Bounds[a].Hi
+				e := &an.maxHigh[a]
+				switch {
+				case e[0].row == -1 || v > e[0].value:
+					e[1] = e[0]
+					e[0] = boundAt{value: v, row: i}
+				case e[1].row == -1 || v > e[1].value:
+					e[1] = boundAt{value: v, row: i}
+				}
+			}
+		}
+	}
+	return an
+}
+
+// conflictLowHigh reports whether a low entry with bound u and a high
+// entry with bound v on attribute a conflict: the slices
+// s ∩ {x_a < u} and s ∩ {x_a > v} share no integer point.
+func (an *Analysis) conflictLowHigh(a int, u, v int64) bool {
+	sb := an.t.s.Bounds[a]
+	return !sb.Below(u).Intersects(sb.Above(v))
+}
+
+// EntryConflictFree reports whether the defined entry e conflicts with
+// no defined entry of any other alive row, in O(1).
+func (an *Analysis) EntryConflictFree(e EntryRef) bool {
+	if e.Side == SideLow {
+		u := an.t.Bound(e)
+		peak := an.maxHigh[e.Attr][0]
+		if peak.row == e.Row {
+			peak = an.maxHigh[e.Attr][1]
+		}
+		if peak.row == -1 {
+			return true
+		}
+		return !an.conflictLowHigh(e.Attr, u, peak.value)
+	}
+	v := an.t.Bound(e)
+	trough := an.minLow[e.Attr][0]
+	if trough.row == e.Row {
+		trough = an.minLow[e.Attr][1]
+	}
+	if trough.row == -1 {
+		return true
+	}
+	return !an.conflictLowHigh(e.Attr, trough.value, v)
+}
+
+// RowConflictFreeCount returns fc_i, the number of conflict-free
+// defined entries in row i, in O(m).
+func (an *Analysis) RowConflictFreeCount(i int) int {
+	count := 0
+	for a := 0; a < an.t.m; a++ {
+		if an.t.Defined(i, a, SideLow) && an.EntryConflictFree(EntryRef{Row: i, Attr: a, Side: SideLow}) {
+			count++
+		}
+		if an.t.Defined(i, a, SideHigh) && an.EntryConflictFree(EntryRef{Row: i, Attr: a, Side: SideHigh}) {
+			count++
+		}
+	}
+	return count
+}
+
+// RowHasConflictFree reports whether fc_i >= 1, short-circuiting at the
+// first conflict-free entry.
+func (an *Analysis) RowHasConflictFree(i int) bool {
+	for a := 0; a < an.t.m; a++ {
+		if an.t.Defined(i, a, SideLow) && an.EntryConflictFree(EntryRef{Row: i, Attr: a, Side: SideLow}) {
+			return true
+		}
+		if an.t.Defined(i, a, SideHigh) && an.EntryConflictFree(EntryRef{Row: i, Attr: a, Side: SideHigh}) {
+			return true
+		}
+	}
+	return false
+}
+
+// RowConflictFreeCountNaive computes fc_i by comparing entry pairs
+// directly, in O(m^2 k). It exists as a cross-check oracle for tests.
+func (t *Table) RowConflictFreeCountNaive(i int, alive []bool) int {
+	count := 0
+	for _, e := range t.DefinedEntries(i) {
+		free := true
+	scan:
+		for j := range t.subs {
+			if j == i || (alive != nil && !alive[j]) {
+				continue
+			}
+			for _, e2 := range t.DefinedEntries(j) {
+				if t.Conflicting(e, e2) {
+					free = false
+					break scan
+				}
+			}
+		}
+		if free {
+			count++
+		}
+	}
+	return count
+}

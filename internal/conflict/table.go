@@ -1,0 +1,319 @@
+// Package conflict implements the conflict table of the paper
+// (Definition 2) together with the structural results built on it:
+// pairwise cover detection (Corollary 1), reverse cover (Corollary 2),
+// the sorted-row polyhedron-witness condition (Corollary 3), and
+// conflicting / conflict-free entries (Definition 5, Proposition 3).
+//
+// A conflict table T relates a tested subscription s to the set
+// S = {s1 … sk}: the entry for row i, attribute a, side Low is the
+// negated predicate {x_a < lo_i^a}; it is defined iff s ∧ {x_a < lo_i^a}
+// is satisfiable, i.e. iff part of s sticks out below si on attribute a.
+// Defined entries are exactly the directions in which si fails to cover
+// s.
+package conflict
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"probsum/internal/interval"
+	"probsum/internal/subscription"
+)
+
+// Side distinguishes the two simple predicates each attribute
+// contributes to a subscription: the lower bound x >= lo and the upper
+// bound x <= hi. A conflict-table entry negates one of them.
+type Side int
+
+// The two predicate sides. SideLow denotes the negated lower bound
+// {x < lo}; SideHigh the negated upper bound {x > hi}.
+const (
+	SideLow  Side = 0
+	SideHigh Side = 1
+)
+
+// String returns "low" or "high".
+func (sd Side) String() string {
+	if sd == SideLow {
+		return "low"
+	}
+	return "high"
+}
+
+// EntryRef identifies one cell of the conflict table.
+type EntryRef struct {
+	Row  int
+	Attr int
+	Side Side
+}
+
+// Table is the k x 2m conflict table relating subscription S0 to the
+// subscription set Subs. It stores which entries are defined; entry
+// bound values are read from the subscriptions themselves.
+type Table struct {
+	s    subscription.Subscription
+	subs []subscription.Subscription
+	m    int
+
+	defined []bool // row-major, index row*(2m) + 2*attr + side
+	ti      []int  // number of defined entries per row
+}
+
+// Build constructs the conflict table for subscription s against the
+// set subs in O(m*k). All subscriptions must share s's attribute count;
+// violating rows yield an error.
+func Build(s subscription.Subscription, subs []subscription.Subscription) (*Table, error) {
+	m := s.Len()
+	if m == 0 {
+		return nil, fmt.Errorf("conflict: tested subscription has no attributes")
+	}
+	t := &Table{
+		s:       s,
+		subs:    subs,
+		m:       m,
+		defined: make([]bool, len(subs)*2*m),
+		ti:      make([]int, len(subs)),
+	}
+	for i, si := range subs {
+		if si.Len() != m {
+			return nil, fmt.Errorf("conflict: subscription %d has %d attributes, want %d: %w",
+				i, si.Len(), m, subscription.ErrSchemaMismatch)
+		}
+		base := i * 2 * m
+		count := 0
+		for a := 0; a < m; a++ {
+			sb := s.Bounds[a]
+			// {x_a < lo_i} intersects s iff s reaches below lo_i.
+			if si.Bounds[a].Lo > sb.Lo {
+				t.defined[base+2*a] = true
+				count++
+			}
+			// {x_a > hi_i} intersects s iff s reaches above hi_i.
+			if si.Bounds[a].Hi < sb.Hi {
+				t.defined[base+2*a+1] = true
+				count++
+			}
+		}
+		t.ti[i] = count
+	}
+	return t, nil
+}
+
+// K returns the number of rows (subscriptions in the set).
+func (t *Table) K() int { return len(t.subs) }
+
+// M returns the number of attributes.
+func (t *Table) M() int { return t.m }
+
+// Subscription returns the tested subscription s.
+func (t *Table) Subscription() subscription.Subscription { return t.s }
+
+// Set returns the subscription set S the table was built against.
+// Callers must not mutate the returned slice.
+func (t *Table) Set() []subscription.Subscription { return t.subs }
+
+// Defined reports whether the entry for (row, attr, side) is defined.
+func (t *Table) Defined(row, attr int, side Side) bool {
+	return t.defined[row*2*t.m+2*attr+int(side)]
+}
+
+// DefinedRef reports whether the referenced entry is defined.
+func (t *Table) DefinedRef(e EntryRef) bool {
+	return t.Defined(e.Row, e.Attr, e.Side)
+}
+
+// RowCount returns t_i, the number of defined entries in row i.
+func (t *Table) RowCount(i int) int { return t.ti[i] }
+
+// Bound returns the bound value of the referenced entry: lo_i^a for the
+// low side, hi_i^a for the high side.
+func (t *Table) Bound(e EntryRef) int64 {
+	b := t.subs[e.Row].Bounds[e.Attr]
+	if e.Side == SideLow {
+		return b.Lo
+	}
+	return b.Hi
+}
+
+// Region returns the slice of s, along entry e's attribute, that the
+// negated predicate selects: s.Bounds[a] ∩ {x < lo} or ∩ {x > hi}.
+// For a defined entry the region is non-empty.
+func (t *Table) Region(e EntryRef) interval.Interval {
+	sb := t.s.Bounds[e.Attr]
+	if e.Side == SideLow {
+		return sb.Below(t.Bound(e))
+	}
+	return sb.Above(t.Bound(e))
+}
+
+// GapWidth returns the number of integer points of s selected by entry
+// e along its attribute — the one-sided uncovered gap used by the
+// paper's Algorithm 2 to approximate the smallest polyhedron witness.
+func (t *Table) GapWidth(e EntryRef) int64 {
+	return t.Region(e).Count()
+}
+
+// PairwiseCoverRow implements Corollary 1: if every entry of row i is
+// undefined, s is covered by s_i alone. It returns the first such row,
+// or -1 when no single subscription covers s.
+func (t *Table) PairwiseCoverRow() int {
+	for i, n := range t.ti {
+		if n == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// RowCoveredByS implements Corollary 2: if every entry of row i is
+// defined, s strictly sticks out beyond s_i in every direction, hence s
+// covers s_i.
+func (t *Table) RowCoveredByS(i int) bool {
+	return t.ti[i] == 2*t.m
+}
+
+// Conflicting implements Definition 5: two defined entries of different
+// rows conflict iff s ∧ e1 ∧ e2 is unsatisfiable. Entries on different
+// attributes never conflict (the box product of non-empty slices is
+// non-empty); same-side entries never conflict; opposite sides conflict
+// iff the two regions of s do not overlap.
+func (t *Table) Conflicting(e1, e2 EntryRef) bool {
+	if e1.Row == e2.Row {
+		return false
+	}
+	if e1.Attr != e2.Attr || e1.Side == e2.Side {
+		return false
+	}
+	return !t.Region(e1).Intersects(t.Region(e2))
+}
+
+// DefinedEntries returns the defined entries of row i in attribute
+// order (low before high).
+func (t *Table) DefinedEntries(i int) []EntryRef {
+	out := make([]EntryRef, 0, t.ti[i])
+	for a := 0; a < t.m; a++ {
+		if t.Defined(i, a, SideLow) {
+			out = append(out, EntryRef{Row: i, Attr: a, Side: SideLow})
+		}
+		if t.Defined(i, a, SideHigh) {
+			out = append(out, EntryRef{Row: i, Attr: a, Side: SideHigh})
+		}
+	}
+	return out
+}
+
+// SortedRowCondition implements the test of Corollary 3 over the rows
+// selected by alive (nil means all rows): sort the defined-entry counts
+// ascending; if the j-th smallest count is >= j (1-based) for all j, a
+// polyhedron witness exists and s is not covered. The function only
+// evaluates the condition; use GreedyWitness to materialize and verify
+// the witness.
+func (t *Table) SortedRowCondition(alive []bool) bool {
+	counts := make([]int, 0, len(t.ti))
+	for i, n := range t.ti {
+		if alive == nil || alive[i] {
+			counts = append(counts, n)
+		}
+	}
+	if len(counts) == 0 {
+		return true // vacuously: an empty set cannot cover a non-empty s
+	}
+	sort.Ints(counts)
+	for j, n := range counts {
+		if n < j+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyWitness attempts to construct a polyhedron witness to non-cover
+// (Definition 3) by the elimination argument of Corollary 3: process
+// rows in ascending order of defined entries, pick any non-eliminated
+// entry, and eliminate the (at most one per row) conflicting entry from
+// the remaining rows. The returned box is verified non-empty; ok is
+// false when construction fails, which can only happen if the sorted
+// row condition does not hold.
+func (t *Table) GreedyWitness(alive []bool) (subscription.Subscription, bool) {
+	rows := make([]int, 0, len(t.ti))
+	for i := range t.ti {
+		if alive == nil || alive[i] {
+			rows = append(rows, i)
+		}
+	}
+	sort.Slice(rows, func(a, b int) bool { return t.ti[rows[a]] < t.ti[rows[b]] })
+
+	// Witness box accumulates s ∧ chosen negated predicates.
+	box := t.s.Clone()
+	eliminated := make(map[EntryRef]bool)
+	for _, r := range rows {
+		chosen := EntryRef{Row: -1}
+		for _, e := range t.DefinedEntries(r) {
+			if eliminated[e] {
+				continue
+			}
+			// The entry must still intersect the current box slice;
+			// elimination bookkeeping guarantees this, but verify to
+			// keep the path sound regardless of input.
+			if !t.Region(e).Intersects(box.Bounds[e.Attr]) {
+				continue
+			}
+			chosen = e
+			break
+		}
+		if chosen.Row == -1 {
+			return subscription.Subscription{}, false
+		}
+		// Narrow the box by the chosen negated predicate.
+		if chosen.Side == SideLow {
+			box.Bounds[chosen.Attr] = box.Bounds[chosen.Attr].Below(t.Bound(chosen))
+		} else {
+			box.Bounds[chosen.Attr] = box.Bounds[chosen.Attr].Above(t.Bound(chosen))
+		}
+		// Eliminate conflicting entries from all other rows: only the
+		// opposite side of the same attribute can conflict.
+		opp := SideHigh
+		if chosen.Side == SideHigh {
+			opp = SideLow
+		}
+		for _, r2 := range rows {
+			if r2 == r {
+				continue
+			}
+			e2 := EntryRef{Row: r2, Attr: chosen.Attr, Side: opp}
+			if t.DefinedRef(e2) && t.Conflicting(chosen, e2) {
+				eliminated[e2] = true
+			}
+		}
+	}
+	if !box.IsSatisfiable() {
+		return subscription.Subscription{}, false
+	}
+	return box, true
+}
+
+// String renders the table in the layout of the paper's Table 5: one
+// row per subscription, one column pair per attribute, "undef" for
+// undefined entries and the negated predicate otherwise.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "s = %s\n", t.s)
+	for i := range t.subs {
+		fmt.Fprintf(&sb, "s%-3d", i+1)
+		for a := 0; a < t.m; a++ {
+			if t.Defined(i, a, SideLow) {
+				fmt.Fprintf(&sb, " | x%d<%d", a+1, t.subs[i].Bounds[a].Lo)
+			} else {
+				fmt.Fprintf(&sb, " | undef")
+			}
+			if t.Defined(i, a, SideHigh) {
+				fmt.Fprintf(&sb, " | x%d>%d", a+1, t.subs[i].Bounds[a].Hi)
+			} else {
+				fmt.Fprintf(&sb, " | undef")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"probsum/internal/conflict"
+	"probsum/internal/subscription"
+)
+
+// Checker defaults.
+const (
+	// DefaultErrorProbability is the δ used when none is configured;
+	// the paper's comparison experiment uses 1e-6.
+	DefaultErrorProbability = 1e-6
+	// DefaultMaxTrials caps executed RSPC guesses. The paper observes
+	// that d below 10^5 is practically feasible while theoretical
+	// bounds can reach 10^50; runs that hit the cap are flagged in the
+	// result.
+	DefaultMaxTrials = 100_000
+)
+
+// ErrUnsatisfiable is returned when the tested subscription is empty:
+// coverage of an empty subscription is vacuous and almost certainly a
+// caller bug, so it is reported instead of silently answering YES.
+var ErrUnsatisfiable = errors.New("core: tested subscription is unsatisfiable")
+
+// Option configures a Checker.
+type Option func(*Checker)
+
+// WithErrorProbability sets the acceptable probability δ of a false
+// YES. Must be in (0, 1).
+func WithErrorProbability(delta float64) Option {
+	return func(c *Checker) { c.delta = delta }
+}
+
+// WithMaxTrials caps the number of RSPC guesses per query.
+func WithMaxTrials(n int) Option {
+	return func(c *Checker) { c.maxTrials = n }
+}
+
+// WithSeed fixes the PCG seed of the checker's random stream, making
+// every decision sequence reproducible.
+func WithSeed(seed1, seed2 uint64) Option {
+	return func(c *Checker) { c.rng = rand.New(rand.NewPCG(seed1, seed2)) }
+}
+
+// WithMCS enables or disables the Minimized Cover Set reduction.
+// Disabling it reproduces the paper's "RSPC without MCS" ablation.
+func WithMCS(enabled bool) Option {
+	return func(c *Checker) { c.useMCS = enabled }
+}
+
+// WithFastPaths enables or disables the deterministic short-circuits of
+// Algorithm 4 (pairwise cover and greedy polyhedron witness).
+func WithFastPaths(enabled bool) Option {
+	return func(c *Checker) { c.useFast = enabled }
+}
+
+// Checker answers group-subsumption questions with the full pipeline of
+// Algorithm 4. The zero value is not usable; construct with NewChecker.
+// A Checker is not safe for concurrent use (it owns a random stream);
+// create one per goroutine.
+type Checker struct {
+	delta     float64
+	maxTrials int
+	useMCS    bool
+	useFast   bool
+	rng       *rand.Rand
+}
+
+// NewChecker returns a Checker with the paper's defaults: δ = 1e-6,
+// MCS and fast paths enabled, trial cap 100 000, and an unseeded
+// (process-random) PCG stream unless WithSeed is given.
+func NewChecker(opts ...Option) (*Checker, error) {
+	c := &Checker{
+		delta:     DefaultErrorProbability,
+		maxTrials: DefaultMaxTrials,
+		useMCS:    true,
+		useFast:   true,
+		rng:       rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64())),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.delta <= 0 || c.delta >= 1 {
+		return nil, fmt.Errorf("core: error probability must be in (0,1), got %g", c.delta)
+	}
+	if c.maxTrials < 1 {
+		return nil, fmt.Errorf("core: max trials must be positive, got %d", c.maxTrials)
+	}
+	return c, nil
+}
+
+// Delta returns the configured error probability δ.
+func (c *Checker) Delta() float64 { return c.delta }
+
+// Covered decides whether s ⊑ (set[0] ∨ … ∨ set[k-1]) following
+// Algorithm 4:
+//
+//  1. build the conflict table (O(m·k));
+//  2. Corollary 1 — a fully undefined row means a single subscription
+//     covers s: definite YES;
+//  3. Corollary 3 — if the sorted-row condition holds, greedily build
+//     and verify a polyhedron witness: definite NO;
+//  4. Algorithm 3 — reduce to the minimized cover set S'; if S' is
+//     empty: definite NO;
+//  5. Algorithms 2+1 — estimate ρw on S', derive the trial bound d for
+//     δ, cap it at MaxTrials, and run RSPC: a point witness is a
+//     definite NO, otherwise a probabilistic YES.
+func (c *Checker) Covered(s subscription.Subscription, set []subscription.Subscription) (Result, error) {
+	if !s.IsSatisfiable() {
+		return Result{}, ErrUnsatisfiable
+	}
+	res := Result{CoveringRow: -1}
+	if len(set) == 0 {
+		res.Decision = NotCovered
+		res.Reason = ReasonEmptyMCS
+		return res, nil
+	}
+
+	table, err := conflict.Build(s, set)
+	if err != nil {
+		return Result{}, err
+	}
+
+	if c.useFast {
+		if row := table.PairwiseCoverRow(); row >= 0 {
+			res.Decision = Covered
+			res.Reason = ReasonPairwiseCover
+			res.CoveringRow = row
+			return res, nil
+		}
+		if table.SortedRowCondition(nil) {
+			if witness, ok := table.GreedyWitness(nil); ok {
+				res.Decision = NotCovered
+				res.Reason = ReasonPolyhedronWitness
+				res.PolyhedronWitness = witness
+				return res, nil
+			}
+		}
+	}
+
+	var alive []bool
+	if c.useMCS {
+		mcs := MCS(table)
+		res.ReducedSet = mcs.Indices()
+		if mcs.AliveCount == 0 {
+			res.Decision = NotCovered
+			res.Reason = ReasonEmptyMCS
+			return res, nil
+		}
+		alive = mcs.Alive
+	}
+
+	res.LogRho = EstimateLogRho(table, alive)
+	res.Rho = math.Exp(res.LogRho)
+	res.Log10D = Log10TrialBound(c.delta, res.LogRho)
+	trials := c.maxTrials
+	if d := TrialBound(c.delta, res.LogRho); d < float64(trials) {
+		trials = int(math.Ceil(d))
+	} else {
+		res.DCapped = true
+	}
+
+	out := RSPC(s, set, alive, trials, c.rng)
+	res.ExecutedTrials = out.Trials
+	if out.Found() {
+		res.Decision = NotCovered
+		res.Reason = ReasonPointWitness
+		res.PointWitness = out.Witness
+		return res, nil
+	}
+	res.Decision = CoveredProbably
+	res.Reason = ReasonTrialsExhausted
+	return res, nil
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"probsum/internal/subscription"
+)
+
+// ExhaustiveCoverLimit bounds the number of points ExhaustiveCover is
+// willing to enumerate.
+const ExhaustiveCoverLimit = 1 << 22
+
+// ExhaustiveCover answers the subsumption question exactly by
+// enumerating every integer point of s and testing membership in the
+// union. It is exponential in m and exists as the ground-truth oracle
+// for tests and for tiny domains; it refuses boxes larger than
+// ExhaustiveCoverLimit points.
+func ExhaustiveCover(s subscription.Subscription, set []subscription.Subscription) (bool, error) {
+	if !s.IsSatisfiable() {
+		return true, nil // vacuous
+	}
+	size := s.Size()
+	if size > ExhaustiveCoverLimit {
+		return false, fmt.Errorf("core: exhaustive check over %.0f points exceeds limit %d", size, ExhaustiveCoverLimit)
+	}
+	m := s.Len()
+	point := make([]int64, m)
+	for a, b := range s.Bounds {
+		point[a] = b.Lo
+	}
+	for {
+		if !pointInAnyAlive(point, set, nil) {
+			return false, nil
+		}
+		// Advance odometer.
+		a := 0
+		for a < m {
+			point[a]++
+			if point[a] <= s.Bounds[a].Hi {
+				break
+			}
+			point[a] = s.Bounds[a].Lo
+			a++
+		}
+		if a == m {
+			return true, nil
+		}
+	}
+}

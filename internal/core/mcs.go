@@ -1,0 +1,96 @@
+package core
+
+import (
+	"probsum/internal/conflict"
+)
+
+// MCSResult reports what the Minimized Cover Set reduction did.
+type MCSResult struct {
+	// Alive[i] is true when subscription i survived the reduction.
+	Alive []bool
+	// AliveCount is the number of surviving subscriptions |S'|.
+	AliveCount int
+	// Passes is how many scans of the table the fixpoint needed.
+	Passes int
+}
+
+// Indices returns the surviving row indices in ascending order.
+func (r MCSResult) Indices() []int {
+	out := make([]int, 0, r.AliveCount)
+	for i, ok := range r.Alive {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MCS implements Algorithm 3, the Minimized Cover Set: it repeatedly
+// removes subscriptions that are redundant for the covering question
+// (Proposition 4) — rows with at least one conflict-free entry
+// (fc_i >= 1) or with at least as many defined entries as the current
+// set size (t_i >= k) — until no rule fires. The surviving set S' has
+// the same covering answer as S: s ⊑ S iff s ⊑ S'.
+//
+// The paper bounds the reduction at O(m²k³); this implementation uses
+// per-attribute bound extrema (see package conflict) for O(1)
+// conflict-freeness tests, giving O(m·k) per pass and O(m·k²) worst
+// case. Removing a row mid-pass only shrinks the set of potential
+// conflict partners, so testing against the extrema snapshot taken at
+// pass start is conservative and the fixpoint loop picks up the
+// remainder — identical final answer, fewer rescans.
+func MCS(t *conflict.Table) MCSResult {
+	k := t.K()
+	alive := make([]bool, k)
+	for i := range alive {
+		alive[i] = true
+	}
+	res := MCSResult{Alive: alive, AliveCount: k}
+	for {
+		res.Passes++
+		an := conflict.NewAnalysis(t, alive)
+		removed := false
+		for i := 0; i < k; i++ {
+			if !alive[i] {
+				continue
+			}
+			if t.RowCount(i) >= res.AliveCount || an.RowHasConflictFree(i) {
+				alive[i] = false
+				res.AliveCount--
+				removed = true
+			}
+		}
+		if !removed || res.AliveCount == 0 {
+			return res
+		}
+	}
+}
+
+// MCSNaive is the literal O(m²k³) transcription of Algorithm 3 using
+// pairwise conflict tests. It exists as a cross-check oracle: MCS and
+// MCSNaive must select identical survivor sets.
+func MCSNaive(t *conflict.Table) MCSResult {
+	k := t.K()
+	alive := make([]bool, k)
+	for i := range alive {
+		alive[i] = true
+	}
+	res := MCSResult{Alive: alive, AliveCount: k}
+	for {
+		res.Passes++
+		removed := false
+		for i := 0; i < k; i++ {
+			if !alive[i] {
+				continue
+			}
+			if t.RowCount(i) >= res.AliveCount || t.RowConflictFreeCountNaive(i, alive) >= 1 {
+				alive[i] = false
+				res.AliveCount--
+				removed = true
+			}
+		}
+		if !removed || res.AliveCount == 0 {
+			return res
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+
+	"probsum/internal/conflict"
+)
+
+// ln10 converts natural logarithms to base-10 logarithms.
+const ln10 = 2.302585092994046
+
+// EstimateLogRho implements Algorithm 2 of the paper: it approximates
+// I(sw), the size of the smallest polyhedron witness, by multiplying —
+// over every attribute — the minimum one-sided uncovered gap induced by
+// any defined conflict-table entry of an alive row (nil alive means all
+// rows), with the full extent of s as the starting minimum. It returns
+// ln ρw = ln I(sw) − ln I(s), computed in log space so m=20 with wide
+// domains cannot overflow.
+//
+// The estimate is per-subscription, not per-union: it cannot see that a
+// union of subscriptions leaves only a sliver uncovered, so it
+// overestimates ρw whenever the true gap is interior (see DESIGN.md,
+// scenario 2.c). That is faithful to the paper.
+func EstimateLogRho(t *conflict.Table, alive []bool) float64 {
+	logIsw := 0.0
+	logIs := 0.0
+	for a := 0; a < t.M(); a++ {
+		width := t.Subscription().Bounds[a].Count()
+		logIs += math.Log(float64(width))
+		minGap := width
+		for i := 0; i < t.K(); i++ {
+			if alive != nil && !alive[i] {
+				continue
+			}
+			if t.Defined(i, a, conflict.SideLow) {
+				if g := t.GapWidth(conflict.EntryRef{Row: i, Attr: a, Side: conflict.SideLow}); g < minGap {
+					minGap = g
+				}
+			}
+			if t.Defined(i, a, conflict.SideHigh) {
+				if g := t.GapWidth(conflict.EntryRef{Row: i, Attr: a, Side: conflict.SideHigh}); g < minGap {
+					minGap = g
+				}
+			}
+		}
+		logIsw += math.Log(float64(minGap))
+	}
+	return logIsw - logIs
+}
+
+// EstimateRho returns ρw itself; it may underflow to 0 for large m,
+// in which case EstimateLogRho still carries the exact exponent.
+func EstimateRho(t *conflict.Table, alive []bool) float64 {
+	return math.Exp(EstimateLogRho(t, alive))
+}
+
+// TrialBound inverts Equation 1, δ = (1-ρw)^d, returning the number of
+// RSPC trials d needed to reach error probability delta given the
+// witness-density estimate exp(logRho). The bound is at least 1; it is
+// +Inf when ρw is 0 (or underflows) and delta < 1.
+func TrialBound(delta, logRho float64) float64 {
+	if delta >= 1 {
+		return 1
+	}
+	rho := math.Exp(logRho)
+	if rho >= 1 {
+		return 1
+	}
+	if rho == 0 {
+		return math.Inf(1)
+	}
+	d := math.Log(delta) / math.Log1p(-rho)
+	if d < 1 {
+		return 1
+	}
+	return d
+}
+
+// Log10TrialBound returns log10 of TrialBound, exact even when the
+// bound itself overflows float64 (the paper's Figures 7 and 9 plot
+// values up to 10^50). For small ρw it uses d ≈ −ln δ ∕ ρw, i.e.
+// log10 d = log10(−ln δ) − logRho/ln 10.
+func Log10TrialBound(delta, logRho float64) float64 {
+	if delta >= 1 {
+		return 0
+	}
+	rho := math.Exp(logRho)
+	if rho >= 1 {
+		return 0
+	}
+	// For ρw large enough to be representable, compute directly.
+	if rho > 1e-12 {
+		return math.Log10(TrialBound(delta, logRho))
+	}
+	// Otherwise ln(1-ρ) ≈ -ρ, so d ≈ -ln δ / ρ.
+	return math.Log10(-math.Log(delta)) - logRho/ln10
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"probsum/internal/subscription"
+)
+
+// RSPCOutcome is the raw result of a Random-Simple-Predicates-Cover
+// run (Algorithm 1).
+type RSPCOutcome struct {
+	// Witness is the point witness to non-cover, nil when none was
+	// found within the trial budget.
+	Witness []int64
+	// Trials is the number of guesses performed: the index of the
+	// successful guess, or the full budget when no witness was found.
+	Trials int
+}
+
+// Found reports whether a point witness was discovered.
+func (o RSPCOutcome) Found() bool { return o.Witness != nil }
+
+// RSPC runs Algorithm 1: it guesses up to trials uniform random points
+// inside s and returns the first that lies outside every alive
+// subscription (a point witness to non-cover, Definition 4). A found
+// witness makes the non-cover answer exact; exhausting the budget
+// supports a probabilistic YES with error at most (1-ρw)^trials.
+//
+// Guessing a point costs O(m) and testing it O(m·k'), so a full run is
+// O(d·m·k') with k' the alive count — the paper's headline complexity.
+func RSPC(s subscription.Subscription, set []subscription.Subscription, alive []bool, trials int, rng *rand.Rand) RSPCOutcome {
+	m := s.Len()
+	point := make([]int64, m)
+	for trial := 1; trial <= trials; trial++ {
+		for a, b := range s.Bounds {
+			point[a] = b.Lo + rng.Int64N(b.Hi-b.Lo+1)
+		}
+		if !pointInAnyAlive(point, set, alive) {
+			witness := make([]int64, m)
+			copy(witness, point)
+			return RSPCOutcome{Witness: witness, Trials: trial}
+		}
+	}
+	return RSPCOutcome{Trials: trials}
+}
+
+// pointInAnyAlive reports whether the point lies inside at least one
+// alive subscription (nil alive means all).
+func pointInAnyAlive(p []int64, set []subscription.Subscription, alive []bool) bool {
+	for i := range set {
+		if alive != nil && !alive[i] {
+			continue
+		}
+		if set[i].ContainsPoint(p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"probsum/internal/stats"
+)
+
+// Eq2Config parameterizes the Section 5 propagation analysis: a new
+// subscription s travels a chain of n brokers; at each hop the
+// probabilistic check erroneously declares it covered with probability
+// (1-ρw)^d, stopping propagation. A publication matching s (and no
+// covering subscription) appears at broker i with probability
+// ρ(1-ρ)^(i-1) and is found iff s reached broker i.
+type Eq2Config struct {
+	// NValues are the chain lengths to evaluate.
+	NValues []int
+	// Rho is the per-broker probability of hosting the matching
+	// publication.
+	Rho float64
+	// RhoW is the point-witness density seen by each broker's check.
+	RhoW float64
+	// D is the RSPC trial budget at each broker.
+	D int
+	// Runs is the Monte-Carlo sample count for the simulated column.
+	Runs int
+	// Seed drives the simulation.
+	Seed uint64
+}
+
+// DefaultEq2Config returns a representative parameterization: a small
+// witness density and modest d make per-hop errors visible.
+func DefaultEq2Config() Eq2Config {
+	return Eq2Config{
+		NValues: []int{1, 2, 3, 4, 5, 6, 8, 10, 15, 20},
+		Rho:     0.2,
+		RhoW:    0.01,
+		D:       100,
+		Runs:    200000,
+		Seed:    1,
+	}
+}
+
+// Eq2ClosedForm evaluates Equation 2 of the paper literally:
+//
+//	P = Σ_{i=1..n} ρ·[(1-ρ)·(1-(1-ρw)^d)]^(i-1)
+func Eq2ClosedForm(n int, rho, rhoW float64, d int) float64 {
+	stopProb := math.Pow(1-rhoW, float64(d)) // per-hop false-cover probability
+	base := (1 - rho) * (1 - stopProb)
+	sum := 0.0
+	term := rho
+	for i := 1; i <= n; i++ {
+		sum += term
+		term *= base
+	}
+	return sum
+}
+
+// eq2Simulate estimates the same probability by direct Monte Carlo.
+func eq2Simulate(cfg Eq2Config, n int, rng *rand.Rand) float64 {
+	stopProb := math.Pow(1-cfg.RhoW, float64(cfg.D))
+	found := 0
+	for run := 0; run < cfg.Runs; run++ {
+		// Place the publication: broker i with prob rho*(1-rho)^(i-1);
+		// with the residual probability it appears nowhere.
+		pubAt := 0
+		for i := 1; i <= n; i++ {
+			if rng.Float64() < cfg.Rho {
+				pubAt = i
+				break
+			}
+		}
+		if pubAt == 0 {
+			continue
+		}
+		// Propagate s: it must survive pubAt-1 probabilistic checks
+		// (the check at broker i happens before forwarding to i+1).
+		reached := true
+		for hop := 1; hop < pubAt; hop++ {
+			if rng.Float64() < stopProb {
+				reached = false
+				break
+			}
+		}
+		if reached {
+			found++
+		}
+	}
+	return stats.Ratio(float64(found), float64(cfg.Runs))
+}
+
+// Eq2 produces the Section 5 table: closed-form Equation 2 versus
+// Monte-Carlo simulation over chain length, plus the no-error ceiling
+// (1-(1-ρ)^n) for reference.
+func Eq2(cfg Eq2Config) (*Table, error) {
+	if cfg.Rho <= 0 || cfg.Rho >= 1 {
+		return nil, fmt.Errorf("experiments: rho must be in (0,1), got %g", cfg.Rho)
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xec2))
+	t := &Table{
+		ID:      "eq2",
+		Title:   fmt.Sprintf("Eq. 2 delivery probability along a broker chain (rho=%g, rhoW=%g, d=%d)", cfg.Rho, cfg.RhoW, cfg.D),
+		Columns: []string{"n", "eq2", "simulated", "noErrorCeiling"},
+	}
+	for _, n := range cfg.NValues {
+		closed := Eq2ClosedForm(n, cfg.Rho, cfg.RhoW, cfg.D)
+		sim := eq2Simulate(cfg, n, rng)
+		ceiling := 1 - math.Pow(1-cfg.Rho, float64(n))
+		t.Rows = append(t.Rows, []string{fi(n), f(closed), f(sim), f(ceiling)})
+	}
+	return t, nil
+}

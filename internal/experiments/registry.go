@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scale shrinks or grows the default experiment configurations: 1.0
+// reproduces the paper's run counts, smaller values trade precision
+// for speed (used by smoke tests and benchmarks).
+type Scale float64
+
+// scaleRuns applies the scale with a floor of one run.
+func (s Scale) scaleRuns(runs int) int {
+	out := int(float64(runs) * float64(s))
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// Runner produces one experiment table.
+type Runner func(scale Scale) (*Table, error)
+
+// Registry maps experiment IDs to runners for every table and figure
+// of the paper's evaluation (plus the eq2/fig11x extensions).
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig6": func(s Scale) (*Table, error) {
+			cfg := DefaultSweepConfig()
+			cfg.Runs = s.scaleRuns(cfg.Runs)
+			return Fig6(cfg)
+		},
+		"fig7": func(s Scale) (*Table, error) {
+			cfg := DefaultSweepConfig()
+			cfg.Runs = s.scaleRuns(cfg.Runs)
+			return Fig7(cfg)
+		},
+		"fig8": func(s Scale) (*Table, error) {
+			cfg := DefaultSweepConfig()
+			cfg.Runs = s.scaleRuns(cfg.Runs)
+			return Fig8(cfg)
+		},
+		"fig9": func(s Scale) (*Table, error) {
+			cfg := DefaultSweepConfig()
+			cfg.Runs = s.scaleRuns(cfg.Runs)
+			return Fig9(cfg)
+		},
+		"fig10": func(s Scale) (*Table, error) {
+			cfg := DefaultSweepConfig()
+			cfg.Runs = s.scaleRuns(cfg.Runs)
+			return Fig10(cfg)
+		},
+		"fig11": func(s Scale) (*Table, error) {
+			cfg := DefaultExtremeConfig()
+			cfg.Runs = s.scaleRuns(cfg.Runs)
+			return Fig11(cfg)
+		},
+		"fig11x": func(s Scale) (*Table, error) {
+			cfg := DefaultExtremeConfig()
+			cfg.Runs = s.scaleRuns(cfg.Runs)
+			return Fig11x(cfg)
+		},
+		"fig12": func(s Scale) (*Table, error) {
+			cfg := DefaultExtremeConfig()
+			cfg.Runs = s.scaleRuns(cfg.Runs)
+			return Fig12(cfg)
+		},
+		"fig13": func(s Scale) (*Table, error) {
+			cfg := DefaultComparisonConfig()
+			cfg.Total = s.scaleRuns(cfg.Total)
+			if cfg.Checkpoint > cfg.Total {
+				cfg.Checkpoint = cfg.Total
+			}
+			return Fig13(cfg)
+		},
+		"fig14": func(s Scale) (*Table, error) {
+			cfg := DefaultComparisonConfig()
+			cfg.Total = s.scaleRuns(cfg.Total)
+			if cfg.Checkpoint > cfg.Total {
+				cfg.Checkpoint = cfg.Total
+			}
+			return Fig14(cfg)
+		},
+		"eq2": func(s Scale) (*Table, error) {
+			cfg := DefaultEq2Config()
+			cfg.Runs = s.scaleRuns(cfg.Runs)
+			return Eq2(cfg)
+		},
+	}
+}
+
+// IDs returns the registered experiment identifiers, sorted.
+func IDs() []string {
+	reg := Registry()
+	out := make([]string, 0, len(reg))
+	for id := range reg {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, scale Scale) (*Table, error) {
+	r, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(scale)
+}

@@ -1,0 +1,82 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 6) plus the Section 5 propagation
+// analysis. Each runner is deterministic given its seed and returns a
+// Table whose rows correspond to the data series of the original plot;
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier ("fig6" … "fig14", "eq2").
+	ID string
+	// Title describes what the paper's figure shows.
+	Title string
+	// Columns names the row cells.
+	Columns []string
+	// Rows holds pre-formatted cells.
+	Rows [][]string
+	// Notes carry caveats (caps hit, calibration reminders).
+	Notes []string
+}
+
+// Fprint renders the table as aligned ASCII.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Columns)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV emits the table as CSV (header + rows).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return fmt.Errorf("experiments: write csv header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiments: flush csv: %w", err)
+	}
+	return nil
+}
+
+// f formats a float compactly.
+func f(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// fi formats an int.
+func fi(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,225 @@
+// Package interval implements closed integer intervals and the small
+// amount of interval algebra the subsumption algorithms rely on.
+//
+// Attribute values in the paper's data model are elements of ordered
+// finite sets, so every predicate bounds an attribute from below and
+// above; an interval [Lo, Hi] (both ends inclusive) represents the
+// conjunction x >= Lo AND x <= Hi. The empty interval is any interval
+// with Lo > Hi; Empty() is the canonical one.
+package interval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a closed integer interval [Lo, Hi]. It is empty when
+// Lo > Hi. The zero value is the single point {0}.
+type Interval struct {
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+}
+
+// New returns the interval [lo, hi].
+func New(lo, hi int64) Interval { return Interval{Lo: lo, Hi: hi} }
+
+// Point returns the degenerate interval [v, v].
+func Point(v int64) Interval { return Interval{Lo: v, Hi: v} }
+
+// Empty returns the canonical empty interval.
+func Empty() Interval { return Interval{Lo: 1, Hi: 0} }
+
+// Full returns the interval covering the entire usable int64 domain.
+// The extremes are backed off by one to keep Count and complement
+// computations free of overflow.
+func Full() Interval {
+	return Interval{Lo: math.MinInt64 / 4, Hi: math.MaxInt64 / 4}
+}
+
+// IsEmpty reports whether the interval contains no points.
+func (iv Interval) IsEmpty() bool { return iv.Lo > iv.Hi }
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v int64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// ContainsInterval reports whether other is a subset of iv.
+// The empty interval is a subset of everything.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	if other.IsEmpty() {
+		return true
+	}
+	return iv.Lo <= other.Lo && other.Hi <= iv.Hi
+}
+
+// Intersect returns the intersection of the two intervals.
+func (iv Interval) Intersect(other Interval) Interval {
+	lo, hi := iv.Lo, iv.Hi
+	if other.Lo > lo {
+		lo = other.Lo
+	}
+	if other.Hi < hi {
+		hi = other.Hi
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Intersects reports whether the two intervals share at least one point.
+func (iv Interval) Intersects(other Interval) bool {
+	return !iv.Intersect(other).IsEmpty()
+}
+
+// Hull returns the smallest interval containing both inputs. The hull of
+// an empty interval and x is x.
+func (iv Interval) Hull(other Interval) Interval {
+	if iv.IsEmpty() {
+		return other
+	}
+	if other.IsEmpty() {
+		return iv
+	}
+	lo, hi := iv.Lo, iv.Hi
+	if other.Lo < lo {
+		lo = other.Lo
+	}
+	if other.Hi > hi {
+		hi = other.Hi
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Count returns the number of integer points in the interval.
+// Empty intervals have zero points.
+func (iv Interval) Count() int64 {
+	if iv.IsEmpty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo + 1
+}
+
+// LogCount returns the natural logarithm of Count. It is used to compute
+// the size of high-dimensional boxes without overflowing int64.
+// The log of an empty interval is -Inf.
+func (iv Interval) LogCount() float64 {
+	if iv.IsEmpty() {
+		return math.Inf(-1)
+	}
+	return math.Log(float64(iv.Hi-iv.Lo) + 1)
+}
+
+// Below returns the part of iv strictly below v, i.e. iv ∩ {x < v}.
+func (iv Interval) Below(v int64) Interval {
+	out := iv
+	if v-1 < out.Hi {
+		out.Hi = v - 1
+	}
+	return out
+}
+
+// Above returns the part of iv strictly above v, i.e. iv ∩ {x > v}.
+func (iv Interval) Above(v int64) Interval {
+	out := iv
+	if v+1 > out.Lo {
+		out.Lo = v + 1
+	}
+	return out
+}
+
+// Equal reports whether the two intervals contain exactly the same
+// points. All empty intervals are equal to each other.
+func (iv Interval) Equal(other Interval) bool {
+	if iv.IsEmpty() || other.IsEmpty() {
+		return iv.IsEmpty() && other.IsEmpty()
+	}
+	return iv == other
+}
+
+// String renders the interval as "[lo,hi]" or "∅".
+func (iv Interval) String() string {
+	if iv.IsEmpty() {
+		return "∅"
+	}
+	return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi)
+}
+
+// Union is a set of disjoint, sorted, non-adjacent intervals. It is used
+// by workload generators to verify one-dimensional coverage exactly.
+type Union struct {
+	parts []Interval
+}
+
+// Add inserts an interval into the union, merging overlapping or
+// adjacent parts.
+func (u *Union) Add(iv Interval) {
+	if iv.IsEmpty() {
+		return
+	}
+	merged := iv
+	out := make([]Interval, 0, len(u.parts)+1)
+	inserted := false
+	for _, p := range u.parts {
+		switch {
+		case p.Hi < merged.Lo-1:
+			out = append(out, p)
+		case p.Lo > merged.Hi+1:
+			if !inserted {
+				out = append(out, merged)
+				inserted = true
+			}
+			out = append(out, p)
+		default: // overlapping or adjacent: absorb into merged
+			merged = merged.Hull(p)
+		}
+	}
+	if !inserted {
+		out = append(out, merged)
+	}
+	u.parts = out
+}
+
+// Covers reports whether the union fully contains iv.
+func (u *Union) Covers(iv Interval) bool {
+	if iv.IsEmpty() {
+		return true
+	}
+	for _, p := range u.parts {
+		if p.Lo <= iv.Lo && iv.Hi <= p.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Gaps returns the maximal sub-intervals of within that the union does
+// not cover.
+func (u *Union) Gaps(within Interval) []Interval {
+	var gaps []Interval
+	cur := within
+	for _, p := range u.parts {
+		if p.Hi < cur.Lo {
+			continue
+		}
+		if p.Lo > cur.Hi {
+			break
+		}
+		if p.Lo > cur.Lo {
+			gaps = append(gaps, Interval{Lo: cur.Lo, Hi: p.Lo - 1})
+		}
+		if p.Hi+1 > cur.Lo {
+			cur.Lo = p.Hi + 1
+		}
+		if cur.IsEmpty() {
+			return gaps
+		}
+	}
+	if !cur.IsEmpty() {
+		gaps = append(gaps, cur)
+	}
+	return gaps
+}
+
+// Parts returns a copy of the disjoint intervals forming the union.
+func (u *Union) Parts() []Interval {
+	out := make([]Interval, len(u.parts))
+	copy(out, u.parts)
+	return out
+}

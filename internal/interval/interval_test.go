@@ -1,0 +1,285 @@
+package interval
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicPredicates(t *testing.T) {
+	tests := []struct {
+		name    string
+		iv      Interval
+		empty   bool
+		count   int64
+		inside  []int64
+		outside []int64
+	}{
+		{name: "point", iv: Point(5), count: 1, inside: []int64{5}, outside: []int64{4, 6}},
+		{name: "range", iv: New(-3, 3), count: 7, inside: []int64{-3, 0, 3}, outside: []int64{-4, 4}},
+		{name: "empty", iv: Empty(), empty: true, count: 0, outside: []int64{0, 1}},
+		{name: "inverted", iv: New(10, 2), empty: true, count: 0, outside: []int64{2, 5, 10}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.iv.IsEmpty(); got != tc.empty {
+				t.Errorf("IsEmpty() = %v, want %v", got, tc.empty)
+			}
+			if got := tc.iv.Count(); got != tc.count {
+				t.Errorf("Count() = %d, want %d", got, tc.count)
+			}
+			for _, v := range tc.inside {
+				if !tc.iv.Contains(v) {
+					t.Errorf("Contains(%d) = false, want true", v)
+				}
+			}
+			for _, v := range tc.outside {
+				if tc.iv.Contains(v) {
+					t.Errorf("Contains(%d) = true, want false", v)
+				}
+			}
+		})
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Interval
+		want Interval
+	}{
+		{name: "overlap", a: New(0, 10), b: New(5, 15), want: New(5, 10)},
+		{name: "nested", a: New(0, 10), b: New(3, 4), want: New(3, 4)},
+		{name: "touching", a: New(0, 5), b: New(5, 9), want: Point(5)},
+		{name: "disjoint", a: New(0, 4), b: New(6, 9), want: Empty()},
+		{name: "adjacent integers disjoint", a: New(0, 4), b: New(5, 9), want: Empty()},
+		{name: "with empty", a: New(0, 4), b: Empty(), want: Empty()},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.Intersect(tc.b); !got.Equal(tc.want) {
+				t.Errorf("Intersect = %v, want %v", got, tc.want)
+			}
+			if got := tc.a.Intersects(tc.b); got != !tc.want.IsEmpty() {
+				t.Errorf("Intersects = %v, want %v", got, !tc.want.IsEmpty())
+			}
+		})
+	}
+}
+
+func TestContainsInterval(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Interval
+		want bool
+	}{
+		{name: "proper subset", a: New(0, 10), b: New(2, 8), want: true},
+		{name: "equal", a: New(0, 10), b: New(0, 10), want: true},
+		{name: "overhang left", a: New(0, 10), b: New(-1, 5), want: false},
+		{name: "overhang right", a: New(0, 10), b: New(5, 11), want: false},
+		{name: "empty subset of anything", a: New(3, 4), b: Empty(), want: true},
+		{name: "empty contains empty", a: Empty(), b: Empty(), want: true},
+		{name: "empty contains nothing else", a: Empty(), b: Point(0), want: false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.ContainsInterval(tc.b); got != tc.want {
+				t.Errorf("ContainsInterval = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBelowAbove(t *testing.T) {
+	iv := New(10, 20)
+	tests := []struct {
+		name string
+		got  Interval
+		want Interval
+	}{
+		{name: "below mid", got: iv.Below(15), want: New(10, 14)},
+		{name: "below low edge", got: iv.Below(10), want: Empty()},
+		{name: "below beyond high", got: iv.Below(25), want: New(10, 20)},
+		{name: "above mid", got: iv.Above(15), want: New(16, 20)},
+		{name: "above high edge", got: iv.Above(20), want: Empty()},
+		{name: "above beyond low", got: iv.Above(5), want: New(10, 20)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if !tc.got.Equal(tc.want) {
+				t.Errorf("got %v, want %v", tc.got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHull(t *testing.T) {
+	if got := New(0, 2).Hull(New(5, 9)); !got.Equal(New(0, 9)) {
+		t.Errorf("Hull = %v, want [0,9]", got)
+	}
+	if got := Empty().Hull(New(5, 9)); !got.Equal(New(5, 9)) {
+		t.Errorf("Hull with empty = %v, want [5,9]", got)
+	}
+}
+
+// genInterval produces a random small interval, empty about 1/5 of the
+// time.
+func genInterval(r *rand.Rand) Interval {
+	lo := r.Int64N(200) - 100
+	width := r.Int64N(50) - 10 // negative width => empty
+	return Interval{Lo: lo, Hi: lo + width}
+}
+
+func TestIntersectionProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	// Commutativity, idempotence, and point-level agreement.
+	f := func(seed1, seed2 uint64) bool {
+		r := rand.New(rand.NewPCG(seed1, seed2))
+		a, b := genInterval(r), genInterval(r)
+		ab, ba := a.Intersect(b), b.Intersect(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		if !a.Intersect(a).Equal(a) && !a.IsEmpty() {
+			return false
+		}
+		// Membership in the intersection == membership in both.
+		for v := int64(-120); v <= 120; v += 7 {
+			if ab.Contains(v) != (a.Contains(v) && b.Contains(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContainmentTransitive(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	f := func(seed1, seed2 uint64) bool {
+		r := rand.New(rand.NewPCG(seed1, seed2))
+		a, b, c := genInterval(r), genInterval(r), genInterval(r)
+		if a.ContainsInterval(b) && b.ContainsInterval(c) {
+			return a.ContainsInterval(c)
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBelowAboveDisjointCoverProperty(t *testing.T) {
+	// Below(v), {v}, Above(v) partition any interval containing v.
+	cfg := &quick.Config{MaxCount: 2000}
+	f := func(seed1, seed2 uint64) bool {
+		r := rand.New(rand.NewPCG(seed1, seed2))
+		iv := genInterval(r)
+		if iv.IsEmpty() {
+			return true
+		}
+		v := iv.Lo + r.Int64N(iv.Count())
+		below, above := iv.Below(v), iv.Above(v)
+		if below.Intersects(above) {
+			return false
+		}
+		return below.Count()+1+above.Count() == iv.Count()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionAddAndCovers(t *testing.T) {
+	var u Union
+	u.Add(New(0, 4))
+	u.Add(New(10, 14))
+	u.Add(New(5, 9)) // bridges the gap (adjacent both sides)
+	parts := u.Parts()
+	if len(parts) != 1 || !parts[0].Equal(New(0, 14)) {
+		t.Fatalf("expected single merged part [0,14], got %v", parts)
+	}
+	if !u.Covers(New(3, 12)) {
+		t.Error("union should cover [3,12]")
+	}
+	if u.Covers(New(3, 15)) {
+		t.Error("union should not cover [3,15]")
+	}
+}
+
+func TestUnionGaps(t *testing.T) {
+	var u Union
+	u.Add(New(2, 4))
+	u.Add(New(8, 10))
+	gaps := u.Gaps(New(0, 12))
+	want := []Interval{New(0, 1), New(5, 7), New(11, 12)}
+	if len(gaps) != len(want) {
+		t.Fatalf("gaps = %v, want %v", gaps, want)
+	}
+	for i := range want {
+		if !gaps[i].Equal(want[i]) {
+			t.Errorf("gap %d = %v, want %v", i, gaps[i], want[i])
+		}
+	}
+	if g := u.Gaps(New(2, 4)); len(g) != 0 {
+		t.Errorf("expected no gaps inside a covered range, got %v", g)
+	}
+}
+
+func TestUnionMatchesBruteForce(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(seed1, seed2 uint64) bool {
+		r := rand.New(rand.NewPCG(seed1, seed2))
+		var u Union
+		covered := make(map[int64]bool)
+		for i := 0; i < 8; i++ {
+			iv := genInterval(r)
+			u.Add(iv)
+			for v := iv.Lo; v <= iv.Hi; v++ {
+				covered[v] = true
+			}
+		}
+		// Every probe interval must agree with brute-force membership.
+		probe := genInterval(r)
+		if probe.IsEmpty() {
+			return true
+		}
+		all := true
+		for v := probe.Lo; v <= probe.Hi; v++ {
+			if !covered[v] {
+				all = false
+				break
+			}
+		}
+		if u.Covers(probe) != all {
+			return false
+		}
+		// Gaps must be exactly the uncovered points.
+		gapPoints := make(map[int64]bool)
+		for _, g := range u.Gaps(probe) {
+			for v := g.Lo; v <= g.Hi; v++ {
+				gapPoints[v] = true
+			}
+		}
+		for v := probe.Lo; v <= probe.Hi; v++ {
+			if gapPoints[v] == covered[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if got := New(3, 9).String(); got != "[3,9]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Empty().String(); got != "∅" {
+		t.Errorf("empty String = %q", got)
+	}
+}

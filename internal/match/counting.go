@@ -1,0 +1,100 @@
+package match
+
+import (
+	"fmt"
+
+	"probsum/internal/subscription"
+)
+
+// CountingIndex is a static counting-algorithm matcher built from a
+// snapshot of subscriptions. Predicates equal to the attribute's full
+// domain are not indexed: a subscription matches when its counter
+// reaches its number of non-trivial predicates, and subscriptions with
+// no non-trivial predicate match every publication. Rebuild the index
+// (or wrap it in store.Store, which rebuilds lazily) when the set
+// changes.
+type CountingIndex struct {
+	ids      []ID
+	required []int // non-trivial predicate count per subscription
+	trees    []*itreeNode
+	matchAll []int // positions with zero non-trivial predicates
+	counts   []int // scratch, reused across Match calls
+	stamp    []uint32
+	epoch    uint32
+}
+
+var _ Matcher = (*CountingIndex)(nil)
+
+// NewCountingIndex builds the index for the given subscriptions over
+// the schema's domains. IDs and subs must be parallel slices.
+func NewCountingIndex(schema *subscription.Schema, ids []ID, subs []subscription.Subscription) (*CountingIndex, error) {
+	if len(ids) != len(subs) {
+		return nil, fmt.Errorf("match: %d ids but %d subscriptions", len(ids), len(subs))
+	}
+	m := schema.Len()
+	idx := &CountingIndex{
+		ids:      append([]ID(nil), ids...),
+		required: make([]int, len(subs)),
+		trees:    make([]*itreeNode, m),
+		counts:   make([]int, len(subs)),
+		stamp:    make([]uint32, len(subs)),
+	}
+	perAttr := make([][]entry, m)
+	for i, s := range subs {
+		if s.Len() != m {
+			return nil, fmt.Errorf("match: subscription %d has %d attributes, want %d: %w",
+				i, s.Len(), m, subscription.ErrSchemaMismatch)
+		}
+		for a, b := range s.Bounds {
+			if b.ContainsInterval(schema.Domain(a)) {
+				continue // trivial predicate: matches everything
+			}
+			perAttr[a] = append(perAttr[a], entry{iv: b, sub: i})
+			idx.required[i]++
+		}
+		if idx.required[i] == 0 {
+			idx.matchAll = append(idx.matchAll, i)
+		}
+	}
+	for a := range perAttr {
+		idx.trees[a] = buildITree(perAttr[a])
+	}
+	return idx, nil
+}
+
+// Match implements Matcher in O(m·log k + hits).
+func (c *CountingIndex) Match(p subscription.Publication) []ID {
+	if len(p.Values) != len(c.trees) {
+		return nil
+	}
+	c.epoch++
+	if c.epoch == 0 { // wrapped: reset stamps
+		for i := range c.stamp {
+			c.stamp[i] = 0
+		}
+		c.epoch = 1
+	}
+	var out []ID
+	var hits []int
+	for a, tree := range c.trees {
+		hits = tree.stab(p.Values[a], hits[:0])
+		for _, sub := range hits {
+			if c.stamp[sub] != c.epoch {
+				c.stamp[sub] = c.epoch
+				c.counts[sub] = 0
+			}
+			c.counts[sub]++
+			if c.counts[sub] == c.required[sub] {
+				out = append(out, c.ids[sub])
+			}
+		}
+	}
+	for _, sub := range c.matchAll {
+		out = append(out, c.ids[sub])
+	}
+	sortIDs(out)
+	return out
+}
+
+// Len implements Matcher.
+func (c *CountingIndex) Len() int { return len(c.ids) }

@@ -1,0 +1,96 @@
+package match
+
+import (
+	"sort"
+
+	"probsum/internal/interval"
+)
+
+// entry is an interval tagged with the position of its subscription in
+// the owning index.
+type entry struct {
+	iv  interval.Interval
+	sub int
+}
+
+// itreeNode is a node of a centered (Edelsbrunner) interval tree:
+// intervals strictly below the center live in the left subtree,
+// strictly above in the right, and intervals crossing the center are
+// stored twice — sorted by ascending Lo and by descending Hi — so a
+// stabbing query scans only the prefix that can contain the point.
+type itreeNode struct {
+	center      int64
+	left, right *itreeNode
+	byLo        []entry // crossing intervals, ascending Lo
+	byHi        []entry // crossing intervals, descending Hi
+}
+
+// buildITree constructs the tree in O(n log n).
+func buildITree(entries []entry) *itreeNode {
+	if len(entries) == 0 {
+		return nil
+	}
+	// Median of endpoint values keeps the tree balanced.
+	endpoints := make([]int64, 0, 2*len(entries))
+	for _, e := range entries {
+		endpoints = append(endpoints, e.iv.Lo, e.iv.Hi)
+	}
+	sort.Slice(endpoints, func(i, j int) bool { return endpoints[i] < endpoints[j] })
+	center := endpoints[len(endpoints)/2]
+
+	node := &itreeNode{center: center}
+	var left, right []entry
+	for _, e := range entries {
+		switch {
+		case e.iv.Hi < center:
+			left = append(left, e)
+		case e.iv.Lo > center:
+			right = append(right, e)
+		default:
+			node.byLo = append(node.byLo, e)
+		}
+	}
+	// Guard against degenerate splits (all intervals crossing is fine;
+	// all intervals on one side of their own median cannot happen since
+	// the median endpoint belongs to some interval).
+	node.byHi = make([]entry, len(node.byLo))
+	copy(node.byHi, node.byLo)
+	sort.Slice(node.byLo, func(i, j int) bool { return node.byLo[i].iv.Lo < node.byLo[j].iv.Lo })
+	sort.Slice(node.byHi, func(i, j int) bool { return node.byHi[i].iv.Hi > node.byHi[j].iv.Hi })
+	node.left = buildITree(left)
+	node.right = buildITree(right)
+	return node
+}
+
+// stab appends to out the sub positions of every interval containing v.
+func (n *itreeNode) stab(v int64, out []int) []int {
+	for n != nil {
+		switch {
+		case v < n.center:
+			// Crossing intervals contain v iff their Lo <= v.
+			for _, e := range n.byLo {
+				if e.iv.Lo > v {
+					break
+				}
+				out = append(out, e.sub)
+			}
+			n = n.left
+		case v > n.center:
+			// Crossing intervals contain v iff their Hi >= v.
+			for _, e := range n.byHi {
+				if e.iv.Hi < v {
+					break
+				}
+				out = append(out, e.sub)
+			}
+			n = n.right
+		default:
+			// v == center: every crossing interval contains it.
+			for _, e := range n.byLo {
+				out = append(out, e.sub)
+			}
+			return out
+		}
+	}
+	return out
+}

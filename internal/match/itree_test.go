@@ -1,0 +1,114 @@
+package match
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"probsum/internal/interval"
+)
+
+func TestITreeEmpty(t *testing.T) {
+	if tree := buildITree(nil); tree != nil {
+		t.Error("empty input should build a nil tree")
+	}
+	var n *itreeNode
+	if got := n.stab(5, nil); len(got) != 0 {
+		t.Errorf("stab on nil tree = %v", got)
+	}
+}
+
+func TestITreeSingleAndPointIntervals(t *testing.T) {
+	entries := []entry{
+		{iv: interval.Point(5), sub: 0},
+		{iv: interval.Point(5), sub: 1}, // duplicate point interval
+		{iv: interval.New(3, 7), sub: 2},
+		{iv: interval.New(9, 9), sub: 3},
+	}
+	tree := buildITree(entries)
+	tests := []struct {
+		v    int64
+		want []int
+	}{
+		{v: 5, want: []int{0, 1, 2}},
+		{v: 3, want: []int{2}},
+		{v: 9, want: []int{3}},
+		{v: 8, want: nil},
+		{v: -100, want: nil},
+	}
+	for _, tc := range tests {
+		got := tree.stab(tc.v, nil)
+		gotSet := make(map[int]bool, len(got))
+		for _, s := range got {
+			gotSet[s] = true
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("stab(%d) = %v, want %v", tc.v, got, tc.want)
+			continue
+		}
+		for _, w := range tc.want {
+			if !gotSet[w] {
+				t.Errorf("stab(%d) = %v, missing %d", tc.v, got, w)
+			}
+		}
+	}
+}
+
+func TestITreeMatchesLinearScan(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed1, seed2 uint64) bool {
+		r := rand.New(rand.NewPCG(seed1, seed2))
+		n := 1 + r.IntN(60)
+		entries := make([]entry, n)
+		for i := range entries {
+			lo := r.Int64N(100)
+			entries[i] = entry{iv: interval.New(lo, lo+r.Int64N(100-lo)), sub: i}
+		}
+		tree := buildITree(entries)
+		for probe := 0; probe < 30; probe++ {
+			v := r.Int64N(120) - 10
+			got := map[int]bool{}
+			for _, s := range tree.stab(v, nil) {
+				if got[s] {
+					return false // duplicate report
+				}
+				got[s] = true
+			}
+			for _, e := range entries {
+				if e.iv.Contains(v) != got[e.sub] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestITreeDeepSkewedInput(t *testing.T) {
+	// Nested intervals force everything to cross high-level centers;
+	// disjoint staircases force deep recursion. Both must stay correct.
+	var nested, stairs []entry
+	for i := 0; i < 200; i++ {
+		nested = append(nested, entry{iv: interval.New(int64(i), int64(400-i)), sub: i})
+		stairs = append(stairs, entry{iv: interval.New(int64(2*i), int64(2*i)), sub: i})
+	}
+	nt := buildITree(nested)
+	if got := nt.stab(200, nil); len(got) != 200 {
+		t.Errorf("nested stab(200) found %d of 200", len(got))
+	}
+	if got := nt.stab(0, nil); len(got) != 1 {
+		t.Errorf("nested stab(0) found %d, want 1", len(got))
+	}
+	st := buildITree(stairs)
+	for _, v := range []int64{0, 100, 398} {
+		if got := st.stab(v, nil); len(got) != 1 {
+			t.Errorf("stairs stab(%d) found %d, want 1", v, len(got))
+		}
+	}
+	if got := st.stab(399, nil); len(got) != 0 {
+		t.Errorf("stairs stab(399) found %d, want 0", len(got))
+	}
+}

@@ -1,0 +1,180 @@
+package match
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"probsum/internal/interval"
+	"probsum/internal/subscription"
+)
+
+func TestBruteForceAddRemove(t *testing.T) {
+	var b BruteForce
+	s1 := subscription.New(interval.New(0, 10), interval.New(0, 10))
+	s2 := subscription.New(interval.New(5, 15), interval.New(5, 15))
+	b.Add(1, s1)
+	b.Add(2, s2)
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	p := subscription.NewPublication(7, 7)
+	got := b.Match(p)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Match = %v, want [1 2]", got)
+	}
+	b.Remove(1)
+	got = b.Match(p)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("after Remove: Match = %v, want [2]", got)
+	}
+	b.Remove(99) // no-op
+	if b.Len() != 1 {
+		t.Errorf("Len = %d after removing unknown id", b.Len())
+	}
+	// Replacing an existing id updates in place.
+	b.Add(2, s1)
+	if b.Len() != 1 {
+		t.Errorf("Len = %d after replace", b.Len())
+	}
+	if got := b.Match(subscription.NewPublication(0, 0)); len(got) != 1 || got[0] != 2 {
+		t.Errorf("replaced subscription not matching: %v", got)
+	}
+}
+
+func TestCountingIndexTrivialPredicates(t *testing.T) {
+	schema := subscription.UniformSchema(2, 0, 99)
+	everything := subscription.FullOver(schema)
+	constrained := subscription.New(interval.New(10, 20), schema.Domain(1))
+	idx, err := NewCountingIndex(schema, []ID{1, 2}, []subscription.Subscription{everything, constrained})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := idx.Match(subscription.NewPublication(15, 50))
+	if len(got) != 2 {
+		t.Fatalf("Match = %v, want both", got)
+	}
+	got = idx.Match(subscription.NewPublication(50, 50))
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("Match = %v, want only the unconstrained subscription", got)
+	}
+}
+
+func TestCountingIndexErrors(t *testing.T) {
+	schema := subscription.UniformSchema(2, 0, 99)
+	if _, err := NewCountingIndex(schema, []ID{1}, nil); err == nil {
+		t.Error("expected parallel-slice error")
+	}
+	bad := subscription.New(interval.New(0, 5))
+	if _, err := NewCountingIndex(schema, []ID{1}, []subscription.Subscription{bad}); err == nil {
+		t.Error("expected arity error")
+	}
+}
+
+func TestCountingIndexWrongArityPublication(t *testing.T) {
+	schema := subscription.UniformSchema(2, 0, 99)
+	idx, err := NewCountingIndex(schema, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Match(subscription.NewPublication(1)); got != nil {
+		t.Errorf("Match with wrong arity = %v, want nil", got)
+	}
+}
+
+// genWorkload builds a random subscription population where roughly a
+// third of the predicates are trivial (full domain), mimicking the
+// paper's partially specified subscriptions.
+func genWorkload(r *rand.Rand, schema *subscription.Schema, k int) []subscription.Subscription {
+	m := schema.Len()
+	subs := make([]subscription.Subscription, k)
+	for i := range subs {
+		bounds := make([]interval.Interval, m)
+		for a := 0; a < m; a++ {
+			dom := schema.Domain(a)
+			if r.IntN(3) == 0 {
+				bounds[a] = dom
+				continue
+			}
+			lo := dom.Lo + r.Int64N(dom.Count())
+			hi := lo + r.Int64N(dom.Hi-lo+1)
+			bounds[a] = interval.New(lo, hi)
+		}
+		subs[i] = subscription.Subscription{Bounds: bounds}
+	}
+	return subs
+}
+
+func TestCountingIndexMatchesBruteForce(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 120}
+	f := func(seed1, seed2 uint64) bool {
+		r := rand.New(rand.NewPCG(seed1, seed2))
+		m := 1 + r.IntN(4)
+		schema := subscription.UniformSchema(m, 0, 60)
+		k := 1 + r.IntN(40)
+		subs := genWorkload(r, schema, k)
+		ids := make([]ID, k)
+		var brute BruteForce
+		for i := range subs {
+			ids[i] = ID(i + 1)
+			brute.Add(ids[i], subs[i])
+		}
+		idx, err := NewCountingIndex(schema, ids, subs)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 40; trial++ {
+			vals := make([]int64, m)
+			for a := range vals {
+				vals[a] = r.Int64N(61)
+			}
+			p := subscription.Publication{Values: vals}
+			want := brute.Match(p)
+			got := idx.Match(p)
+			if len(want) != len(got) {
+				t.Logf("mismatch: got %v want %v for %v", got, want, p)
+				return false
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountingIndexEpochReuse(t *testing.T) {
+	// Repeated Match calls must not leak counter state across calls.
+	schema := subscription.UniformSchema(2, 0, 9)
+	s := subscription.New(interval.New(0, 4), interval.New(0, 4))
+	idx, err := NewCountingIndex(schema, []ID{1}, []subscription.Subscription{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside := subscription.NewPublication(2, 2)
+	half := subscription.NewPublication(2, 9) // only x1 predicate hits
+	for i := 0; i < 100; i++ {
+		if got := idx.Match(half); len(got) != 0 {
+			t.Fatalf("iteration %d: half-matching publication matched: %v", i, got)
+		}
+	}
+	if got := idx.Match(inside); len(got) != 1 {
+		t.Fatalf("inside publication missed: %v", got)
+	}
+}
+
+func TestSortIDs(t *testing.T) {
+	ids := []ID{5, 1, 4, 1, 3}
+	sortIDs(ids)
+	want := []ID{1, 1, 3, 4, 5}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("sortIDs = %v", ids)
+		}
+	}
+}

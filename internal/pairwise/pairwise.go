@@ -1,0 +1,62 @@
+// Package pairwise implements the classical pairwise covering baseline
+// the paper compares against (Section 6.4): a subscription is dropped
+// only when a single existing subscription covers it. This is the
+// strategy of deterministic systems such as SIENA and REBECA, which
+// cannot detect group coverage and therefore retain strictly more
+// subscriptions than the probabilistic group checker.
+package pairwise
+
+import (
+	"probsum/internal/subscription"
+)
+
+// CoveredBySingle reports whether any member of set covers s on its
+// own, returning the index of the first coverer or -1.
+func CoveredBySingle(s subscription.Subscription, set []subscription.Subscription) int {
+	for i, si := range set {
+		if si.Covers(s) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Set maintains an active subscription set under the pairwise covering
+// reduction. The zero value is ready to use.
+type Set struct {
+	active []subscription.Subscription
+	// PruneReverse additionally removes existing subscriptions covered
+	// by a newly added one (both directions of the pairwise relation).
+	PruneReverse bool
+}
+
+// Add offers a subscription to the set. It reports whether s was kept
+// (true) or dropped because an existing subscription covers it (false).
+// With PruneReverse enabled, existing subscriptions covered by s are
+// removed when s is kept.
+func (p *Set) Add(s subscription.Subscription) bool {
+	if CoveredBySingle(s, p.active) >= 0 {
+		return false
+	}
+	if p.PruneReverse {
+		kept := p.active[:0]
+		for _, old := range p.active {
+			if !s.Covers(old) {
+				kept = append(kept, old)
+			}
+		}
+		p.active = kept
+	}
+	p.active = append(p.active, s)
+	return true
+}
+
+// Len returns the current active set size.
+func (p *Set) Len() int { return len(p.active) }
+
+// Active returns a copy of the active subscriptions.
+func (p *Set) Active() []subscription.Subscription {
+	out := make([]subscription.Subscription, len(p.active))
+	copy(out, p.active)
+	return out
+}

@@ -1,0 +1,122 @@
+package pairwise
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"probsum/internal/interval"
+	"probsum/internal/subscription"
+)
+
+func box(lo1, hi1, lo2, hi2 int64) subscription.Subscription {
+	return subscription.New(interval.New(lo1, hi1), interval.New(lo2, hi2))
+}
+
+func TestCoveredBySingle(t *testing.T) {
+	set := []subscription.Subscription{
+		box(0, 10, 0, 10),
+		box(5, 20, 5, 20),
+	}
+	tests := []struct {
+		name string
+		s    subscription.Subscription
+		want int
+	}{
+		{name: "inside first", s: box(1, 9, 1, 9), want: 0},
+		{name: "inside second", s: box(6, 19, 6, 19), want: 1},
+		{name: "inside union only", s: box(1, 19, 6, 9), want: -1},
+		{name: "outside", s: box(30, 40, 30, 40), want: -1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := CoveredBySingle(tc.s, set); got != tc.want {
+				t.Errorf("CoveredBySingle = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSetAddDropsCovered(t *testing.T) {
+	var p Set
+	if !p.Add(box(0, 10, 0, 10)) {
+		t.Fatal("first subscription must be kept")
+	}
+	if p.Add(box(2, 8, 2, 8)) {
+		t.Error("covered subscription must be dropped")
+	}
+	if p.Len() != 1 {
+		t.Errorf("Len = %d, want 1", p.Len())
+	}
+	if !p.Add(box(5, 20, 5, 20)) {
+		t.Error("partially overlapping subscription must be kept")
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d, want 2", p.Len())
+	}
+}
+
+func TestSetPruneReverse(t *testing.T) {
+	p := Set{PruneReverse: true}
+	p.Add(box(2, 4, 2, 4))
+	p.Add(box(6, 8, 6, 8))
+	p.Add(box(20, 30, 20, 30))
+	// A subscription covering the first two replaces them.
+	if !p.Add(box(0, 10, 0, 10)) {
+		t.Fatal("covering subscription must be kept")
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d, want 2 after reverse pruning", p.Len())
+	}
+	active := p.Active()
+	for _, s := range active {
+		if s.Equal(box(2, 4, 2, 4)) || s.Equal(box(6, 8, 6, 8)) {
+			t.Errorf("pruned subscription still present: %v", s)
+		}
+	}
+}
+
+func TestSetNoPruneReverseKeeps(t *testing.T) {
+	var p Set
+	p.Add(box(2, 4, 2, 4))
+	p.Add(box(0, 10, 0, 10))
+	if p.Len() != 2 {
+		t.Errorf("Len = %d, want 2 without reverse pruning", p.Len())
+	}
+}
+
+func TestActiveReturnsCopy(t *testing.T) {
+	var p Set
+	p.Add(box(0, 10, 0, 10))
+	a := p.Active()
+	a[0] = box(99, 99, 99, 99)
+	if !p.Active()[0].Equal(box(0, 10, 0, 10)) {
+		t.Error("Active must return a copy")
+	}
+}
+
+func TestSetInvariantNoPairwiseCover(t *testing.T) {
+	// After any Add sequence with PruneReverse, no member covers
+	// another.
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed1, seed2 uint64) bool {
+		r := rand.New(rand.NewPCG(seed1, seed2))
+		p := Set{PruneReverse: true}
+		for i := 0; i < 30; i++ {
+			lo1, lo2 := r.Int64N(20), r.Int64N(20)
+			p.Add(box(lo1, lo1+r.Int64N(20), lo2, lo2+r.Int64N(20)))
+		}
+		active := p.Active()
+		for i, a := range active {
+			for j, b := range active {
+				if i != j && a.Covers(b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

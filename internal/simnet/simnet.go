@@ -1,0 +1,255 @@
+// Package simnet runs a network of brokers deterministically in a
+// single goroutine: messages are processed in FIFO order, client
+// deliveries are recorded, and optional failure injection (message
+// drop and duplication) exercises the protocol's idempotence. All
+// randomness is seeded, so a run is a pure function of its inputs.
+package simnet
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"probsum/internal/broker"
+	"probsum/internal/store"
+	"probsum/internal/subscription"
+)
+
+// item is one in-flight message addressed to a broker.
+type item struct {
+	to   string // destination broker
+	from string // arrival port at the destination
+	msg  broker.Message
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithFailures enables failure injection on broker-to-broker links:
+// each message is independently dropped with probability drop and
+// duplicated with probability dup, using the seeded stream.
+func WithFailures(drop, dup float64, seed uint64) Option {
+	return func(n *Network) {
+		n.dropRate = drop
+		n.dupRate = dup
+		n.rng = rand.New(rand.NewPCG(seed, seed|1))
+	}
+}
+
+// WithMaxSteps overrides the runaway guard (default one million
+// processed messages per Run call).
+func WithMaxSteps(steps int) Option {
+	return func(n *Network) { n.maxSteps = steps }
+}
+
+// Network is a deterministic in-memory broker overlay.
+type Network struct {
+	brokers  map[string]*broker.Broker
+	clientAt map[string]string // client port -> broker id
+	queue    []item
+	head     int
+
+	// delivered records notify messages per client, in arrival order.
+	delivered map[string][]broker.Message
+
+	dropRate float64
+	dupRate  float64
+	rng      *rand.Rand
+	maxSteps int
+
+	dropped    int
+	duplicated int
+}
+
+// New returns an empty network.
+func New(opts ...Option) *Network {
+	n := &Network{
+		brokers:   make(map[string]*broker.Broker),
+		clientAt:  make(map[string]string),
+		delivered: make(map[string][]broker.Message),
+		maxSteps:  1_000_000,
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
+}
+
+// AddBroker creates a broker in the network.
+func (n *Network) AddBroker(id string, policy store.Policy, opts ...broker.Option) error {
+	if _, dup := n.brokers[id]; dup {
+		return fmt.Errorf("simnet: duplicate broker %s", id)
+	}
+	b, err := broker.New(id, policy, opts...)
+	if err != nil {
+		return err
+	}
+	n.brokers[id] = b
+	return nil
+}
+
+// Broker returns the broker with the given id, or nil.
+func (n *Network) Broker(id string) *broker.Broker { return n.brokers[id] }
+
+// BrokerIDs returns all broker identifiers, sorted.
+func (n *Network) BrokerIDs() []string {
+	out := make([]string, 0, len(n.brokers))
+	for id := range n.brokers {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Connect links two brokers bidirectionally.
+func (n *Network) Connect(a, b string) error {
+	ba, ok := n.brokers[a]
+	if !ok {
+		return fmt.Errorf("simnet: unknown broker %s", a)
+	}
+	bb, ok := n.brokers[b]
+	if !ok {
+		return fmt.Errorf("simnet: unknown broker %s", b)
+	}
+	if err := ba.ConnectNeighbor(b); err != nil {
+		return err
+	}
+	return bb.ConnectNeighbor(a)
+}
+
+// AttachClient binds a client port to a broker.
+func (n *Network) AttachClient(client, brokerID string) error {
+	b, ok := n.brokers[brokerID]
+	if !ok {
+		return fmt.Errorf("simnet: unknown broker %s", brokerID)
+	}
+	if _, dup := n.clientAt[client]; dup {
+		return fmt.Errorf("simnet: duplicate client %s", client)
+	}
+	b.AttachClient(client)
+	n.clientAt[client] = brokerID
+	return nil
+}
+
+// enqueueFromClient injects a client-originated message.
+func (n *Network) enqueueFromClient(client string, msg broker.Message) error {
+	bid, ok := n.clientAt[client]
+	if !ok {
+		return fmt.Errorf("simnet: unknown client %s", client)
+	}
+	n.queue = append(n.queue, item{to: bid, from: client, msg: msg})
+	return nil
+}
+
+// ClientSubscribe issues a subscription from a client.
+func (n *Network) ClientSubscribe(client, subID string, sub subscription.Subscription) error {
+	return n.enqueueFromClient(client, broker.Message{Kind: broker.MsgSubscribe, SubID: subID, Sub: sub})
+}
+
+// ClientUnsubscribe cancels a subscription from a client.
+func (n *Network) ClientUnsubscribe(client, subID string) error {
+	return n.enqueueFromClient(client, broker.Message{Kind: broker.MsgUnsubscribe, SubID: subID})
+}
+
+// ClientPublish issues a publication from a client.
+func (n *Network) ClientPublish(client, pubID string, pub subscription.Publication) error {
+	return n.enqueueFromClient(client, broker.Message{Kind: broker.MsgPublish, PubID: pubID, Pub: pub})
+}
+
+// Run processes queued messages until the network is quiescent,
+// returning the number of messages processed.
+func (n *Network) Run() (int, error) {
+	steps := 0
+	for n.head < len(n.queue) {
+		if steps >= n.maxSteps {
+			return steps, fmt.Errorf("simnet: exceeded %d steps; possible routing loop", n.maxSteps)
+		}
+		it := n.queue[n.head]
+		n.head++
+		steps++
+
+		b := n.brokers[it.to]
+		outs, err := b.Handle(it.from, it.msg)
+		if err != nil {
+			return steps, fmt.Errorf("simnet: broker %s: %w", it.to, err)
+		}
+		for _, o := range outs {
+			n.route(b.ID(), o)
+		}
+		// Compact the consumed prefix occasionally.
+		if n.head > 4096 && n.head*2 > len(n.queue) {
+			n.queue = append([]item(nil), n.queue[n.head:]...)
+			n.head = 0
+		}
+	}
+	return steps, nil
+}
+
+// route delivers one outbound message from a broker: to a client
+// mailbox or onto the link toward a neighbor broker (with optional
+// failure injection).
+func (n *Network) route(fromBroker string, o broker.Outbound) {
+	if o.Msg.Kind == broker.MsgNotify {
+		n.delivered[o.To] = append(n.delivered[o.To], o.Msg)
+		return
+	}
+	if _, isBroker := n.brokers[o.To]; !isBroker {
+		// Non-notify message addressed to a client: deliver it as-is
+		// (clients may observe raw publishes in some setups).
+		n.delivered[o.To] = append(n.delivered[o.To], o.Msg)
+		return
+	}
+	copies := 1
+	if n.rng != nil {
+		if n.rng.Float64() < n.dropRate {
+			n.dropped++
+			return
+		}
+		if n.rng.Float64() < n.dupRate {
+			n.duplicated++
+			copies = 2
+		}
+	}
+	for i := 0; i < copies; i++ {
+		n.queue = append(n.queue, item{to: o.To, from: fromBroker, msg: o.Msg})
+	}
+}
+
+// Delivered returns the notifications received by a client, in order.
+func (n *Network) Delivered(client string) []broker.Message {
+	msgs := n.delivered[client]
+	out := make([]broker.Message, len(msgs))
+	copy(out, msgs)
+	return out
+}
+
+// ClearDeliveries empties all client mailboxes (useful between
+// experiment phases).
+func (n *Network) ClearDeliveries() {
+	n.delivered = make(map[string][]broker.Message)
+}
+
+// Dropped and Duplicated report failure-injection activity.
+func (n *Network) Dropped() int { return n.dropped }
+
+// Duplicated reports how many messages were duplicated in flight.
+func (n *Network) Duplicated() int { return n.duplicated }
+
+// TotalMetrics sums the metrics over all brokers.
+func (n *Network) TotalMetrics() broker.Metrics {
+	var total broker.Metrics
+	for _, b := range n.brokers {
+		m := b.Metrics()
+		total.SubsReceived += m.SubsReceived
+		total.SubsForwarded += m.SubsForwarded
+		total.SubsSuppressed += m.SubsSuppressed
+		total.DupSubsDropped += m.DupSubsDropped
+		total.UnsubsForwarded += m.UnsubsForwarded
+		total.PubsReceived += m.PubsReceived
+		total.PubsForwarded += m.PubsForwarded
+		total.DupPubsDropped += m.DupPubsDropped
+		total.Notifications += m.Notifications
+		total.Promotions += m.Promotions
+	}
+	return total
+}

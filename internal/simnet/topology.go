@@ -1,0 +1,135 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"probsum/internal/broker"
+	"probsum/internal/store"
+)
+
+// BuildChain creates brokers B1..Bn connected in a line, as in the
+// paper's Section 5 propagation analysis.
+func BuildChain(n *Network, count int, policy store.Policy, opts ...broker.Option) error {
+	if count < 1 {
+		return fmt.Errorf("simnet: chain needs at least one broker")
+	}
+	for i := 1; i <= count; i++ {
+		if err := n.AddBroker(fmt.Sprintf("B%d", i), policy, opts...); err != nil {
+			return err
+		}
+	}
+	for i := 1; i < count; i++ {
+		if err := n.Connect(fmt.Sprintf("B%d", i), fmt.Sprintf("B%d", i+1)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildStar creates a hub broker B1 with count-1 leaves.
+func BuildStar(n *Network, count int, policy store.Policy, opts ...broker.Option) error {
+	if count < 1 {
+		return fmt.Errorf("simnet: star needs at least one broker")
+	}
+	for i := 1; i <= count; i++ {
+		if err := n.AddBroker(fmt.Sprintf("B%d", i), policy, opts...); err != nil {
+			return err
+		}
+	}
+	for i := 2; i <= count; i++ {
+		if err := n.Connect("B1", fmt.Sprintf("B%d", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildGrid creates a w x h grid with 4-neighborhood links; broker
+// names are Bx_y with 1-based coordinates.
+func BuildGrid(n *Network, w, h int, policy store.Policy, opts ...broker.Option) error {
+	if w < 1 || h < 1 {
+		return fmt.Errorf("simnet: grid needs positive dimensions")
+	}
+	name := func(x, y int) string { return fmt.Sprintf("B%d_%d", x, y) }
+	for y := 1; y <= h; y++ {
+		for x := 1; x <= w; x++ {
+			if err := n.AddBroker(name(x, y), policy, opts...); err != nil {
+				return err
+			}
+		}
+	}
+	for y := 1; y <= h; y++ {
+		for x := 1; x <= w; x++ {
+			if x < w {
+				if err := n.Connect(name(x, y), name(x+1, y)); err != nil {
+					return err
+				}
+			}
+			if y < h {
+				if err := n.Connect(name(x, y), name(x, y+1)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// BuildRandomConnected creates count brokers wired as a random spanning
+// tree plus extra random edges, reproducibly from the seed.
+func BuildRandomConnected(n *Network, count, extraEdges int, seed uint64, policy store.Policy, opts ...broker.Option) error {
+	if count < 1 {
+		return fmt.Errorf("simnet: need at least one broker")
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	names := make([]string, count)
+	for i := range names {
+		names[i] = fmt.Sprintf("B%d", i+1)
+		if err := n.AddBroker(names[i], policy, opts...); err != nil {
+			return err
+		}
+	}
+	// Random spanning tree: connect each new node to a random earlier
+	// one.
+	for i := 1; i < count; i++ {
+		j := rng.IntN(i)
+		if err := n.Connect(names[i], names[j]); err != nil {
+			return err
+		}
+	}
+	for e := 0; e < extraEdges; e++ {
+		a, b := rng.IntN(count), rng.IntN(count)
+		if a == b {
+			continue
+		}
+		if err := n.Connect(names[a], names[b]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildFigure1 reproduces the nine-broker overlay of the paper's
+// Figure 1: a tree rooted near B4 with subscribers at B1/B6 and
+// publishers at B9/B5. Edges: B1–B3, B2–B3, B3–B4, B4–B5, B4–B6,
+// B4–B7, B7–B8, B7–B9 (B8's placement is the only edge not pinned by
+// the text; it is irrelevant to the delivery trees the paper traces).
+func BuildFigure1(n *Network, policy store.Policy, opts ...broker.Option) error {
+	for i := 1; i <= 9; i++ {
+		if err := n.AddBroker(fmt.Sprintf("B%d", i), policy, opts...); err != nil {
+			return err
+		}
+	}
+	edges := [][2]string{
+		{"B1", "B3"}, {"B2", "B3"}, {"B3", "B4"},
+		{"B4", "B5"}, {"B4", "B6"}, {"B4", "B7"},
+		{"B7", "B8"}, {"B7", "B9"},
+	}
+	for _, e := range edges {
+		if err := n.Connect(e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

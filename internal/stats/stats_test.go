@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if !almost(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2.138089935299395) {
+		t.Errorf("stddev = %g", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-sample stddev should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{q: 0, want: 1},
+		{q: 1, want: 4},
+		{q: 0.5, want: 2.5},
+		{q: 0.25, want: 1.75},
+		{q: -1, want: 1},
+		{q: 2, want: 4},
+	}
+	for _, tc := range tests {
+		if got := Quantile(xs, tc.q); !almost(got, tc.want) {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("Quantile sorted its input")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if !almost(Ratio(1, 4), 0.25) {
+		t.Error("ratio wrong")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Error("division by zero should yield 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %g, %g", min, max)
+	}
+	min, max = MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Error("empty MinMax should be 0,0")
+	}
+}

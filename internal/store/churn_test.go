@@ -1,0 +1,109 @@
+package store
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"probsum/internal/core"
+	"probsum/internal/interval"
+	"probsum/internal/subscription"
+)
+
+// TestGroupChurnSoundness hammers a group-policy store with random
+// subscribe/unsubscribe churn over a tiny domain and checks the two
+// invariants the broker relies on after every step:
+//
+//  1. every covered subscription is genuinely covered by the union of
+//     the current ACTIVE set (checked with the exhaustive oracle —
+//     with δ=1e-12 on 2-D toy boxes a false cover is impossible in
+//     practice), and
+//  2. no active subscription is pairwise-covered by another active one
+//     at admission time is NOT required (group policy may keep
+//     union-covered members admitted earlier), but every stored
+//     subscription must still be findable via Match.
+func TestGroupChurnSoundness(t *testing.T) {
+	checker, err := core.NewChecker(core.WithSeed(1, 9), core.WithErrorProbability(1e-12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(PolicyGroup, WithChecker(checker))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(123, 456))
+	nextID := ID(0)
+	live := make(map[ID]subscription.Subscription)
+
+	randBox := func() subscription.Subscription {
+		lo1, lo2 := rng.Int64N(25), rng.Int64N(25)
+		return subscription.New(
+			interval.New(lo1, lo1+rng.Int64N(30-lo1)),
+			interval.New(lo2, lo2+rng.Int64N(30-lo2)),
+		)
+	}
+
+	verify := func(step int) {
+		t.Helper()
+		active := st.ActiveSubscriptions()
+		for id, sub := range live {
+			_, status, ok := st.Get(id)
+			if !ok {
+				t.Fatalf("step %d: subscription %d vanished", step, id)
+			}
+			if status != StatusCovered {
+				continue
+			}
+			covered, err := core.ExhaustiveCover(sub, active)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !covered {
+				t.Fatalf("step %d: covered subscription %d (%v) is not covered by the active set",
+					step, id, sub)
+			}
+		}
+		// Spot-check Match completeness on a few random points.
+		for probe := 0; probe < 10; probe++ {
+			p := subscription.NewPublication(rng.Int64N(31), rng.Int64N(31))
+			got := make(map[ID]bool)
+			for _, id := range st.Match(p) {
+				got[id] = true
+			}
+			for id, sub := range live {
+				if sub.Matches(p) && !got[id] {
+					t.Fatalf("step %d: Match missed %d for %v", step, id, p)
+				}
+			}
+		}
+	}
+
+	for step := 0; step < 300; step++ {
+		if len(live) == 0 || rng.IntN(3) != 0 {
+			nextID++
+			sub := randBox()
+			if _, err := st.Subscribe(nextID, sub); err != nil {
+				t.Fatal(err)
+			}
+			live[nextID] = sub
+		} else {
+			// Remove a random live subscription.
+			var victim ID
+			n := rng.IntN(len(live))
+			for id := range live {
+				if n == 0 {
+					victim = id
+					break
+				}
+				n--
+			}
+			if _, err := st.Unsubscribe(victim); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, victim)
+		}
+		if step%10 == 0 {
+			verify(step)
+		}
+	}
+	verify(300)
+}

@@ -1,0 +1,428 @@
+// Package store maintains a broker's subscription state under a
+// coverage policy: the active (uncovered) set that drives routing and
+// matching, and the passive (covered) set organized as a cover forest.
+// It implements the paper's Algorithm 5 — match publications against
+// the active set first and descend into covered subscriptions only on
+// a match — together with the Section 4.4 multi-level optimization and
+// the Section 5 cancellation rule (promote covered subscriptions when
+// their coverer unsubscribes).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"probsum/internal/core"
+	"probsum/internal/pairwise"
+	"probsum/internal/subscription"
+)
+
+// ID identifies a subscription within a store.
+type ID int64
+
+// Policy selects how arriving subscriptions are reduced.
+type Policy int
+
+// Coverage policies.
+const (
+	// PolicyNone keeps every subscription active (flooding baseline).
+	PolicyNone Policy = iota + 1
+	// PolicyPairwise marks a subscription covered only when a single
+	// active subscription covers it (classical deterministic systems).
+	PolicyPairwise
+	// PolicyGroup marks a subscription covered when the probabilistic
+	// checker decides the active set jointly covers it (the paper's
+	// contribution).
+	PolicyGroup
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "none"
+	case PolicyPairwise:
+		return "pairwise"
+	case PolicyGroup:
+		return "group"
+	default:
+		return "unknown"
+	}
+}
+
+// Status describes where a subscription currently lives.
+type Status int
+
+// Status values.
+const (
+	StatusActive Status = iota + 1
+	StatusCovered
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	if s == StatusActive {
+		return "active"
+	}
+	return "covered"
+}
+
+// ErrDuplicateID is returned when subscribing with an ID already in use.
+var ErrDuplicateID = errors.New("store: duplicate subscription id")
+
+// node is one subscription in the cover forest.
+type node struct {
+	id       ID
+	sub      subscription.Subscription
+	status   Status
+	coverers map[ID]struct{} // nodes whose union covers this one
+	children map[ID]struct{} // nodes listing this one as coverer
+}
+
+// SubscribeResult reports what Subscribe did.
+type SubscribeResult struct {
+	// Status is where the new subscription was placed.
+	Status Status
+	// Coverers lists the subscriptions that jointly cover it (empty
+	// when active). For pairwise coverage it has exactly one element.
+	Coverers []ID
+	// Demoted lists previously active subscriptions moved to the
+	// covered set because the new subscription covers them (only with
+	// reverse pruning enabled).
+	Demoted []ID
+	// Checker carries the probabilistic decision detail under
+	// PolicyGroup; zero otherwise.
+	Checker core.Result
+}
+
+// UnsubscribeResult reports what Unsubscribe did.
+type UnsubscribeResult struct {
+	// Existed reports whether the ID was present.
+	Existed bool
+	// WasActive reports whether the removed subscription was active.
+	WasActive bool
+	// Promoted lists covered subscriptions promoted to active because
+	// their cover no longer holds without the removed subscription.
+	Promoted []ID
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithChecker supplies the probabilistic checker used by PolicyGroup
+// (and by promotion re-checks). Ignored by other policies.
+func WithChecker(c *core.Checker) Option {
+	return func(st *Store) { st.checker = c }
+}
+
+// WithReversePrune enables demoting existing active subscriptions that
+// a newly arriving subscription covers pairwise, building the
+// multi-level cover forest of Section 4.4.
+func WithReversePrune(enabled bool) Option {
+	return func(st *Store) { st.reversePrune = enabled }
+}
+
+// Store is a broker-local subscription table. It is not safe for
+// concurrent use; brokers own one store each and serialize access.
+type Store struct {
+	policy       Policy
+	checker      *core.Checker
+	reversePrune bool
+	nodes        map[ID]*node
+	activeIDs    []ID // sorted; parallel cache of active set
+	activeSubs   []subscription.Subscription
+	activeDirty  bool
+}
+
+// New returns an empty store with the given policy. PolicyGroup
+// requires a checker (a default one is created when none is supplied).
+func New(policy Policy, opts ...Option) (*Store, error) {
+	if policy < PolicyNone || policy > PolicyGroup {
+		return nil, fmt.Errorf("store: invalid policy %d", policy)
+	}
+	st := &Store{policy: policy, nodes: make(map[ID]*node)}
+	for _, opt := range opts {
+		opt(st)
+	}
+	if policy == PolicyGroup && st.checker == nil {
+		c, err := core.NewChecker()
+		if err != nil {
+			return nil, err
+		}
+		st.checker = c
+	}
+	return st, nil
+}
+
+// Policy returns the store's coverage policy.
+func (st *Store) Policy() Policy { return st.policy }
+
+// refreshActive rebuilds the sorted active-set caches when needed.
+func (st *Store) refreshActive() {
+	if !st.activeDirty && st.activeIDs != nil {
+		return
+	}
+	st.activeIDs = st.activeIDs[:0]
+	for id, n := range st.nodes {
+		if n.status == StatusActive {
+			st.activeIDs = append(st.activeIDs, id)
+		}
+	}
+	sort.Slice(st.activeIDs, func(i, j int) bool { return st.activeIDs[i] < st.activeIDs[j] })
+	st.activeSubs = st.activeSubs[:0]
+	for _, id := range st.activeIDs {
+		st.activeSubs = append(st.activeSubs, st.nodes[id].sub)
+	}
+	st.activeDirty = false
+}
+
+// ActiveIDs returns the sorted IDs of the active set.
+func (st *Store) ActiveIDs() []ID {
+	st.refreshActive()
+	out := make([]ID, len(st.activeIDs))
+	copy(out, st.activeIDs)
+	return out
+}
+
+// ActiveSubscriptions returns the active subscriptions ordered by ID.
+func (st *Store) ActiveSubscriptions() []subscription.Subscription {
+	st.refreshActive()
+	out := make([]subscription.Subscription, len(st.activeSubs))
+	copy(out, st.activeSubs)
+	return out
+}
+
+// ActiveLen returns the active set size.
+func (st *Store) ActiveLen() int {
+	st.refreshActive()
+	return len(st.activeIDs)
+}
+
+// CoveredLen returns the covered set size.
+func (st *Store) CoveredLen() int { return len(st.nodes) - st.ActiveLen() }
+
+// Len returns the total number of stored subscriptions.
+func (st *Store) Len() int { return len(st.nodes) }
+
+// Get returns the subscription and status for id.
+func (st *Store) Get(id ID) (subscription.Subscription, Status, bool) {
+	n, ok := st.nodes[id]
+	if !ok {
+		return subscription.Subscription{}, 0, false
+	}
+	return n.sub, n.status, true
+}
+
+// decideCoverage classifies s against the current active set.
+func (st *Store) decideCoverage(s subscription.Subscription) (Status, []ID, core.Result, error) {
+	st.refreshActive()
+	switch st.policy {
+	case PolicyNone:
+		return StatusActive, nil, core.Result{}, nil
+	case PolicyPairwise:
+		if i := pairwise.CoveredBySingle(s, st.activeSubs); i >= 0 {
+			return StatusCovered, []ID{st.activeIDs[i]}, core.Result{}, nil
+		}
+		return StatusActive, nil, core.Result{}, nil
+	default: // PolicyGroup
+		res, err := st.checker.Covered(s, st.activeSubs)
+		if err != nil {
+			return 0, nil, core.Result{}, err
+		}
+		if !res.Decision.IsCovered() {
+			return StatusActive, nil, res, nil
+		}
+		if res.Reason == core.ReasonPairwiseCover {
+			return StatusCovered, []ID{st.activeIDs[res.CoveringRow]}, res, nil
+		}
+		coverers := make([]ID, 0, len(res.ReducedSet))
+		for _, idx := range res.ReducedSet {
+			coverers = append(coverers, st.activeIDs[idx])
+		}
+		if len(coverers) == 0 {
+			// MCS was disabled or returned no detail; fall back to the
+			// whole active set as the covering group.
+			coverers = append(coverers, st.activeIDs...)
+		}
+		return StatusCovered, coverers, res, nil
+	}
+}
+
+// Subscribe inserts a subscription under a fresh ID and classifies it.
+func (st *Store) Subscribe(id ID, s subscription.Subscription) (SubscribeResult, error) {
+	if _, dup := st.nodes[id]; dup {
+		return SubscribeResult{}, fmt.Errorf("%w: %d", ErrDuplicateID, id)
+	}
+	if !s.IsSatisfiable() {
+		return SubscribeResult{}, core.ErrUnsatisfiable
+	}
+	status, coverers, checkRes, err := st.decideCoverage(s)
+	if err != nil {
+		return SubscribeResult{}, err
+	}
+	n := &node{
+		id:       id,
+		sub:      s,
+		status:   status,
+		coverers: make(map[ID]struct{}, len(coverers)),
+		children: make(map[ID]struct{}),
+	}
+	for _, c := range coverers {
+		n.coverers[c] = struct{}{}
+		st.nodes[c].children[id] = struct{}{}
+	}
+	st.nodes[id] = n
+	st.activeDirty = true
+
+	res := SubscribeResult{Status: status, Coverers: coverers, Checker: checkRes}
+	if status == StatusActive && st.reversePrune {
+		res.Demoted = st.demoteCoveredBy(n)
+	}
+	return res, nil
+}
+
+// demoteCoveredBy moves active subscriptions covered by the new node
+// into the covered set beneath it, preserving their own children
+// (multi-level forest).
+func (st *Store) demoteCoveredBy(n *node) []ID {
+	st.refreshActive()
+	var demoted []ID
+	for i, id := range st.activeIDs {
+		if id == n.id {
+			continue
+		}
+		if n.sub.Covers(st.activeSubs[i]) {
+			old := st.nodes[id]
+			old.status = StatusCovered
+			old.coverers = map[ID]struct{}{n.id: {}}
+			n.children[id] = struct{}{}
+			demoted = append(demoted, id)
+		}
+	}
+	if demoted != nil {
+		st.activeDirty = true
+	}
+	return demoted
+}
+
+// Unsubscribe removes id. When an active subscription leaves, covered
+// subscriptions that depended on it are re-checked against the
+// remaining active set and promoted when no longer covered, as Section
+// 5 of the paper prescribes.
+func (st *Store) Unsubscribe(id ID) (UnsubscribeResult, error) {
+	n, ok := st.nodes[id]
+	if !ok {
+		return UnsubscribeResult{}, nil
+	}
+	res := UnsubscribeResult{Existed: true, WasActive: n.status == StatusActive}
+
+	// Unlink from coverers.
+	for c := range n.coverers {
+		delete(st.nodes[c].children, id)
+	}
+	delete(st.nodes, id)
+	st.activeDirty = true
+
+	// Children losing a coverer must be re-validated; process in ID
+	// order for determinism. Promotions can cascade: a promoted child
+	// re-enters the active set and may itself keep others covered, so
+	// each child is checked against the then-current active set.
+	children := make([]ID, 0, len(n.children))
+	for c := range n.children {
+		children = append(children, c)
+	}
+	sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
+
+	for _, cid := range children {
+		child := st.nodes[cid]
+		delete(child.coverers, id)
+		status, coverers, _, err := st.decideCoverage(child.sub)
+		if err != nil {
+			return res, err
+		}
+		// Detach from remaining coverers before rewiring.
+		for c := range child.coverers {
+			delete(st.nodes[c].children, cid)
+		}
+		child.coverers = make(map[ID]struct{}, len(coverers))
+		if status == StatusCovered {
+			for _, c := range coverers {
+				child.coverers[c] = struct{}{}
+				st.nodes[c].children[cid] = struct{}{}
+			}
+			child.status = StatusCovered
+			continue
+		}
+		child.status = StatusActive
+		st.activeDirty = true
+		res.Promoted = append(res.Promoted, cid)
+	}
+	return res, nil
+}
+
+// Match implements the multi-level optimization of Section 4.4: match
+// the active set, then descend through the cover forest, testing a
+// covered subscription only when one of its coverers (transitively)
+// matched. Results are sorted by ID.
+func (st *Store) Match(p subscription.Publication) []ID {
+	st.refreshActive()
+	var out []ID
+	frontier := make([]ID, 0, 8)
+	for i, sub := range st.activeSubs {
+		if sub.Matches(p) {
+			out = append(out, st.activeIDs[i])
+			frontier = append(frontier, st.activeIDs[i])
+		}
+	}
+	visited := make(map[ID]bool, len(frontier))
+	for _, id := range frontier {
+		visited[id] = true
+	}
+	for len(frontier) > 0 {
+		id := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		children := make([]ID, 0, len(st.nodes[id].children))
+		for c := range st.nodes[id].children {
+			children = append(children, c)
+		}
+		sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
+		for _, cid := range children {
+			if visited[cid] {
+				continue
+			}
+			visited[cid] = true
+			if st.nodes[cid].sub.Matches(p) {
+				out = append(out, cid)
+				frontier = append(frontier, cid)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MatchTwoPhase is the literal Algorithm 5: match the active set; if
+// any active subscription matched, additionally scan the entire
+// covered set. It exists as the paper-faithful reference; Match is the
+// optimized variant and returns identical results.
+func (st *Store) MatchTwoPhase(p subscription.Publication) []ID {
+	st.refreshActive()
+	var out []ID
+	matched := false
+	for i, sub := range st.activeSubs {
+		if sub.Matches(p) {
+			out = append(out, st.activeIDs[i])
+			matched = true
+		}
+	}
+	if matched {
+		for id, n := range st.nodes {
+			if n.status == StatusCovered && n.sub.Matches(p) {
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

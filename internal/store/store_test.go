@@ -1,0 +1,364 @@
+package store
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"probsum/internal/core"
+	"probsum/internal/interval"
+	"probsum/internal/subscription"
+)
+
+func box(lo1, hi1, lo2, hi2 int64) subscription.Subscription {
+	return subscription.New(interval.New(lo1, hi1), interval.New(lo2, hi2))
+}
+
+func groupStore(t *testing.T) *Store {
+	t.Helper()
+	checker, err := core.NewChecker(core.WithSeed(42, 43), core.WithErrorProbability(1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(PolicyGroup, WithChecker(checker))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestPolicyNoneKeepsEverything(t *testing.T) {
+	st, err := New(PolicyNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		res, err := st.Subscribe(ID(i), box(0, 10, 0, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != StatusActive {
+			t.Fatalf("sub %d: status %v", i, res.Status)
+		}
+	}
+	if st.ActiveLen() != 5 || st.CoveredLen() != 0 {
+		t.Errorf("active=%d covered=%d", st.ActiveLen(), st.CoveredLen())
+	}
+}
+
+func TestPolicyPairwise(t *testing.T) {
+	st, err := New(PolicyPairwise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := st.Subscribe(1, box(0, 10, 0, 10)); res.Status != StatusActive {
+		t.Fatal("first subscription must be active")
+	}
+	res, err := st.Subscribe(2, box(2, 8, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusCovered || len(res.Coverers) != 1 || res.Coverers[0] != 1 {
+		t.Errorf("covered result = %+v", res)
+	}
+	// Union-covered but not single-covered subscription stays active
+	// under the pairwise policy.
+	if res, _ := st.Subscribe(3, box(5, 20, 0, 10)); res.Status != StatusActive {
+		t.Error("partially overlapping subscription must stay active")
+	}
+	if res, _ := st.Subscribe(4, box(1, 15, 1, 9)); res.Status != StatusActive {
+		t.Error("union-covered subscription must stay active under pairwise")
+	}
+}
+
+func TestPolicyGroupDetectsUnionCover(t *testing.T) {
+	st := groupStore(t)
+	// The paper's Table 3 configuration.
+	if res, _ := st.Subscribe(1, box(820, 850, 1001, 1007)); res.Status != StatusActive {
+		t.Fatal("s1 must be active")
+	}
+	if res, _ := st.Subscribe(2, box(840, 880, 1002, 1009)); res.Status != StatusActive {
+		t.Fatal("s2 must be active")
+	}
+	res, err := st.Subscribe(3, box(830, 870, 1003, 1006))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusCovered {
+		t.Fatalf("s must be group-covered, got %v (checker: %+v)", res.Status, res.Checker)
+	}
+	if len(res.Coverers) == 0 {
+		t.Error("group cover must record coverers")
+	}
+	if st.ActiveLen() != 2 || st.CoveredLen() != 1 {
+		t.Errorf("active=%d covered=%d", st.ActiveLen(), st.CoveredLen())
+	}
+}
+
+func TestSubscribeErrors(t *testing.T) {
+	st, err := New(PolicyPairwise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Subscribe(1, box(0, 10, 0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Subscribe(1, box(0, 5, 0, 5)); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("duplicate id error = %v", err)
+	}
+	empty := subscription.New(interval.Empty(), interval.New(0, 1))
+	if _, err := st.Subscribe(2, empty); !errors.Is(err, core.ErrUnsatisfiable) {
+		t.Errorf("unsatisfiable error = %v", err)
+	}
+	if _, err := New(Policy(0)); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}
+
+func TestUnsubscribePromotesCovered(t *testing.T) {
+	st, err := New(PolicyPairwise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Subscribe(1, box(0, 10, 0, 10))
+	res, _ := st.Subscribe(2, box(2, 8, 2, 8))
+	if res.Status != StatusCovered {
+		t.Fatal("setup: 2 must be covered by 1")
+	}
+	un, err := st.Unsubscribe(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !un.Existed || !un.WasActive {
+		t.Fatalf("unsubscribe result = %+v", un)
+	}
+	if len(un.Promoted) != 1 || un.Promoted[0] != 2 {
+		t.Fatalf("promoted = %v, want [2]", un.Promoted)
+	}
+	if _, status, ok := st.Get(2); !ok || status != StatusActive {
+		t.Errorf("subscription 2 should now be active")
+	}
+}
+
+func TestUnsubscribeKeepsCoveredWhenStillCovered(t *testing.T) {
+	st, err := New(PolicyPairwise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Subscribe(1, box(0, 10, 0, 10))
+	st.Subscribe(2, box(0, 12, 0, 9))          // overlaps 1 but is not covered by it
+	res, _ := st.Subscribe(3, box(2, 8, 2, 8)) // covered by 1 (first hit)
+	if res.Status != StatusCovered {
+		t.Fatal("setup: 3 must be covered")
+	}
+	un, err := st.Unsubscribe(res.Coverers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(un.Promoted) != 0 {
+		t.Errorf("3 is still covered by the remaining subscription; promoted=%v", un.Promoted)
+	}
+	if _, status, _ := st.Get(3); status != StatusCovered {
+		t.Error("3 must remain covered")
+	}
+}
+
+func TestUnsubscribeUnknownID(t *testing.T) {
+	st, _ := New(PolicyNone)
+	res, err := st.Unsubscribe(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Existed {
+		t.Error("unknown id reported as existing")
+	}
+}
+
+func TestGroupUnsubscribePromotion(t *testing.T) {
+	st := groupStore(t)
+	st.Subscribe(1, box(820, 850, 1001, 1007))
+	st.Subscribe(2, box(840, 880, 1002, 1009))
+	res, _ := st.Subscribe(3, box(830, 870, 1003, 1006))
+	if res.Status != StatusCovered {
+		t.Fatal("setup: 3 must be group-covered")
+	}
+	// Removing either coverer breaks the union cover.
+	un, err := st.Unsubscribe(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(un.Promoted) != 1 || un.Promoted[0] != 3 {
+		t.Fatalf("promoted = %v, want [3]", un.Promoted)
+	}
+}
+
+func TestReversePruneBuildsForest(t *testing.T) {
+	st, err := New(PolicyPairwise, WithReversePrune(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Subscribe(1, box(2, 4, 2, 4))
+	st.Subscribe(2, box(6, 8, 6, 8))
+	res, err := st.Subscribe(3, box(0, 10, 0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusActive {
+		t.Fatal("covering subscription must be active")
+	}
+	if len(res.Demoted) != 2 {
+		t.Fatalf("demoted = %v, want both earlier subscriptions", res.Demoted)
+	}
+	if st.ActiveLen() != 1 || st.CoveredLen() != 2 {
+		t.Errorf("active=%d covered=%d", st.ActiveLen(), st.CoveredLen())
+	}
+	// Unsubscribing the coverer promotes both.
+	un, err := st.Unsubscribe(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(un.Promoted) != 2 {
+		t.Errorf("promoted = %v, want 2 entries", un.Promoted)
+	}
+}
+
+func TestMatchTwoPhaseSemantics(t *testing.T) {
+	st, err := New(PolicyPairwise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Subscribe(1, box(0, 10, 0, 10))
+	st.Subscribe(2, box(2, 8, 2, 8)) // covered by 1
+
+	// Publication inside both: two-phase finds both.
+	got := st.MatchTwoPhase(subscription.NewPublication(5, 5))
+	if len(got) != 2 {
+		t.Errorf("MatchTwoPhase = %v, want both ids", got)
+	}
+	// Publication inside 1 only.
+	got = st.MatchTwoPhase(subscription.NewPublication(9, 9))
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("MatchTwoPhase = %v, want [1]", got)
+	}
+	// Publication outside everything: covered set must not be scanned
+	// (observable as empty result).
+	got = st.MatchTwoPhase(subscription.NewPublication(20, 20))
+	if len(got) != 0 {
+		t.Errorf("MatchTwoPhase = %v, want empty", got)
+	}
+}
+
+func TestMatchEqualsTwoPhase(t *testing.T) {
+	// The forest-based Match must agree with the literal Algorithm 5
+	// whenever coverage decisions are exact (pairwise policy).
+	cfg := &quick.Config{MaxCount: 120}
+	f := func(seed1, seed2 uint64) bool {
+		r := rand.New(rand.NewPCG(seed1, seed2))
+		st, err := New(PolicyPairwise, WithReversePrune(r.IntN(2) == 0))
+		if err != nil {
+			return false
+		}
+		for i := int64(1); i <= 25; i++ {
+			lo1, lo2 := r.Int64N(20), r.Int64N(20)
+			sub := box(lo1, lo1+r.Int64N(20), lo2, lo2+r.Int64N(20))
+			if _, err := st.Subscribe(ID(i), sub); err != nil {
+				return false
+			}
+			// Occasionally remove a random earlier subscription.
+			if r.IntN(5) == 0 {
+				if _, err := st.Unsubscribe(ID(r.Int64N(i) + 1)); err != nil {
+					return false
+				}
+			}
+		}
+		for trial := 0; trial < 30; trial++ {
+			p := subscription.NewPublication(r.Int64N(45), r.Int64N(45))
+			a, b := st.Match(p), st.MatchTwoPhase(p)
+			if len(a) != len(b) {
+				t.Logf("mismatch %v vs %v", a, b)
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchFindsAllStoredMatches(t *testing.T) {
+	// With exact coverage decisions, Match must equal brute force over
+	// all stored subscriptions.
+	cfg := &quick.Config{MaxCount: 120}
+	f := func(seed1, seed2 uint64) bool {
+		r := rand.New(rand.NewPCG(seed1, seed2))
+		st, err := New(PolicyPairwise)
+		if err != nil {
+			return false
+		}
+		subs := make(map[ID]subscription.Subscription)
+		for i := int64(1); i <= 20; i++ {
+			lo1, lo2 := r.Int64N(20), r.Int64N(20)
+			sub := box(lo1, lo1+r.Int64N(20), lo2, lo2+r.Int64N(20))
+			if _, err := st.Subscribe(ID(i), sub); err != nil {
+				return false
+			}
+			subs[ID(i)] = sub
+		}
+		for trial := 0; trial < 20; trial++ {
+			p := subscription.NewPublication(r.Int64N(45), r.Int64N(45))
+			got := st.Match(p)
+			want := make(map[ID]bool)
+			for id, sub := range subs {
+				if sub.Matches(p) {
+					want[id] = true
+				}
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for _, id := range got {
+				if !want[id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyAndStatusStrings(t *testing.T) {
+	if PolicyNone.String() != "none" || PolicyPairwise.String() != "pairwise" ||
+		PolicyGroup.String() != "group" || Policy(9).String() != "unknown" {
+		t.Error("policy strings wrong")
+	}
+	if StatusActive.String() != "active" || StatusCovered.String() != "covered" {
+		t.Error("status strings wrong")
+	}
+}
+
+func TestActiveAccessors(t *testing.T) {
+	st, _ := New(PolicyPairwise)
+	st.Subscribe(5, box(0, 5, 0, 5))
+	st.Subscribe(3, box(10, 15, 10, 15))
+	ids := st.ActiveIDs()
+	if len(ids) != 2 || ids[0] != 3 || ids[1] != 5 {
+		t.Errorf("ActiveIDs = %v, want sorted [3 5]", ids)
+	}
+	subs := st.ActiveSubscriptions()
+	if len(subs) != 2 || !subs[0].Equal(box(10, 15, 10, 15)) {
+		t.Errorf("ActiveSubscriptions misordered: %v", subs)
+	}
+	if st.Len() != 2 {
+		t.Errorf("Len = %d", st.Len())
+	}
+}

@@ -1,0 +1,47 @@
+package subscription
+
+// The paper models publications from imprecise sources (sensor noise,
+// value ranges) as convex polyhedra rather than points (Section 1,
+// following Liu & Jacobsen's approximate-matching model). A box
+// publication matches a subscription under one of two semantics:
+// conservatively — every possible value satisfies the subscription —
+// or optimistically — some possible value does.
+
+// BoxMatchMode selects the matching semantics for box publications.
+type BoxMatchMode int
+
+// Box-publication matching modes.
+const (
+	// MatchCertain matches only when the subscription covers the
+	// entire publication box: delivery is justified no matter which
+	// point the imprecise publication denotes.
+	MatchCertain BoxMatchMode = iota + 1
+	// MatchPossible matches when the publication box intersects the
+	// subscription: delivery is justified for at least one possible
+	// value.
+	MatchPossible
+)
+
+// String returns the mode name.
+func (m BoxMatchMode) String() string {
+	switch m {
+	case MatchCertain:
+		return "certain"
+	case MatchPossible:
+		return "possible"
+	default:
+		return "unknown"
+	}
+}
+
+// MatchesBox reports whether the subscription matches a box
+// publication under the given mode. An empty box matches nothing.
+func (s Subscription) MatchesBox(box Subscription, mode BoxMatchMode) bool {
+	if !box.IsSatisfiable() {
+		return false
+	}
+	if mode == MatchCertain {
+		return s.Covers(box)
+	}
+	return s.Intersects(box)
+}

@@ -1,0 +1,96 @@
+package subscription
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"probsum/internal/interval"
+)
+
+func TestMatchesBoxModes(t *testing.T) {
+	s := New(interval.New(0, 10), interval.New(0, 10))
+	tests := []struct {
+		name     string
+		box      Subscription
+		certain  bool
+		possible bool
+	}{
+		{
+			name:     "inside",
+			box:      New(interval.New(2, 8), interval.New(2, 8)),
+			certain:  true,
+			possible: true,
+		},
+		{
+			name:     "straddles boundary",
+			box:      New(interval.New(5, 15), interval.New(2, 8)),
+			possible: true,
+		},
+		{
+			name: "disjoint",
+			box:  New(interval.New(20, 30), interval.New(2, 8)),
+		},
+		{
+			name: "empty box",
+			box:  New(interval.Empty(), interval.New(2, 8)),
+		},
+		{
+			name:     "point box on corner",
+			box:      New(interval.Point(10), interval.Point(10)),
+			certain:  true,
+			possible: true,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := s.MatchesBox(tc.box, MatchCertain); got != tc.certain {
+				t.Errorf("MatchCertain = %v, want %v", got, tc.certain)
+			}
+			if got := s.MatchesBox(tc.box, MatchPossible); got != tc.possible {
+				t.Errorf("MatchPossible = %v, want %v", got, tc.possible)
+			}
+		})
+	}
+}
+
+func TestMatchesBoxConsistentWithPoints(t *testing.T) {
+	// MatchCertain ⇒ every sampled point matches; MatchPossible ⇔ some
+	// point of the box matches (verified exhaustively on small boxes).
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(seed1, seed2 uint64) bool {
+		r := rand.New(rand.NewPCG(seed1, seed2))
+		mk := func() Subscription {
+			lo1, lo2 := r.Int64N(15), r.Int64N(15)
+			return New(
+				interval.New(lo1, lo1+r.Int64N(10)),
+				interval.New(lo2, lo2+r.Int64N(10)),
+			)
+		}
+		s, box := mk(), mk()
+		anyMatch, allMatch := false, true
+		for x := box.Bounds[0].Lo; x <= box.Bounds[0].Hi; x++ {
+			for y := box.Bounds[1].Lo; y <= box.Bounds[1].Hi; y++ {
+				if s.ContainsPoint([]int64{x, y}) {
+					anyMatch = true
+				} else {
+					allMatch = false
+				}
+			}
+		}
+		if s.MatchesBox(box, MatchPossible) != anyMatch {
+			return false
+		}
+		return s.MatchesBox(box, MatchCertain) == allMatch
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxMatchModeString(t *testing.T) {
+	if MatchCertain.String() != "certain" || MatchPossible.String() != "possible" ||
+		BoxMatchMode(9).String() != "unknown" {
+		t.Error("mode strings wrong")
+	}
+}

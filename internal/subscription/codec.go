@@ -1,0 +1,126 @@
+package subscription
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"probsum/internal/interval"
+)
+
+// wireSubscription is the JSON shape of a subscription: a map from
+// attribute name to [lo, hi]. It requires a schema to decode positions.
+type wireSubscription map[string][2]int64
+
+// MarshalSubscription encodes a subscription as JSON using the schema's
+// attribute names. Attributes bound by the full domain are omitted,
+// mirroring the paper's "(-inf,+inf) means the attribute is not
+// significant" convention.
+func MarshalSubscription(s Subscription, schema *Schema) ([]byte, error) {
+	if err := s.Validate(schema); err != nil {
+		return nil, err
+	}
+	w := make(wireSubscription, len(s.Bounds))
+	for i, b := range s.Bounds {
+		if b.Equal(schema.Domain(i)) {
+			continue
+		}
+		w[schema.Name(i)] = [2]int64{b.Lo, b.Hi}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalSubscription decodes a subscription encoded by
+// MarshalSubscription. Unmentioned attributes default to their full
+// domain.
+func UnmarshalSubscription(data []byte, schema *Schema) (Subscription, error) {
+	var w wireSubscription
+	if err := json.Unmarshal(data, &w); err != nil {
+		return Subscription{}, fmt.Errorf("subscription: decode: %w", err)
+	}
+	s := FullOver(schema)
+	for name, pair := range w {
+		i, ok := schema.AttributeIndex(name)
+		if !ok {
+			return Subscription{}, fmt.Errorf("subscription: unknown attribute %q", name)
+		}
+		s.Bounds[i] = interval.New(pair[0], pair[1])
+	}
+	if err := s.Validate(schema); err != nil {
+		return Subscription{}, err
+	}
+	return s, nil
+}
+
+// MarshalPublication encodes a publication as a JSON object mapping
+// attribute names to values. All attributes must be present.
+func MarshalPublication(p Publication, schema *Schema) ([]byte, error) {
+	if err := ValidatePublication(p, schema); err != nil {
+		return nil, err
+	}
+	w := make(map[string]int64, len(p.Values))
+	for i, v := range p.Values {
+		w[schema.Name(i)] = v
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalPublication decodes a publication encoded by
+// MarshalPublication.
+func UnmarshalPublication(data []byte, schema *Schema) (Publication, error) {
+	var w map[string]int64
+	if err := json.Unmarshal(data, &w); err != nil {
+		return Publication{}, fmt.Errorf("subscription: decode: %w", err)
+	}
+	p := Publication{Values: make([]int64, schema.Len())}
+	seen := 0
+	for name, v := range w {
+		i, ok := schema.AttributeIndex(name)
+		if !ok {
+			return Publication{}, fmt.Errorf("subscription: unknown attribute %q", name)
+		}
+		p.Values[i] = v
+		seen++
+	}
+	if seen != schema.Len() {
+		return Publication{}, fmt.Errorf("subscription: publication has %d of %d attributes", seen, schema.Len())
+	}
+	if err := ValidatePublication(p, schema); err != nil {
+		return Publication{}, err
+	}
+	return p, nil
+}
+
+// MarshalSchema encodes the schema itself (names and domains).
+func MarshalSchema(s *Schema) ([]byte, error) {
+	type wireAttr struct {
+		Name string `json:"name"`
+		Lo   int64  `json:"lo"`
+		Hi   int64  `json:"hi"`
+	}
+	attrs := make([]wireAttr, s.Len())
+	for i := range attrs {
+		d := s.Domain(i)
+		attrs[i] = wireAttr{Name: s.Name(i), Lo: d.Lo, Hi: d.Hi}
+	}
+	return json.Marshal(attrs)
+}
+
+// UnmarshalSchema decodes a schema encoded by MarshalSchema.
+func UnmarshalSchema(data []byte) (*Schema, error) {
+	type wireAttr struct {
+		Name string `json:"name"`
+		Lo   int64  `json:"lo"`
+		Hi   int64  `json:"hi"`
+	}
+	var attrs []wireAttr
+	if err := json.Unmarshal(data, &attrs); err != nil {
+		return nil, fmt.Errorf("subscription: decode schema: %w", err)
+	}
+	names := make([]string, len(attrs))
+	domains := make([]interval.Interval, len(attrs))
+	for i, a := range attrs {
+		names[i] = a.Name
+		domains[i] = interval.New(a.Lo, a.Hi)
+	}
+	return NewSchema(names, domains)
+}

@@ -1,0 +1,115 @@
+package subscription
+
+import (
+	"testing"
+
+	"probsum/internal/interval"
+)
+
+func TestSubscriptionJSONRoundTrip(t *testing.T) {
+	schema := UniformSchema(3, 0, 1000)
+	s := New(interval.New(10, 20), schema.Domain(1), interval.New(0, 5))
+	data, err := MarshalSubscription(s, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSubscription(data, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Errorf("round trip mismatch: %v vs %v", got, s)
+	}
+}
+
+func TestSubscriptionJSONOmitsFullDomain(t *testing.T) {
+	schema := UniformSchema(2, 0, 9)
+	s := New(interval.New(1, 3), schema.Domain(1))
+	data, err := MarshalSubscription(s, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"x1":[1,3]}` {
+		t.Errorf("encoded = %s, want only constrained attribute", data)
+	}
+}
+
+func TestUnmarshalSubscriptionErrors(t *testing.T) {
+	schema := UniformSchema(2, 0, 9)
+	tests := []struct {
+		name string
+		data string
+	}{
+		{name: "bad json", data: `{`},
+		{name: "unknown attribute", data: `{"zz":[1,2]}`},
+		{name: "outside domain", data: `{"x1":[1,99]}`},
+		{name: "empty bound", data: `{"x1":[5,2]}`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := UnmarshalSubscription([]byte(tc.data), schema); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestPublicationJSONRoundTrip(t *testing.T) {
+	schema := UniformSchema(3, 0, 1000)
+	p := NewPublication(1, 500, 1000)
+	data, err := MarshalPublication(p, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalPublication(data, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Values) != 3 || got.Values[0] != 1 || got.Values[1] != 500 || got.Values[2] != 1000 {
+		t.Errorf("round trip mismatch: %v", got)
+	}
+}
+
+func TestUnmarshalPublicationErrors(t *testing.T) {
+	schema := UniformSchema(2, 0, 9)
+	tests := []struct {
+		name string
+		data string
+	}{
+		{name: "bad json", data: `[`},
+		{name: "missing attribute", data: `{"x1":3}`},
+		{name: "unknown attribute", data: `{"x1":3,"zz":4}`},
+		{name: "outside domain", data: `{"x1":3,"x2":99}`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := UnmarshalPublication([]byte(tc.data), schema); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestSchemaJSONRoundTrip(t *testing.T) {
+	schema, err := NewSchema(
+		[]string{"cpu", "disk"},
+		[]interval.Interval{interval.New(0, 4000), interval.New(0, 1<<30)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalSchema(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSchema(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Name(0) != "cpu" || !got.Domain(1).Equal(interval.New(0, 1<<30)) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if _, err := UnmarshalSchema([]byte(`{`)); err == nil {
+		t.Error("expected error for malformed schema")
+	}
+}

@@ -1,0 +1,318 @@
+// Package subscription defines the data model of the paper: schemas of
+// ordered finite attribute domains, subscriptions as conjunctions of
+// range predicates (axis-aligned boxes), and publications as points or
+// boxes in the attribute space.
+//
+// Per Definition 1 of the paper every subscription constrains the same
+// set of m attributes; an unconstrained attribute is simply bounded by
+// the full domain of that attribute, which is not a restriction.
+package subscription
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"probsum/internal/interval"
+)
+
+// ErrSchemaMismatch is returned when two values defined over different
+// schemas (different attribute counts) are combined.
+var ErrSchemaMismatch = errors.New("subscription: schema mismatch")
+
+// Schema describes the attribute space: attribute names and their
+// domains (ordered finite sets modeled as integer ranges).
+type Schema struct {
+	names   []string
+	domains []interval.Interval
+	index   map[string]int
+}
+
+// NewSchema builds a schema from parallel name/domain slices.
+// Names must be unique and non-empty, domains non-empty.
+func NewSchema(names []string, domains []interval.Interval) (*Schema, error) {
+	if len(names) != len(domains) {
+		return nil, fmt.Errorf("subscription: %d names but %d domains", len(names), len(domains))
+	}
+	if len(names) == 0 {
+		return nil, errors.New("subscription: schema needs at least one attribute")
+	}
+	s := &Schema{
+		names:   make([]string, len(names)),
+		domains: make([]interval.Interval, len(domains)),
+		index:   make(map[string]int, len(names)),
+	}
+	for i, name := range names {
+		if name == "" {
+			return nil, fmt.Errorf("subscription: attribute %d has empty name", i)
+		}
+		if _, dup := s.index[name]; dup {
+			return nil, fmt.Errorf("subscription: duplicate attribute %q", name)
+		}
+		if domains[i].IsEmpty() {
+			return nil, fmt.Errorf("subscription: attribute %q has empty domain", name)
+		}
+		s.names[i] = name
+		s.domains[i] = domains[i]
+		s.index[name] = i
+	}
+	return s, nil
+}
+
+// UniformSchema builds a schema with m attributes named x1..xm, each
+// over the domain [lo, hi]. It is the shape used throughout the paper's
+// evaluation.
+func UniformSchema(m int, lo, hi int64) *Schema {
+	names := make([]string, m)
+	domains := make([]interval.Interval, m)
+	for i := range names {
+		names[i] = fmt.Sprintf("x%d", i+1)
+		domains[i] = interval.New(lo, hi)
+	}
+	s, err := NewSchema(names, domains)
+	if err != nil {
+		// Only reachable with m <= 0 or lo > hi, which are programmer
+		// errors on this constructor's contract.
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of attributes m.
+func (s *Schema) Len() int { return len(s.names) }
+
+// Name returns the name of attribute i.
+func (s *Schema) Name(i int) string { return s.names[i] }
+
+// Domain returns the domain of attribute i.
+func (s *Schema) Domain(i int) interval.Interval { return s.domains[i] }
+
+// AttributeIndex returns the index of the named attribute.
+func (s *Schema) AttributeIndex(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Subscription is a conjunction of range predicates: geometrically an
+// axis-aligned box in the m-dimensional attribute space. Bounds[i] is
+// the allowed interval for attribute i.
+type Subscription struct {
+	Bounds []interval.Interval
+}
+
+// New returns a subscription with the given per-attribute bounds.
+// The caller keeps ownership of nothing: the slice is copied.
+func New(bounds ...interval.Interval) Subscription {
+	out := make([]interval.Interval, len(bounds))
+	copy(out, bounds)
+	return Subscription{Bounds: out}
+}
+
+// FullOver returns the subscription that accepts every point of the
+// schema, i.e. all predicates are the trivial domain bounds.
+func FullOver(schema *Schema) Subscription {
+	bounds := make([]interval.Interval, schema.Len())
+	for i := range bounds {
+		bounds[i] = schema.Domain(i)
+	}
+	return Subscription{Bounds: bounds}
+}
+
+// Clone returns a deep copy of the subscription.
+func (s Subscription) Clone() Subscription {
+	return New(s.Bounds...)
+}
+
+// Len returns the number of attributes the subscription constrains.
+func (s Subscription) Len() int { return len(s.Bounds) }
+
+// IsSatisfiable reports whether at least one point satisfies every
+// predicate, i.e. no per-attribute bound is empty.
+func (s Subscription) IsSatisfiable() bool {
+	for _, b := range s.Bounds {
+		if b.IsEmpty() {
+			return false
+		}
+	}
+	return len(s.Bounds) > 0
+}
+
+// Covers reports whether s covers other: every point of other satisfies
+// s. Both must share the attribute count.
+func (s Subscription) Covers(other Subscription) bool {
+	if len(s.Bounds) != len(other.Bounds) {
+		return false
+	}
+	for i, b := range s.Bounds {
+		if !b.ContainsInterval(other.Bounds[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether the two boxes share at least one point.
+func (s Subscription) Intersects(other Subscription) bool {
+	if len(s.Bounds) != len(other.Bounds) {
+		return false
+	}
+	for i, b := range s.Bounds {
+		if !b.Intersects(other.Bounds[i]) {
+			return false
+		}
+	}
+	return len(s.Bounds) > 0
+}
+
+// Intersect returns the box intersection of the two subscriptions.
+func (s Subscription) Intersect(other Subscription) (Subscription, error) {
+	if len(s.Bounds) != len(other.Bounds) {
+		return Subscription{}, ErrSchemaMismatch
+	}
+	out := make([]interval.Interval, len(s.Bounds))
+	for i, b := range s.Bounds {
+		out[i] = b.Intersect(other.Bounds[i])
+	}
+	return Subscription{Bounds: out}, nil
+}
+
+// ContainsPoint reports whether the point p (one value per attribute)
+// satisfies the subscription.
+func (s Subscription) ContainsPoint(p []int64) bool {
+	if len(p) != len(s.Bounds) {
+		return false
+	}
+	for i, b := range s.Bounds {
+		if !b.Contains(p[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// LogSize returns ln I(s), the natural log of the number of integer
+// points inside the box. Empty boxes yield -Inf.
+func (s Subscription) LogSize() float64 {
+	total := 0.0
+	for _, b := range s.Bounds {
+		total += b.LogCount()
+	}
+	return total
+}
+
+// Size returns I(s) as a float64 (the point count can exceed int64 for
+// large m). Empty boxes yield 0.
+func (s Subscription) Size() float64 {
+	if !s.IsSatisfiable() {
+		return 0
+	}
+	return math.Exp(s.LogSize())
+}
+
+// Equal reports whether the two subscriptions denote the same box.
+func (s Subscription) Equal(other Subscription) bool {
+	if len(s.Bounds) != len(other.Bounds) {
+		return false
+	}
+	for i, b := range s.Bounds {
+		if !b.Equal(other.Bounds[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the box as "[l1,h1]x[l2,h2]x...".
+func (s Subscription) String() string {
+	var sb strings.Builder
+	for i, b := range s.Bounds {
+		if i > 0 {
+			sb.WriteByte('x')
+		}
+		sb.WriteString(b.String())
+	}
+	return sb.String()
+}
+
+// Publication is a point in the attribute space (Definition 6). The
+// paper also admits box publications for imprecise sources; a box
+// publication is represented directly as a Subscription and matched via
+// Covers.
+type Publication struct {
+	Values []int64
+}
+
+// NewPublication returns a publication with the given attribute values.
+func NewPublication(values ...int64) Publication {
+	out := make([]int64, len(values))
+	copy(out, values)
+	return Publication{Values: out}
+}
+
+// AsBox converts the point publication into a degenerate box, enabling
+// uniform treatment with imprecise (box) publications.
+func (p Publication) AsBox() Subscription {
+	bounds := make([]interval.Interval, len(p.Values))
+	for i, v := range p.Values {
+		bounds[i] = interval.Point(v)
+	}
+	return Subscription{Bounds: bounds}
+}
+
+// Len returns the number of attribute values.
+func (p Publication) Len() int { return len(p.Values) }
+
+// String renders the point as "(v1,v2,...)".
+func (p Publication) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, v := range p.Values {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", v)
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Matches reports whether subscription s matches publication p, i.e.
+// p lies inside the box s.
+func (s Subscription) Matches(p Publication) bool {
+	return s.ContainsPoint(p.Values)
+}
+
+// Validate checks the subscription against a schema: the attribute
+// count matches and every bound is a satisfiable subset of its domain.
+func (s Subscription) Validate(schema *Schema) error {
+	if len(s.Bounds) != schema.Len() {
+		return fmt.Errorf("%w: subscription has %d attributes, schema has %d",
+			ErrSchemaMismatch, len(s.Bounds), schema.Len())
+	}
+	for i, b := range s.Bounds {
+		if b.IsEmpty() {
+			return fmt.Errorf("subscription: attribute %s has empty bound", schema.Name(i))
+		}
+		if !schema.Domain(i).ContainsInterval(b) {
+			return fmt.Errorf("subscription: attribute %s bound %s exceeds domain %s",
+				schema.Name(i), b, schema.Domain(i))
+		}
+	}
+	return nil
+}
+
+// ValidatePublication checks a publication against a schema.
+func ValidatePublication(p Publication, schema *Schema) error {
+	if len(p.Values) != schema.Len() {
+		return fmt.Errorf("%w: publication has %d attributes, schema has %d",
+			ErrSchemaMismatch, len(p.Values), schema.Len())
+	}
+	for i, v := range p.Values {
+		if !schema.Domain(i).Contains(v) {
+			return fmt.Errorf("subscription: publication value %d for %s outside domain %s",
+				v, schema.Name(i), schema.Domain(i))
+		}
+	}
+	return nil
+}

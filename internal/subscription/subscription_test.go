@@ -1,0 +1,353 @@
+package subscription
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"probsum/internal/interval"
+)
+
+func TestNewSchemaValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		names   []string
+		domains []interval.Interval
+		wantErr bool
+	}{
+		{
+			name:    "valid",
+			names:   []string{"a", "b"},
+			domains: []interval.Interval{interval.New(0, 9), interval.New(0, 9)},
+		},
+		{
+			name:    "length mismatch",
+			names:   []string{"a"},
+			domains: []interval.Interval{interval.New(0, 9), interval.New(0, 9)},
+			wantErr: true,
+		},
+		{
+			name:    "duplicate name",
+			names:   []string{"a", "a"},
+			domains: []interval.Interval{interval.New(0, 9), interval.New(0, 9)},
+			wantErr: true,
+		},
+		{
+			name:    "empty name",
+			names:   []string{""},
+			domains: []interval.Interval{interval.New(0, 9)},
+			wantErr: true,
+		},
+		{
+			name:    "empty domain",
+			names:   []string{"a"},
+			domains: []interval.Interval{interval.Empty()},
+			wantErr: true,
+		},
+		{name: "no attributes", wantErr: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewSchema(tc.names, tc.domains)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("NewSchema error = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestUniformSchema(t *testing.T) {
+	s := UniformSchema(3, 0, 999)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Name(1) != "x2" {
+		t.Errorf("Name(1) = %q", s.Name(1))
+	}
+	if i, ok := s.AttributeIndex("x3"); !ok || i != 2 {
+		t.Errorf("AttributeIndex(x3) = %d, %v", i, ok)
+	}
+	if _, ok := s.AttributeIndex("nope"); ok {
+		t.Error("unexpected attribute found")
+	}
+}
+
+func TestCoversAndIntersects(t *testing.T) {
+	s := New(interval.New(0, 10), interval.New(0, 10))
+	tests := []struct {
+		name           string
+		other          Subscription
+		covers         bool
+		intersects     bool
+		coveredByOther bool
+	}{
+		{
+			name:       "proper subset",
+			other:      New(interval.New(2, 8), interval.New(3, 7)),
+			covers:     true,
+			intersects: true,
+		},
+		{
+			name:           "equal",
+			other:          New(interval.New(0, 10), interval.New(0, 10)),
+			covers:         true,
+			intersects:     true,
+			coveredByOther: true,
+		},
+		{
+			name:       "partial overlap",
+			other:      New(interval.New(5, 15), interval.New(0, 10)),
+			intersects: true,
+		},
+		{
+			name:  "disjoint on one attribute",
+			other: New(interval.New(11, 15), interval.New(0, 10)),
+		},
+		{
+			name:  "wrong arity",
+			other: New(interval.New(0, 10)),
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := s.Covers(tc.other); got != tc.covers {
+				t.Errorf("Covers = %v, want %v", got, tc.covers)
+			}
+			if got := s.Intersects(tc.other); got != tc.intersects {
+				t.Errorf("Intersects = %v, want %v", got, tc.intersects)
+			}
+			if got := tc.other.Covers(s); got != tc.coveredByOther {
+				t.Errorf("reverse Covers = %v, want %v", got, tc.coveredByOther)
+			}
+		})
+	}
+}
+
+func TestPaperTable1BikeRental(t *testing.T) {
+	// Table 1 of the paper: bicycle rental subscriptions and
+	// publications. Dates are encoded as seconds; brand X=1, Y=2, *=any.
+	schema, err := NewSchema(
+		[]string{"bID", "size", "brand", "rpID", "date"},
+		[]interval.Interval{
+			interval.New(1, 100000),
+			interval.New(10, 30),
+			interval.New(1, 100),
+			interval.New(1, 1000),
+			interval.New(0, 1<<40),
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		t1600 = 1143820800 // 2006-03-31T16:00:00Z
+		t2000 = 1143835200 // 2006-03-31T20:00:00Z
+		t1200 = 1143806400 // 2006-03-31T12:00:00Z
+		t1400 = 1143813600 // 2006-03-31T14:00:00Z
+		t1823 = 1143829385 // 2006-03-31T18:23:05Z
+		t1223 = 1143807785 // 2006-03-31T12:23:05Z
+	)
+	s1 := New(
+		interval.New(1000, 1999), interval.Point(19), interval.Point(1),
+		interval.New(820, 840), interval.New(t1600, t2000),
+	)
+	s2 := New(
+		interval.New(1, 1999), interval.New(17, 19), schema.Domain(2),
+		interval.New(10, 12), interval.New(t1200, t1400),
+	)
+	p1 := NewPublication(1036, 19, 1, 825, t1823)
+	p2 := NewPublication(1035, 17, 2, 11, t1223)
+
+	if err := s1.Validate(schema); err != nil {
+		t.Fatalf("s1 invalid: %v", err)
+	}
+	if err := s2.Validate(schema); err != nil {
+		t.Fatalf("s2 invalid: %v", err)
+	}
+	if !s1.Matches(p1) {
+		t.Error("p1 should match s1")
+	}
+	if s1.Matches(p2) {
+		t.Error("p2 should not match s1")
+	}
+	if !s2.Matches(p2) {
+		t.Error("p2 should match s2")
+	}
+	if s2.Matches(p1) {
+		t.Error("p1 should not match s2")
+	}
+}
+
+func TestSizeAndLogSize(t *testing.T) {
+	s := New(interval.New(0, 9), interval.New(0, 99))
+	if got := s.Size(); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("Size = %g, want 1000", got)
+	}
+	empty := New(interval.New(0, 9), interval.Empty())
+	if got := empty.Size(); got != 0 {
+		t.Errorf("empty Size = %g", got)
+	}
+	if !math.IsInf(empty.LogSize(), -1) {
+		t.Errorf("empty LogSize = %g, want -Inf", empty.LogSize())
+	}
+	// Wide 20-dimensional box must not overflow.
+	bounds := make([]interval.Interval, 20)
+	for i := range bounds {
+		bounds[i] = interval.New(0, 1<<40)
+	}
+	wide := Subscription{Bounds: bounds}
+	if got := wide.LogSize(); math.IsInf(got, 1) || got < 0 {
+		t.Errorf("wide LogSize = %g", got)
+	}
+}
+
+func TestContainsPointAndMatches(t *testing.T) {
+	s := New(interval.New(0, 10), interval.New(5, 6))
+	if !s.ContainsPoint([]int64{10, 5}) {
+		t.Error("corner point should be inside")
+	}
+	if s.ContainsPoint([]int64{11, 5}) {
+		t.Error("outside x1")
+	}
+	if s.ContainsPoint([]int64{5}) {
+		t.Error("wrong arity should be false")
+	}
+	p := NewPublication(3, 6)
+	if !s.Matches(p) {
+		t.Error("publication should match")
+	}
+	box := p.AsBox()
+	if !s.Covers(box) {
+		t.Error("point box should be covered")
+	}
+}
+
+func TestIntersectErrors(t *testing.T) {
+	a := New(interval.New(0, 5), interval.New(0, 5))
+	b := New(interval.New(3, 9))
+	if _, err := a.Intersect(b); err == nil {
+		t.Error("expected schema mismatch error")
+	}
+	c := New(interval.New(3, 9), interval.New(9, 12))
+	got, err := a.Intersect(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IsSatisfiable() {
+		t.Errorf("intersection %v should be empty", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	schema := UniformSchema(2, 0, 100)
+	tests := []struct {
+		name    string
+		sub     Subscription
+		wantErr bool
+	}{
+		{name: "ok", sub: New(interval.New(0, 50), interval.New(20, 100))},
+		{name: "arity", sub: New(interval.New(0, 50)), wantErr: true},
+		{name: "outside domain", sub: New(interval.New(0, 101), interval.New(0, 1)), wantErr: true},
+		{name: "empty bound", sub: New(interval.Empty(), interval.New(0, 1)), wantErr: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sub.Validate(schema)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("Validate error = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+	if err := ValidatePublication(NewPublication(5, 5), schema); err != nil {
+		t.Errorf("valid publication rejected: %v", err)
+	}
+	if err := ValidatePublication(NewPublication(5), schema); err == nil {
+		t.Error("short publication accepted")
+	}
+	if err := ValidatePublication(NewPublication(5, 101), schema); err == nil {
+		t.Error("out-of-domain publication accepted")
+	}
+}
+
+// genBox returns a random satisfiable 3-attribute box within [0,99]^3.
+func genBox(r *rand.Rand) Subscription {
+	bounds := make([]interval.Interval, 3)
+	for i := range bounds {
+		lo := r.Int64N(90)
+		bounds[i] = interval.New(lo, lo+r.Int64N(100-lo))
+	}
+	return Subscription{Bounds: bounds}
+}
+
+func TestCoverMatchesPointSemantics(t *testing.T) {
+	// a.Covers(b) must agree with "every sampled point of b is in a".
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(seed1, seed2 uint64) bool {
+		r := rand.New(rand.NewPCG(seed1, seed2))
+		a, b := genBox(r), genBox(r)
+		covers := a.Covers(b)
+		for i := 0; i < 50; i++ {
+			p := make([]int64, 3)
+			for j, iv := range b.Bounds {
+				p[j] = iv.Lo + r.Int64N(iv.Count())
+			}
+			if covers && !a.ContainsPoint(p) {
+				return false
+			}
+		}
+		if !covers {
+			// There must exist a corner of b outside a; check all corners.
+			found := false
+			for mask := 0; mask < 8; mask++ {
+				p := make([]int64, 3)
+				for j, iv := range b.Bounds {
+					if mask&(1<<j) != 0 {
+						p[j] = iv.Hi
+					} else {
+						p[j] = iv.Lo
+					}
+				}
+				if !a.ContainsPoint(p) {
+					found = true
+					break
+				}
+			}
+			return found
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectsSymmetricProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(seed1, seed2 uint64) bool {
+		r := rand.New(rand.NewPCG(seed1, seed2))
+		a, b := genBox(r), genBox(r)
+		if a.Intersects(b) != b.Intersects(a) {
+			return false
+		}
+		inter, err := a.Intersect(b)
+		if err != nil {
+			return false
+		}
+		return inter.IsSatisfiable() == a.Intersects(b)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	s := New(interval.New(1, 2), interval.New(3, 4))
+	if got := s.String(); got != "[1,2]x[3,4]" {
+		t.Errorf("Subscription.String = %q", got)
+	}
+	p := NewPublication(7, 8)
+	if got := p.String(); got != "(7,8)" {
+		t.Errorf("Publication.String = %q", got)
+	}
+}

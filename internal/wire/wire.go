@@ -1,0 +1,270 @@
+// Package wire runs brokers over real TCP connections using
+// newline-delimited JSON frames, turning the pure state machine of
+// package broker into a deployable daemon. Peer brokers hold one
+// outbound connection per direction (A dials B and B dials A), so no
+// connection multiplexing is needed; clients hold a single duplex
+// connection on which notifications are pushed.
+//
+// The frame protocol: the first frame on any connection is a hello
+// identifying the sender; every later frame carries one
+// broker.Message. Handler execution is serialized per server, so the
+// broker state machine needs no internal locking.
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"probsum/internal/broker"
+	"probsum/internal/subscription"
+)
+
+// Frame is the on-the-wire envelope.
+type Frame struct {
+	// Hello identifies the sender on the first frame of a connection.
+	Hello string `json:"hello,omitempty"`
+	// Client marks a hello as coming from a client (not a broker).
+	Client bool `json:"client,omitempty"`
+	// Msg carries one protocol message on subsequent frames.
+	Msg *broker.Message `json:"msg,omitempty"`
+}
+
+// Server hosts one broker behind a TCP listener.
+type Server struct {
+	b  *broker.Broker
+	ln net.Listener
+
+	mu    sync.Mutex // serializes broker.Handle and peer map access
+	peers map[string]*json.Encoder
+	conns map[string]net.Conn
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewServer starts listening on addr (e.g. "127.0.0.1:0") for the
+// given broker. The accept loop starts immediately.
+func NewServer(b *broker.Broker, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		b:      b,
+		ln:     ln,
+		peers:  make(map[string]*json.Encoder),
+		conns:  make(map[string]net.Conn),
+		closed: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Broker exposes the underlying state machine (read-only use such as
+// metrics; all mutation goes through connections).
+func (s *Server) Broker() *broker.Broker { return s.b }
+
+// ConnectPeer dials a neighbor broker at addr, registers the overlay
+// link, and starts relaying. The peer learns our identity from the
+// hello frame; for a bidirectional overlay the peer must dial back
+// (its own ConnectPeer), which the hello also enables implicitly: an
+// inbound broker hello auto-registers the neighbor link.
+func (s *Server) ConnectPeer(id, addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("wire: dial peer %s at %s: %w", id, addr, err)
+	}
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(Frame{Hello: s.b.ID()}); err != nil {
+		conn.Close()
+		return fmt.Errorf("wire: hello to %s: %w", id, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.b.ConnectNeighbor(id); err != nil {
+		conn.Close()
+		return err
+	}
+	if old, ok := s.conns["peer:"+id]; ok {
+		old.Close()
+	}
+	s.peers[id] = enc
+	s.conns["peer:"+id] = conn
+	return nil
+}
+
+// acceptLoop admits connections until the listener closes.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn reads the hello, registers the port, then feeds messages
+// into the broker.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	dec := json.NewDecoder(conn)
+	var hello Frame
+	if err := dec.Decode(&hello); err != nil || hello.Hello == "" {
+		return
+	}
+	from := hello.Hello
+	enc := json.NewEncoder(conn)
+
+	s.mu.Lock()
+	if hello.Client {
+		s.b.AttachClient(from)
+		if old, ok := s.conns["client:"+from]; ok {
+			old.Close()
+		}
+		s.peers[from] = enc
+		s.conns["client:"+from] = conn
+	} else {
+		if err := s.b.ConnectNeighbor(from); err != nil {
+			s.mu.Unlock()
+			return
+		}
+		// Track the inbound peer connection so Close can unblock this
+		// goroutine; without this, two servers closing in opposite
+		// order deadlock on each other's reader goroutines.
+		if old, ok := s.conns["in:"+from]; ok {
+			old.Close()
+		}
+		s.conns["in:"+from] = conn
+	}
+	s.mu.Unlock()
+
+	for {
+		var fr Frame
+		if err := dec.Decode(&fr); err != nil {
+			return
+		}
+		if fr.Msg == nil {
+			continue
+		}
+		if err := s.dispatch(from, *fr.Msg); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch runs one message through the broker and fans out the
+// results to connected ports. Unreachable ports are skipped: TCP
+// overlays tolerate transient peer absence exactly like the paper's
+// lossy environments.
+func (s *Server) dispatch(from string, msg broker.Message) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	outs, err := s.b.Handle(from, msg)
+	if err != nil {
+		return err
+	}
+	for _, o := range outs {
+		if enc, ok := s.peers[o.To]; ok {
+			// Encode errors mean the peer vanished; drop the message.
+			_ = enc.Encode(Frame{Msg: &o.Msg})
+		}
+	}
+	return nil
+}
+
+// Close shuts the listener and every connection down and waits for
+// all connection goroutines to exit.
+func (s *Server) Close() error {
+	close(s.closed)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for _, c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Client is a subscriber/publisher endpoint over TCP.
+type Client struct {
+	name string
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+	mu   sync.Mutex // serializes writes
+}
+
+// Dial connects a client to a broker server.
+func Dial(addr, name string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	c := &Client{name: name, conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}
+	if err := c.enc.Encode(Frame{Hello: name, Client: true}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: hello: %w", err)
+	}
+	return c, nil
+}
+
+// send encodes one message.
+func (c *Client) send(msg broker.Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(Frame{Msg: &msg}); err != nil {
+		return fmt.Errorf("wire: send: %w", err)
+	}
+	return nil
+}
+
+// Subscribe announces a subscription under a globally unique ID.
+func (c *Client) Subscribe(subID string, s subscription.Subscription) error {
+	return c.send(broker.Message{Kind: broker.MsgSubscribe, SubID: subID, Sub: s})
+}
+
+// Unsubscribe cancels a subscription.
+func (c *Client) Unsubscribe(subID string) error {
+	return c.send(broker.Message{Kind: broker.MsgUnsubscribe, SubID: subID})
+}
+
+// Publish sends a publication.
+func (c *Client) Publish(pubID string, p subscription.Publication) error {
+	return c.send(broker.Message{Kind: broker.MsgPublish, PubID: pubID, Pub: p})
+}
+
+// Recv blocks until the next notification arrives.
+func (c *Client) Recv() (broker.Message, error) {
+	for {
+		var fr Frame
+		if err := c.dec.Decode(&fr); err != nil {
+			return broker.Message{}, fmt.Errorf("wire: recv: %w", err)
+		}
+		if fr.Msg != nil {
+			return *fr.Msg, nil
+		}
+	}
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }

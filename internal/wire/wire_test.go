@@ -1,0 +1,171 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"probsum/internal/broker"
+	"probsum/internal/interval"
+	"probsum/internal/store"
+	"probsum/internal/subscription"
+)
+
+func box(lo1, hi1, lo2, hi2 int64) subscription.Subscription {
+	return subscription.New(interval.New(lo1, hi1), interval.New(lo2, hi2))
+}
+
+func startServer(t *testing.T, id string, policy store.Policy) *Server {
+	t.Helper()
+	b, err := broker.New(id, policy, broker.WithCheckerConfig(1e-9, 10_000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// recvWithTimeout wraps Client.Recv with a deadline so a broken
+// routing path fails the test instead of hanging it.
+func recvWithTimeout(t *testing.T, c *Client, d time.Duration) (broker.Message, bool) {
+	t.Helper()
+	type result struct {
+		msg broker.Message
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		m, err := c.Recv()
+		ch <- result{m, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatalf("recv: %v", r.err)
+		}
+		return r.msg, true
+	case <-time.After(d):
+		return broker.Message{}, false
+	}
+}
+
+func TestSingleBrokerLoopback(t *testing.T) {
+	srv := startServer(t, "B1", store.PolicyPairwise)
+	sub, err := Dial(srv.Addr().String(), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := Dial(srv.Addr().String(), "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	if err := sub.Subscribe("s1", box(0, 50, 0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	// Give the subscription time to register before publishing.
+	time.Sleep(50 * time.Millisecond)
+	if err := pub.Publish("p1", subscription.NewPublication(25, 25)); err != nil {
+		t.Fatal(err)
+	}
+	msg, ok := recvWithTimeout(t, sub, 2*time.Second)
+	if !ok {
+		t.Fatal("notification did not arrive")
+	}
+	if msg.Kind != broker.MsgNotify || msg.SubID != "s1" || msg.PubID != "p1" {
+		t.Fatalf("notification = %+v", msg)
+	}
+}
+
+func TestTwoBrokerOverlay(t *testing.T) {
+	s1 := startServer(t, "B1", store.PolicyPairwise)
+	s2 := startServer(t, "B2", store.PolicyPairwise)
+	// Bidirectional overlay link: each side dials the other.
+	if err := s1.ConnectPeer("B2", s2.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.ConnectPeer("B1", s1.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+
+	sub, err := Dial(s1.Addr().String(), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := Dial(s2.Addr().String(), "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	if err := sub.Subscribe("s1", box(10, 20, 10, 20)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := pub.Publish("p1", subscription.NewPublication(15, 15)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvWithTimeout(t, sub, 2*time.Second); !ok {
+		t.Fatal("cross-broker notification did not arrive")
+	}
+
+	// Unsubscribe and verify silence.
+	if err := sub.Unsubscribe("s1"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := pub.Publish("p2", subscription.NewPublication(15, 15)); err != nil {
+		t.Fatal(err)
+	}
+	if msg, ok := recvWithTimeout(t, sub, 300*time.Millisecond); ok {
+		t.Fatalf("unexpected delivery after unsubscribe: %+v", msg)
+	}
+}
+
+func TestCoverageSuppressionOverTCP(t *testing.T) {
+	s1 := startServer(t, "B1", store.PolicyPairwise)
+	s2 := startServer(t, "B2", store.PolicyPairwise)
+	if err := s1.ConnectPeer("B2", s2.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.ConnectPeer("B1", s1.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Dial(s1.Addr().String(), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	if err := sub.Subscribe("big", box(0, 100, 0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Subscribe("small", box(40, 60, 40, 60)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		m := s1.Broker().Metrics()
+		if m.SubsSuppressed >= 1 && m.SubsForwarded == 1 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("suppression not observed: %+v", s1.Broker().Metrics())
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", "x"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+	srv := startServer(t, "B1", store.PolicyNone)
+	if err := srv.ConnectPeer("ghost", "127.0.0.1:1"); err == nil {
+		t.Error("peer dial to closed port succeeded")
+	}
+}

@@ -1,0 +1,529 @@
+// Package workload generates the subscription populations of the
+// paper's six evaluation scenarios (Section 6):
+//
+//	(1.a) pairwise covering   — one subscription covers s outright
+//	(1.b) redundant covering  — the first 20% of S jointly cover s, the
+//	                            remaining 80% are redundant partial coverers
+//	(2.a) no intersection     — S is disjoint from s
+//	(2.b) non-cover           — S leaves a gap slab over x1 uncovered
+//	(2.c) extreme non-cover   — S covers everything except a narrow gap
+//	(1-2) comparison          — a popularity-skewed stream of subscriptions
+//
+// All generators take a seeded *rand.Rand and are deterministic. Each
+// Instance records its ground truth (cover relation, redundant members,
+// gap position), which the experiments use as the denominator of the
+// paper's reduction and false-decision metrics, and Validate() proves
+// the construction's invariants so experiments never measure a
+// malformed instance.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"probsum/internal/dist"
+	"probsum/internal/interval"
+	"probsum/internal/subscription"
+)
+
+// Config carries the common scenario parameters.
+type Config struct {
+	// K is the number of existing subscriptions.
+	K int
+	// M is the number of attributes.
+	M int
+	// Domain is the value range of every attribute; the zero value
+	// defaults to [0, 9999].
+	Domain interval.Interval
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Domain.IsEmpty() || (c.Domain == interval.Interval{}) {
+		c.Domain = interval.New(0, 9999)
+	}
+	return c
+}
+
+// Instance is one generated subsumption problem.
+type Instance struct {
+	// S is the tested subscription, Set the existing subscriptions.
+	S   subscription.Subscription
+	Set []subscription.Subscription
+	// Covered is the ground-truth answer to s ⊑ ∨Set.
+	Covered bool
+	// RedundantIdx lists the indices of set members that are redundant
+	// for the covering question (the paper's reduction denominator).
+	RedundantIdx []int
+	// GapAttr/Gap describe the uncovered slab for the non-cover
+	// scenarios; GapAttr is -1 otherwise.
+	GapAttr int
+	Gap     interval.Interval
+}
+
+// RhoTrue returns the exact witness density for gap-based non-cover
+// instances: the fraction of s's extent on the gap attribute that the
+// gap occupies (the rest of s is fully covered there by construction in
+// scenario 2.c). It returns 0 when the instance has no gap.
+func (in Instance) RhoTrue() float64 {
+	if in.GapAttr < 0 || in.Gap.IsEmpty() {
+		return 0
+	}
+	return float64(in.Gap.Count()) / float64(in.S.Bounds[in.GapAttr].Count())
+}
+
+// testedSubscription draws s with at least marginFrac of the domain
+// left free on each side of every attribute, so set members can extend
+// beyond s and disjoint members fit in the domain.
+func testedSubscription(rng *rand.Rand, cfg Config) subscription.Subscription {
+	bounds := make([]interval.Interval, cfg.M)
+	for a := 0; a < cfg.M; a++ {
+		dom := cfg.Domain
+		span := dom.Count()
+		margin := span / 5
+		width := span/5 + rng.Int64N(span/4) // 20%..45% of the domain
+		lo := dom.Lo + margin + rng.Int64N(span-2*margin-width+1)
+		bounds[a] = interval.New(lo, lo+width-1)
+	}
+	return subscription.Subscription{Bounds: bounds}
+}
+
+// intersectingRange returns a random interval that intersects target
+// and stays inside dom: one endpoint is drawn inside target, the other
+// anywhere in the domain.
+func intersectingRange(rng *rand.Rand, dom, target interval.Interval) interval.Interval {
+	p1 := dist.UniformIn(rng, target.Lo, target.Hi)
+	p2 := dist.UniformIn(rng, dom.Lo, dom.Hi)
+	if p1 <= p2 {
+		return interval.New(p1, p2)
+	}
+	return interval.New(p2, p1)
+}
+
+// coveringRange returns an interval containing target, extended
+// outward by random amounts within dom.
+func coveringRange(rng *rand.Rand, dom, target interval.Interval) interval.Interval {
+	lo := target.Lo - rng.Int64N(target.Lo-dom.Lo+1)
+	hi := target.Hi + rng.Int64N(dom.Hi-target.Hi+1)
+	return interval.New(lo, hi)
+}
+
+// PairwiseCovering builds scenario 1.a: set[coverIdx] covers s alone;
+// the others are random boxes intersecting s.
+func PairwiseCovering(rng *rand.Rand, cfg Config) Instance {
+	cfg = cfg.withDefaults()
+	s := testedSubscription(rng, cfg)
+	set := make([]subscription.Subscription, cfg.K)
+	coverIdx := rng.IntN(cfg.K)
+	for i := range set {
+		bounds := make([]interval.Interval, cfg.M)
+		for a := 0; a < cfg.M; a++ {
+			if i == coverIdx {
+				bounds[a] = coveringRange(rng, cfg.Domain, s.Bounds[a])
+			} else {
+				bounds[a] = intersectingRange(rng, cfg.Domain, s.Bounds[a])
+			}
+		}
+		set[i] = subscription.Subscription{Bounds: bounds}
+	}
+	// Everything except the coverer is redundant.
+	red := make([]int, 0, cfg.K-1)
+	for i := range set {
+		if i != coverIdx {
+			red = append(red, i)
+		}
+	}
+	return Instance{S: s, Set: set, Covered: true, RedundantIdx: red, GapAttr: -1}
+}
+
+// NoIntersection builds scenario 2.a: every set member misses s
+// entirely on at least one attribute.
+func NoIntersection(rng *rand.Rand, cfg Config) Instance {
+	cfg = cfg.withDefaults()
+	s := testedSubscription(rng, cfg)
+	set := make([]subscription.Subscription, cfg.K)
+	for i := range set {
+		bounds := make([]interval.Interval, cfg.M)
+		for a := 0; a < cfg.M; a++ {
+			bounds[a] = intersectingRange(rng, cfg.Domain, s.Bounds[a])
+		}
+		// Push the box outside s on one random attribute; s leaves
+		// room on both sides by construction.
+		a := rng.IntN(cfg.M)
+		sb := s.Bounds[a]
+		if rng.IntN(2) == 0 && sb.Lo-cfg.Domain.Lo >= 2 {
+			bounds[a] = interval.New(cfg.Domain.Lo, sb.Lo-1-rng.Int64N(sb.Lo-cfg.Domain.Lo-1))
+		} else {
+			bounds[a] = interval.New(sb.Hi+1+rng.Int64N(cfg.Domain.Hi-sb.Hi-1), cfg.Domain.Hi)
+		}
+		set[i] = subscription.Subscription{Bounds: bounds}
+	}
+	red := make([]int, cfg.K)
+	for i := range red {
+		red[i] = i
+	}
+	return Instance{S: s, Set: set, Covered: false, RedundantIdx: red, GapAttr: -1}
+}
+
+// RedundantCovering builds scenario 1.b: the first ceil(0.2·K) members
+// tile s along a random axis (jointly covering it, none alone), and
+// the remaining 80% are random partial coverers that intersect s on
+// every attribute — redundant by construction.
+func RedundantCovering(rng *rand.Rand, cfg Config) Instance {
+	cfg = cfg.withDefaults()
+	s := testedSubscription(rng, cfg)
+	ax := rng.IntN(cfg.M)
+
+	core := (cfg.K + 4) / 5 // ceil(0.2 K)
+	if core < 2 {
+		core = 2
+	}
+	if core > cfg.K {
+		core = cfg.K
+	}
+	set := make([]subscription.Subscription, 0, cfg.K)
+
+	// Distinct internal cut points partition s along ax into core
+	// pieces.
+	axr := s.Bounds[ax]
+	cuts := distinctSorted(rng, axr.Lo+1, axr.Hi, core-1)
+	prev := axr.Lo
+	for i := 0; i < core; i++ {
+		end := axr.Hi
+		if i < len(cuts) {
+			end = cuts[i] - 1
+		}
+		bounds := make([]interval.Interval, cfg.M)
+		for a := 0; a < cfg.M; a++ {
+			if a == ax {
+				bounds[a] = interval.New(prev, end)
+			} else {
+				bounds[a] = coveringRange(rng, cfg.Domain, s.Bounds[a])
+			}
+		}
+		set = append(set, subscription.Subscription{Bounds: bounds})
+		if i < len(cuts) {
+			prev = cuts[i]
+		}
+	}
+
+	// Redundant partial coverers: each intersects s on every attribute
+	// and leaves part of s uncovered on one (occasionally two)
+	// attributes, so none covers s alone. The uncovered direction is a
+	// per-attribute property of the instance (anchored ranges such as
+	// "price below a budget" all miss the same side — the paper's
+	// similar-interest setting); a small fraction of rows flip their
+	// direction, which is what creates conflicting entries and keeps
+	// the MCS reduction below 100%.
+	red := make([]int, 0, cfg.K-core)
+	missTop := make([]bool, cfg.M)
+	for a := range missTop {
+		missTop[a] = rng.IntN(2) == 0
+	}
+	const flipProb = 0.02
+	for i := core; i < cfg.K; i++ {
+		bounds := make([]interval.Interval, cfg.M)
+		for a := 0; a < cfg.M; a++ {
+			bounds[a] = coveringRange(rng, cfg.Domain, s.Bounds[a])
+		}
+		nPartial := 1
+		if rng.IntN(8) == 0 {
+			nPartial = 2
+		}
+		for p := 0; p < nPartial; p++ {
+			a := rng.IntN(cfg.M)
+			dir := missTop[a]
+			if rng.Float64() < flipProb {
+				dir = !dir
+			}
+			bounds[a] = anchoredPartialRange(rng, cfg.Domain, s.Bounds[a], dir)
+		}
+		set = append(set, subscription.Subscription{Bounds: bounds})
+		red = append(red, i)
+	}
+	return Instance{S: s, Set: set, Covered: true, RedundantIdx: red, GapAttr: -1}
+}
+
+// anchoredPartialRange returns a range that covers target from one end
+// (extending beyond it into the domain) and strictly misses the other
+// end: with missTop it covers [<= target.Lo, v] for some v < target.Hi,
+// otherwise [u, >= target.Hi] for some u > target.Lo. Anchoring means
+// the range produces exactly one conflict-table entry.
+func anchoredPartialRange(rng *rand.Rand, dom, target interval.Interval, missTop bool) interval.Interval {
+	if target.Count() < 2 {
+		return target
+	}
+	if missTop {
+		hi := dist.UniformIn(rng, target.Lo, target.Hi-1)
+		lo := target.Lo - rng.Int64N(target.Lo-dom.Lo+1)
+		return interval.New(lo, hi)
+	}
+	lo := dist.UniformIn(rng, target.Lo+1, target.Hi)
+	hi := target.Hi + rng.Int64N(dom.Hi-target.Hi+1)
+	return interval.New(lo, hi)
+}
+
+// distinctSorted draws n distinct values from [lo, hi], sorted
+// ascending.
+func distinctSorted(rng *rand.Rand, lo, hi int64, n int) []int64 {
+	seen := make(map[int64]bool, n)
+	out := make([]int64, 0, n)
+	for len(out) < n {
+		v := dist.UniformIn(rng, lo, hi)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	// Insertion sort: n is small.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// NonCover builds scenario 2.b: a gap slab over x1 (attribute 0) is
+// kept clear of every set member; the other attributes are random
+// ranges intersecting s. gapFrac is the gap width as a fraction of s's
+// extent on x1.
+func NonCover(rng *rand.Rand, cfg Config, gapFrac float64) Instance {
+	cfg = cfg.withDefaults()
+	s := testedSubscription(rng, cfg)
+	axr := s.Bounds[0]
+	gapWidth := int64(gapFrac * float64(axr.Count()))
+	if gapWidth < 1 {
+		gapWidth = 1
+	}
+	// The gap sits strictly inside s's x1 extent so members exist on
+	// both sides.
+	gapLo := axr.Lo + 1 + rng.Int64N(axr.Count()-gapWidth-1)
+	gap := interval.New(gapLo, gapLo+gapWidth-1)
+
+	set := make([]subscription.Subscription, cfg.K)
+	red := make([]int, cfg.K)
+	missTop := make([]bool, cfg.M)
+	for a := range missTop {
+		missTop[a] = rng.IntN(2) == 0
+	}
+	for i := range set {
+		bounds := make([]interval.Interval, cfg.M)
+		// x1: a range on one side of the gap, still intersecting s.
+		// Most ranges are anchored beyond s's edge (one conflict-table
+		// entry); a small fraction float freely on their side of the
+		// gap, creating the conflicting entries that exercise MCS.
+		floating := rng.IntN(16) == 0
+		if rng.IntN(2) == 0 {
+			hi := dist.UniformIn(rng, axr.Lo, gap.Lo-1)
+			lo := cfg.Domain.Lo
+			if floating {
+				lo = dist.UniformIn(rng, cfg.Domain.Lo, hi)
+			} else {
+				lo = axr.Lo - rng.Int64N(axr.Lo-cfg.Domain.Lo+1)
+			}
+			bounds[0] = interval.New(lo, hi)
+		} else {
+			lo := dist.UniformIn(rng, gap.Hi+1, axr.Hi)
+			hi := cfg.Domain.Hi
+			if floating {
+				hi = dist.UniformIn(rng, lo, cfg.Domain.Hi)
+			} else {
+				hi = axr.Hi + rng.Int64N(cfg.Domain.Hi-axr.Hi+1)
+			}
+			bounds[0] = interval.New(lo, hi)
+		}
+		// Other attributes: mostly covering s outright, occasionally
+		// anchored-partial ("generated randomly" in the paper, but
+		// biased wide so subscriptions overlap heavily).
+		for a := 1; a < cfg.M; a++ {
+			if rng.IntN(8) == 0 {
+				dir := missTop[a]
+				if rng.Float64() < 0.02 {
+					dir = !dir
+				}
+				bounds[a] = anchoredPartialRange(rng, cfg.Domain, s.Bounds[a], dir)
+			} else {
+				bounds[a] = coveringRange(rng, cfg.Domain, s.Bounds[a])
+			}
+		}
+		set[i] = subscription.Subscription{Bounds: bounds}
+		red[i] = i
+	}
+	return Instance{S: s, Set: set, Covered: false, RedundantIdx: red, GapAttr: 0, Gap: gap}
+}
+
+// ExtremeNonCover builds scenario 2.c: the set covers s entirely
+// except for a gap of gapFrac·|x1|, positioned a fixed 0.5% of |x1|
+// below s's upper x1 bound. The fixed offset makes Algorithm 2's
+// witness-density estimate exceed the truth by (gap+offset)/gap — a
+// factor 2 at the smallest paper gap (0.5%) shrinking toward 1 as the
+// gap grows, which reproduces the paper's Figure 12 false-decision
+// trend (decreasing with gap size; see DESIGN.md). Half the members
+// cover the slab left of the gap, half the slab right of it; all
+// cover s completely on the other attributes.
+func ExtremeNonCover(rng *rand.Rand, cfg Config, gapFrac float64) Instance {
+	cfg = cfg.withDefaults()
+	if cfg.K < 2 {
+		cfg.K = 2
+	}
+	s := testedSubscription(rng, cfg)
+	axr := s.Bounds[0]
+	gapWidth := int64(gapFrac * float64(axr.Count()))
+	if gapWidth < 1 {
+		gapWidth = 1
+	}
+	offset := int64(0.005 * float64(axr.Count()))
+	if offset < 1 {
+		offset = 1
+	}
+	gapHi := axr.Hi - offset
+	gap := interval.New(gapHi-gapWidth+1, gapHi)
+
+	set := make([]subscription.Subscription, cfg.K)
+	red := make([]int, cfg.K)
+	left := cfg.K / 2
+	for i := range set {
+		bounds := make([]interval.Interval, cfg.M)
+		if i < left {
+			// Left slab [<= s.Lo, c] with c <= gap.Lo-1; the first
+			// reaches the gap edge exactly so the union covers the
+			// whole left part.
+			c := gap.Lo - 1
+			if i > 0 {
+				jitter := 4 * gapWidth
+				if c-jitter < axr.Lo {
+					jitter = c - axr.Lo
+				}
+				c -= rng.Int64N(jitter + 1)
+			}
+			lo := axr.Lo - rng.Int64N(axr.Lo-cfg.Domain.Lo+1)
+			bounds[0] = interval.New(lo, c)
+		} else {
+			// Right slab [c', >= s.Hi] with c' >= gap.Hi+1.
+			c := gap.Hi + 1
+			if i > left {
+				jitter := min64(4*gapWidth, axr.Hi-c)
+				c += rng.Int64N(jitter + 1)
+			}
+			hi := axr.Hi + rng.Int64N(cfg.Domain.Hi-axr.Hi+1)
+			bounds[0] = interval.New(c, hi)
+		}
+		for a := 1; a < cfg.M; a++ {
+			bounds[a] = coveringRange(rng, cfg.Domain, s.Bounds[a])
+		}
+		set[i] = subscription.Subscription{Bounds: bounds}
+		red[i] = i
+	}
+	return Instance{S: s, Set: set, Covered: false, RedundantIdx: red, GapAttr: 0, Gap: gap}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Validate proves the instance's construction invariants: s and all
+// members are satisfiable and intersect/avoid s as the scenario
+// demands, the claimed cover relation holds, and for gap scenarios the
+// gap slab is untouched. It is used by tests and (cheaply) by the
+// experiment harness.
+func (in Instance) Validate() error {
+	if !in.S.IsSatisfiable() {
+		return fmt.Errorf("workload: s unsatisfiable: %v", in.S)
+	}
+	for i, si := range in.Set {
+		if !si.IsSatisfiable() {
+			return fmt.Errorf("workload: set[%d] unsatisfiable: %v", i, si)
+		}
+	}
+	if in.GapAttr >= 0 {
+		if in.Covered {
+			return fmt.Errorf("workload: gap instance claims covered")
+		}
+		for i, si := range in.Set {
+			if si.Bounds[in.GapAttr].Intersects(in.Gap) {
+				return fmt.Errorf("workload: set[%d] intersects the gap %v on attr %d", i, in.Gap, in.GapAttr)
+			}
+		}
+		if !in.S.Bounds[in.GapAttr].ContainsInterval(in.Gap) {
+			return fmt.Errorf("workload: gap %v outside s", in.Gap)
+		}
+		return nil
+	}
+	if in.Covered {
+		return in.validateCovered()
+	}
+	// Non-gap non-covered instances (2.a): every member must miss s.
+	for i, si := range in.Set {
+		if si.Intersects(in.S) && si.Covers(in.S) {
+			return fmt.Errorf("workload: set[%d] unexpectedly covers s", i)
+		}
+	}
+	return nil
+}
+
+// validateCovered checks cover ground truth for the covering
+// scenarios: either some single member covers s (1.a), or the
+// non-redundant core tiles s along one axis while covering it fully on
+// all others (1.b).
+func (in Instance) validateCovered() error {
+	redundant := make(map[int]bool, len(in.RedundantIdx))
+	for _, i := range in.RedundantIdx {
+		redundant[i] = true
+	}
+	var coreIdx []int
+	for i := range in.Set {
+		if !redundant[i] {
+			coreIdx = append(coreIdx, i)
+		}
+	}
+	if len(coreIdx) == 1 {
+		if !in.Set[coreIdx[0]].Covers(in.S) {
+			return fmt.Errorf("workload: designated coverer %d does not cover s", coreIdx[0])
+		}
+		return nil
+	}
+	// Tiling core: find the axis where cores do not fully cover s.
+	m := in.S.Len()
+	for ax := 0; ax < m; ax++ {
+		full := true
+		for _, i := range coreIdx {
+			if !in.Set[i].Bounds[ax].ContainsInterval(in.S.Bounds[ax]) {
+				full = false
+				break
+			}
+		}
+		if full {
+			continue
+		}
+		// All other axes must be fully covered by every core member.
+		for a := 0; a < m; a++ {
+			if a == ax {
+				continue
+			}
+			for _, i := range coreIdx {
+				if !in.Set[i].Bounds[a].ContainsInterval(in.S.Bounds[a]) {
+					return fmt.Errorf("workload: core %d misses s on axis %d besides tiling axis %d", i, a, ax)
+				}
+			}
+		}
+		var u interval.Union
+		for _, i := range coreIdx {
+			u.Add(in.Set[i].Bounds[ax].Intersect(in.S.Bounds[ax]))
+		}
+		if !u.Covers(in.S.Bounds[ax]) {
+			return fmt.Errorf("workload: core tiling leaves gaps on axis %d: %v", ax, u.Gaps(in.S.Bounds[ax]))
+		}
+		// No single core member may cover s alone.
+		for _, i := range coreIdx {
+			if in.Set[i].Covers(in.S) {
+				return fmt.Errorf("workload: core %d pairwise-covers s", i)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("workload: could not identify tiling axis")
+}

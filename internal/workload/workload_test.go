@@ -1,0 +1,320 @@
+package workload
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"probsum/internal/conflict"
+	"probsum/internal/core"
+	"probsum/internal/interval"
+	"probsum/internal/subscription"
+)
+
+func rng(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed^0xabcdef)) }
+
+func smallCfg() Config {
+	return Config{K: 12, M: 3, Domain: interval.New(0, 999)}
+}
+
+func TestPairwiseCoveringInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		in := PairwiseCovering(rng(seed), smallCfg())
+		if err := in.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !in.Covered {
+			t.Fatal("1.a must be covered")
+		}
+		if len(in.RedundantIdx) != len(in.Set)-1 {
+			t.Fatalf("redundant count = %d", len(in.RedundantIdx))
+		}
+		// The conflict table must detect the pairwise cover.
+		tbl, err := conflict.Build(in.S, in.Set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.PairwiseCoverRow() < 0 {
+			t.Fatal("Corollary 1 should fire for scenario 1.a")
+		}
+	}
+}
+
+func TestNoIntersectionInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		in := NoIntersection(rng(seed), smallCfg())
+		if err := in.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, si := range in.Set {
+			if si.Intersects(in.S) {
+				t.Fatalf("seed %d: set[%d] intersects s", seed, i)
+			}
+		}
+	}
+}
+
+func TestRedundantCoveringInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		in := RedundantCovering(rng(seed), smallCfg())
+		if err := in.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// No member may cover s alone (pairwise coverage must not be
+		// able to reduce this scenario — the paper's difficult case).
+		for i, si := range in.Set {
+			if si.Covers(in.S) {
+				t.Fatalf("seed %d: set[%d] pairwise-covers s", seed, i)
+			}
+		}
+		// Roughly 20% core.
+		core := len(in.Set) - len(in.RedundantIdx)
+		if core < 2 || core > len(in.Set)/2 {
+			t.Fatalf("seed %d: core size %d of %d", seed, core, len(in.Set))
+		}
+		// Every member intersects s.
+		for i, si := range in.Set {
+			if !si.Intersects(in.S) {
+				t.Fatalf("seed %d: set[%d] does not intersect s", seed, i)
+			}
+		}
+	}
+}
+
+func TestRedundantCoveringExhaustiveGroundTruth(t *testing.T) {
+	// On tiny domains the oracle can verify the union cover exactly.
+	cfg := Config{K: 8, M: 2, Domain: interval.New(0, 60)}
+	for seed := uint64(1); seed <= 25; seed++ {
+		in := RedundantCovering(rng(seed), cfg)
+		covered, err := core.ExhaustiveCover(in.S, in.Set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !covered {
+			t.Fatalf("seed %d: constructed covering instance is not covered", seed)
+		}
+		// Dropping the redundant members must preserve the cover.
+		coreOnly := make([]subscription.Subscription, 0)
+		redundant := make(map[int]bool)
+		for _, i := range in.RedundantIdx {
+			redundant[i] = true
+		}
+		for i, si := range in.Set {
+			if !redundant[i] {
+				coreOnly = append(coreOnly, si)
+			}
+		}
+		covered, err = core.ExhaustiveCover(in.S, coreOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !covered {
+			t.Fatalf("seed %d: core alone does not cover s", seed)
+		}
+	}
+}
+
+func TestNonCoverInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		in := NonCover(rng(seed), smallCfg(), 0.05)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if in.Covered || in.GapAttr != 0 || in.Gap.IsEmpty() {
+			t.Fatalf("seed %d: bad gap metadata %+v", seed, in)
+		}
+		// Members still intersect s on x1.
+		for i, si := range in.Set {
+			if !si.Bounds[0].Intersects(in.S.Bounds[0]) {
+				t.Fatalf("seed %d: set[%d] misses s on x1", seed, i)
+			}
+		}
+	}
+}
+
+func TestNonCoverOracleAgreement(t *testing.T) {
+	cfg := Config{K: 6, M: 2, Domain: interval.New(0, 60)}
+	for seed := uint64(1); seed <= 25; seed++ {
+		in := NonCover(rng(seed), cfg, 0.1)
+		covered, err := core.ExhaustiveCover(in.S, in.Set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if covered {
+			t.Fatalf("seed %d: gap instance is covered", seed)
+		}
+	}
+}
+
+func TestExtremeNonCoverInvariants(t *testing.T) {
+	cfg := Config{K: 50, M: 5, Domain: interval.New(0, 9999)}
+	for seed := uint64(1); seed <= 30; seed++ {
+		in := ExtremeNonCover(rng(seed), cfg, 0.02)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Everything except the gap slab is covered: left and right
+		// unions reach the gap edges, and all other attributes are
+		// covered outright.
+		axr := in.S.Bounds[0]
+		var u interval.Union
+		for _, si := range in.Set {
+			u.Add(si.Bounds[0].Intersect(axr))
+		}
+		gaps := u.Gaps(axr)
+		if len(gaps) != 1 || !gaps[0].Equal(in.Gap) {
+			t.Fatalf("seed %d: uncovered x1 region %v, want exactly the gap %v", seed, gaps, in.Gap)
+		}
+		for i, si := range in.Set {
+			for a := 1; a < cfg.M; a++ {
+				if !si.Bounds[a].ContainsInterval(in.S.Bounds[a]) {
+					t.Fatalf("seed %d: set[%d] misses s on attr %d", seed, i, a)
+				}
+			}
+		}
+		// The witness density ground truth.
+		if rho := in.RhoTrue(); rho <= 0 || rho > 0.05 {
+			t.Fatalf("seed %d: rho = %g", seed, rho)
+		}
+	}
+}
+
+func TestExtremeNonCoverRhoEstimateOffset(t *testing.T) {
+	// DESIGN.md calibration: Algorithm 2's estimate equals the true
+	// witness density plus the fixed 0.5% edge offset — a factor ~2 at
+	// gap 0.5%, shrinking toward 1 for wide gaps.
+	cfg := Config{K: 50, M: 5, Domain: interval.New(0, 9999)}
+	for _, gapFrac := range []float64{0.005, 0.02, 0.045} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			in := ExtremeNonCover(rng(seed), cfg, gapFrac)
+			tbl, err := conflict.Build(in.S, in.Set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est := core.EstimateRho(tbl, nil)
+			truth := in.RhoTrue()
+			wantRatio := (gapFrac + 0.005) / gapFrac
+			ratio := est / truth
+			if ratio < wantRatio*0.85 || ratio > wantRatio*1.15 {
+				t.Errorf("gap %.3f seed %d: rho estimate/true = %.3f, want ~%.3f",
+					gapFrac, seed, ratio, wantRatio)
+			}
+		}
+	}
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	a := RedundantCovering(rng(7), smallCfg())
+	b := RedundantCovering(rng(7), smallCfg())
+	if !a.S.Equal(b.S) || len(a.Set) != len(b.Set) {
+		t.Fatal("same seed produced different instances")
+	}
+	for i := range a.Set {
+		if !a.Set[i].Equal(b.Set[i]) {
+			t.Fatalf("set[%d] differs", i)
+		}
+	}
+}
+
+func TestComparisonStream(t *testing.T) {
+	cfg := DefaultComparisonConfig(10)
+	cs, err := NewComparisonStream(rng(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := cs.Schema()
+	constrainedCounts := make([]int, cfg.M)
+	for i := 0; i < 500; i++ {
+		s := cs.Next()
+		if err := s.Validate(schema); err != nil {
+			t.Fatalf("subscription %d invalid: %v", i, err)
+		}
+		nc := 0
+		for a, b := range s.Bounds {
+			if !b.Equal(schema.Domain(a)) {
+				constrainedCounts[a]++
+				nc++
+			}
+		}
+		if nc < cfg.MinAttrs || nc > cfg.MaxAttrs {
+			t.Fatalf("subscription %d constrains %d attributes", i, nc)
+		}
+	}
+	// Zipf popularity: attribute 0 must be constrained far more often
+	// than attribute m-1.
+	if constrainedCounts[0] <= constrainedCounts[cfg.M-1]*2 {
+		t.Errorf("popularity skew missing: %v", constrainedCounts)
+	}
+}
+
+func TestComparisonStreamConfigValidation(t *testing.T) {
+	if _, err := NewComparisonStream(rng(1), ComparisonConfig{M: 0}); err == nil {
+		t.Error("m=0 accepted")
+	}
+	bad := DefaultComparisonConfig(5)
+	bad.AttrSkew = 0.5
+	if _, err := NewComparisonStream(rng(1), bad); err == nil {
+		t.Error("invalid zipf skew accepted")
+	}
+	// MaxAttrs beyond m is clamped, MinAttrs below 1 is raised.
+	cfg := DefaultComparisonConfig(2)
+	cfg.MinAttrs, cfg.MaxAttrs = 0, 99
+	cs, err := NewComparisonStream(rng(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cs.Next()
+	if s.Len() != 2 {
+		t.Errorf("len = %d", s.Len())
+	}
+}
+
+func TestValidateCatchesCorruptedInstances(t *testing.T) {
+	in := NonCover(rng(5), smallCfg(), 0.05)
+	// Corrupt: a member that intersects the gap.
+	in.Set[0].Bounds[0] = in.Gap
+	if err := in.Validate(); err == nil {
+		t.Error("gap violation not caught")
+	}
+
+	in2 := RedundantCovering(rng(5), smallCfg())
+	// Corrupt: punch a hole in the core tiling.
+	redundant := make(map[int]bool)
+	for _, i := range in2.RedundantIdx {
+		redundant[i] = true
+	}
+	for i := range in2.Set {
+		if !redundant[i] {
+			in2.Set[i].Bounds[0] = interval.New(in2.S.Bounds[0].Lo, in2.S.Bounds[0].Lo)
+			in2.Set[i].Bounds[1] = interval.New(in2.S.Bounds[1].Lo, in2.S.Bounds[1].Lo)
+		}
+	}
+	if err := in2.Validate(); err == nil {
+		t.Error("broken tiling not caught")
+	}
+}
+
+func TestInstancePropertyRandomConfigs(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	f := func(seed1, seed2 uint64) bool {
+		r := rand.New(rand.NewPCG(seed1, seed2))
+		c := Config{K: 4 + r.IntN(20), M: 2 + r.IntN(5), Domain: interval.New(0, 2000)}
+		gens := []func() Instance{
+			func() Instance { return PairwiseCovering(r, c) },
+			func() Instance { return RedundantCovering(r, c) },
+			func() Instance { return NoIntersection(r, c) },
+			func() Instance { return NonCover(r, c, 0.03) },
+			func() Instance { return ExtremeNonCover(r, c, 0.03) },
+		}
+		for _, gen := range gens {
+			if err := gen().Validate(); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package pubsub_test
+
+import (
+	"fmt"
+	"testing"
+
+	"probsum/pubsub"
+	"probsum/subsume"
+)
+
+func buildChain(t *testing.T, policy pubsub.Policy, brokers int) *pubsub.Network {
+	t.Helper()
+	n, err := pubsub.NewNetwork(policy, pubsub.Config{ErrorProbability: 1e-9, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= brokers; i++ {
+		if err := n.AddBroker(fmt.Sprintf("B%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < brokers; i++ {
+		if err := n.Connect(fmt.Sprintf("B%d", i), fmt.Sprintf("B%d", i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func TestEndToEndDelivery(t *testing.T) {
+	schema := subsume.UniformSchema(2, 0, 100)
+	for _, policy := range []pubsub.Policy{pubsub.Flood, pubsub.Pairwise, pubsub.Group} {
+		t.Run(policy.String(), func(t *testing.T) {
+			n := buildChain(t, policy, 4)
+			if err := n.AttachClient("alice", "B1"); err != nil {
+				t.Fatal(err)
+			}
+			if err := n.AttachClient("pub", "B4"); err != nil {
+				t.Fatal(err)
+			}
+			s := subsume.NewSubscription(schema).Range("x1", 10, 50).Build()
+			if err := n.Subscribe("alice", "a1", s); err != nil {
+				t.Fatal(err)
+			}
+			if err := n.Publish("pub", "p1", subsume.NewPublication(30, 30)); err != nil {
+				t.Fatal(err)
+			}
+			got := n.Notifications("alice")
+			if len(got) != 1 || got[0].SubID != "a1" {
+				t.Fatalf("notifications = %+v", got)
+			}
+			// Non-matching publication is not delivered.
+			if err := n.Publish("pub", "p2", subsume.NewPublication(90, 90)); err != nil {
+				t.Fatal(err)
+			}
+			if got := n.Notifications("alice"); len(got) != 1 {
+				t.Fatalf("unexpected delivery: %+v", got)
+			}
+		})
+	}
+}
+
+func TestGroupPolicySuppressesUnionCovered(t *testing.T) {
+	schema := subsume.UniformSchema(2, 0, 100)
+	nGroup := buildChain(t, pubsub.Group, 3)
+	nPair := buildChain(t, pubsub.Pairwise, 3)
+	for _, n := range []*pubsub.Network{nGroup, nPair} {
+		if err := n.AttachClient("c", "B1"); err != nil {
+			t.Fatal(err)
+		}
+		left := subsume.NewSubscription(schema).Range("x1", 0, 60).Build()
+		right := subsume.NewSubscription(schema).Range("x1", 40, 100).Build()
+		mid := subsume.NewSubscription(schema).Range("x1", 20, 80).Range("x2", 10, 90).Build()
+		for id, s := range map[string]pubsub.Subscription{"left": left, "right": right} {
+			if err := n.Subscribe("c", id, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := n.Subscribe("c", "mid", mid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Group coverage suppresses "mid" on every link; pairwise cannot.
+	g, p := nGroup.Metrics(), nPair.Metrics()
+	if g.SubsForwarded >= p.SubsForwarded {
+		t.Errorf("group forwarded %d >= pairwise %d", g.SubsForwarded, p.SubsForwarded)
+	}
+	if g.SubsSuppressed == 0 {
+		t.Error("group policy suppressed nothing")
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	schema := subsume.UniformSchema(2, 0, 100)
+	n := buildChain(t, pubsub.Pairwise, 3)
+	n.AttachClient("c", "B1")
+	n.AttachClient("pub", "B3")
+	s := subsume.NewSubscription(schema).Range("x1", 0, 50).Build()
+	if err := n.Subscribe("c", "s1", s); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Unsubscribe("c", "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Publish("pub", "p1", subsume.NewPublication(25, 25)); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Notifications("c"); len(got) != 0 {
+		t.Fatalf("delivery after unsubscribe: %+v", got)
+	}
+}
+
+func TestMetricsAndAccessors(t *testing.T) {
+	n := buildChain(t, pubsub.Flood, 2)
+	ids := n.Brokers()
+	if len(ids) != 2 || ids[0] != "B1" {
+		t.Fatalf("brokers = %v", ids)
+	}
+	if _, err := n.BrokerMetrics("B1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.BrokerMetrics("nope"); err == nil {
+		t.Error("unknown broker metrics accepted")
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	if _, err := pubsub.NewNetwork(pubsub.Policy(99), pubsub.Config{}); err == nil {
+		t.Error("invalid policy accepted")
+	}
+	for p, want := range map[pubsub.Policy]string{
+		pubsub.Flood: "flood", pubsub.Pairwise: "pairwise", pubsub.Group: "group",
+		pubsub.Policy(9): "unknown",
+	} {
+		if p.String() != want {
+			t.Errorf("Policy(%d).String() = %q", p, p.String())
+		}
+	}
+}

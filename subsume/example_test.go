@@ -1,0 +1,61 @@
+package subsume_test
+
+import (
+	"fmt"
+
+	"probsum/subsume"
+)
+
+// The paper's running example: two subscriptions jointly cover a third
+// that neither covers alone.
+func ExampleChecker_Covered() {
+	schema := subsume.NewSchema(
+		subsume.Attr("x1", 0, 10000),
+		subsume.Attr("x2", 0, 10000),
+	)
+	s1 := subsume.NewSubscription(schema).Range("x1", 820, 850).Range("x2", 1001, 1007).Build()
+	s2 := subsume.NewSubscription(schema).Range("x1", 840, 880).Range("x2", 1002, 1009).Build()
+	s := subsume.NewSubscription(schema).Range("x1", 830, 870).Range("x2", 1003, 1006).Build()
+
+	chk, _ := subsume.NewChecker(
+		subsume.WithErrorProbability(1e-6),
+		subsume.WithSeed(1, 2),
+	)
+	res, _ := chk.Covered(s, []subsume.Subscription{s1, s2})
+	fmt.Println("covered:", res.Covered())
+	// Output:
+	// covered: true
+}
+
+// A definite NO always carries a geometric witness.
+func ExampleResult_PolyhedronWitness() {
+	schema := subsume.NewSchema(
+		subsume.Attr("x1", 0, 10000),
+		subsume.Attr("x2", 0, 10000),
+	)
+	s1 := subsume.NewSubscription(schema).Range("x1", 820, 850).Range("x2", 1002, 1009).Build()
+	s2 := subsume.NewSubscription(schema).Range("x1", 840, 870).Range("x2", 1001, 1007).Build()
+	s := subsume.NewSubscription(schema).Range("x1", 830, 890).Range("x2", 1003, 1006).Build()
+
+	chk, _ := subsume.NewChecker(subsume.WithSeed(1, 2))
+	res, _ := chk.Covered(s, []subsume.Subscription{s1, s2})
+	fmt.Println("covered:", res.Covered())
+	fmt.Println("uncovered region:", res.PolyhedronWitness())
+	// Output:
+	// covered: false
+	// uncovered region: [871,890]x[1003,1006]
+}
+
+// Publications are points; matching a single subscription is exact.
+func ExampleSubscription_Matches() {
+	schema := subsume.NewSchema(
+		subsume.Attr("price", 0, 1000),
+		subsume.Attr("qty", 0, 100),
+	)
+	s := subsume.NewSubscription(schema).Range("price", 100, 500).Build()
+	fmt.Println(s.Matches(subsume.NewPublication(250, 7)))
+	fmt.Println(s.Matches(subsume.NewPublication(800, 7)))
+	// Output:
+	// true
+	// false
+}
