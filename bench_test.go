@@ -12,9 +12,11 @@ import (
 	"math/rand/v2"
 	"testing"
 
+	"probsum/internal/benchcases"
 	"probsum/internal/conflict"
 	"probsum/internal/core"
 	"probsum/internal/experiments"
+	"probsum/internal/interval"
 	"probsum/internal/match"
 	"probsum/internal/pairwise"
 	"probsum/internal/store"
@@ -53,20 +55,13 @@ func BenchmarkFig13ComparisonGrowth(b *testing.B)            { benchFigure(b, "f
 func BenchmarkFig14ComparisonRatio(b *testing.B)             { benchFigure(b, "fig14") }
 func BenchmarkEq2Chain(b *testing.B)                         { benchFigure(b, "eq2") }
 
-// Micro-benchmarks of the paper's complexity claims.
+// Micro-benchmarks of the paper's complexity claims. Hot-path bodies
+// live in internal/benchcases, shared with cmd/paperbench -benchjson
+// so the JSON trajectory measures exactly these benchmarks.
 
-// benchInstance builds a representative instance (k=100, m=10).
+// benchInstance builds the canonical instance (k=100, m=10).
 func benchInstance(scenario string) workload.Instance {
-	rng := rand.New(rand.NewPCG(1, 2))
-	cfg := workload.Config{K: 100, M: 10}
-	switch scenario {
-	case "cover":
-		return workload.RedundantCovering(rng, cfg)
-	case "noncover":
-		return workload.NonCover(rng, cfg, 0.05)
-	default:
-		panic("unknown scenario " + scenario)
-	}
+	return benchcases.Instance(scenario)
 }
 
 // BenchmarkConflictTableBuild measures the O(m·k) table construction.
@@ -127,20 +122,26 @@ func BenchmarkRSPC(b *testing.B) {
 // the covered scenario (worst case: all trials execute).
 func BenchmarkCheckerCovered(b *testing.B) {
 	in := benchInstance("cover")
-	checker, err := core.NewChecker(
-		core.WithErrorProbability(1e-6),
-		core.WithSeed(1, 2),
-		core.WithMaxTrials(2000),
-	)
-	if err != nil {
-		b.Fatal(err)
-	}
+	checker := benchcases.Checker(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := checker.Covered(in.S, in.Set); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCoveredInto measures the zero-allocation hot path: the
+// same pipeline as BenchmarkCheckerCovered but through CoveredInto
+// with a reused Result, the way stores and brokers drive it. Expect 0
+// allocs/op in steady state (covered decisions).
+func BenchmarkCoveredInto(b *testing.B) {
+	for _, tc := range []struct{ name, scenario string }{
+		{"covered", "cover"},
+		{"noncover", "noncover"},
+	} {
+		b.Run(tc.name, func(b *testing.B) { benchcases.CoveredInto(b, tc.scenario) })
 	}
 }
 
@@ -269,6 +270,107 @@ func BenchmarkStoreMatchTwoPhase(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st.MatchTwoPhase(pubs[i%len(pubs)])
+	}
+}
+
+// BenchmarkStoreSubscribe measures the steady-state cost of one
+// subscribe/unsubscribe round-trip against a populated store — the
+// arrival hot path the per-attribute candidate index accelerates.
+func BenchmarkStoreSubscribe(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		policy  store.Policy
+		pruning bool
+	}{
+		{"pairwise", store.PolicyPairwise, true},
+		{"group", store.PolicyGroup, true},
+		{"pairwise-noprune", store.PolicyPairwise, false},
+		{"group-noprune", store.PolicyGroup, false},
+	} {
+		b.Run(tc.name, func(b *testing.B) { benchcases.StoreSubscribe(b, tc.policy, tc.pruning) })
+	}
+}
+
+// BenchmarkStoreSubscribeSparse is the large-active-set regime the
+// candidate index targets: thousands of narrow boxes stay active, and
+// each arriving subscription is a shrunken copy of one of them — the
+// covered-arrival suppression path the paper optimizes. The un-indexed
+// store scans about half the active set per arrival before hitting the
+// coverer; the index prunes straight to the few intersecting rows.
+// Covered arrivals never touch the active caches, so the measurement
+// isolates the coverage decision itself.
+func BenchmarkStoreSubscribeSparse(b *testing.B) {
+	const (
+		k = 4000
+		m = 4
+	)
+	sparseSub := func(rng *rand.Rand) subscription.Subscription {
+		bounds := make([]interval.Interval, m)
+		for a := range bounds {
+			lo := rng.Int64N(9_800)
+			bounds[a] = interval.New(lo, lo+40+rng.Int64N(160))
+		}
+		return subscription.Subscription{Bounds: bounds}
+	}
+	shrink := func(s subscription.Subscription) subscription.Subscription {
+		bounds := make([]interval.Interval, len(s.Bounds))
+		for a, iv := range s.Bounds {
+			q := iv.Count() / 4
+			bounds[a] = interval.New(iv.Lo+q, iv.Hi-q)
+		}
+		return subscription.Subscription{Bounds: bounds}
+	}
+	for _, tc := range []struct {
+		name    string
+		policy  store.Policy
+		pruning bool
+	}{
+		{"pairwise", store.PolicyPairwise, true},
+		{"pairwise-noprune", store.PolicyPairwise, false},
+		{"group", store.PolicyGroup, true},
+		{"group-noprune", store.PolicyGroup, false},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(91, 92))
+			opts := []store.Option{store.WithCandidatePruning(tc.pruning)}
+			if tc.policy == store.PolicyGroup {
+				checker, err := core.NewChecker(core.WithSeed(93, 94), core.WithMaxTrials(2000))
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts = append(opts, store.WithChecker(checker))
+			}
+			st, err := store.New(tc.policy, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			base := make([]subscription.Subscription, k)
+			for i := range base {
+				base[i] = sparseSub(rng)
+				if _, err := st.Subscribe(store.ID(i), base[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			probes := make([]subscription.Subscription, 256)
+			for i := range probes {
+				probes[i] = shrink(base[rng.IntN(k)])
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := store.ID(k + 1 + i)
+				res, err := st.Subscribe(id, probes[i%len(probes)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Status != store.StatusCovered {
+					b.Fatalf("probe %d unexpectedly active", i)
+				}
+				if _, err := st.Unsubscribe(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,136 @@
+package main
+
+// Machine-readable micro-benchmark output: paperbench -benchjson DIR
+// runs the hot-path micro-benchmarks via testing.Benchmark and writes
+// BENCH_<date>.json, giving future changes a perf trajectory to diff
+// against without parsing `go test -bench` text.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"probsum/internal/benchcases"
+	"probsum/internal/conflict"
+	"probsum/internal/core"
+	"probsum/internal/store"
+)
+
+// BenchResult is one benchmark measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// BenchReport is the file-level envelope.
+type BenchReport struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// microBenchmarks is the hot-path set, with bodies shared with the
+// repo's bench_test.go through internal/benchcases so trajectories
+// line up with `go test -bench` output.
+func microBenchmarks() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"ConflictTableBuild", func(b *testing.B) {
+			in := benchcases.Instance("cover")
+			var t conflict.Table
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := t.Reset(in.S, in.Set); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"MCS", func(b *testing.B) {
+			in := benchcases.Instance("cover")
+			tbl, err := conflict.Build(in.S, in.Set)
+			if err != nil {
+				b.Fatal(err)
+			}
+			alive := make([]bool, tbl.K())
+			var an conflict.Analysis
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.MCSInto(tbl, alive, &an)
+			}
+		}},
+		{"CoveredInto/covered", func(b *testing.B) { benchcases.CoveredInto(b, "cover") }},
+		{"CoveredInto/noncover", func(b *testing.B) { benchcases.CoveredInto(b, "noncover") }},
+		{"StoreSubscribe/pairwise", func(b *testing.B) {
+			benchcases.StoreSubscribe(b, store.PolicyPairwise, true)
+		}},
+		{"StoreSubscribe/group", func(b *testing.B) {
+			benchcases.StoreSubscribe(b, store.PolicyGroup, true)
+		}},
+		{"StoreSubscribe/pairwise-noprune", func(b *testing.B) {
+			benchcases.StoreSubscribe(b, store.PolicyPairwise, false)
+		}},
+		{"StoreSubscribe/group-noprune", func(b *testing.B) {
+			benchcases.StoreSubscribe(b, store.PolicyGroup, false)
+		}},
+	}
+}
+
+// runBenchJSON executes the micro-benchmarks and writes
+// BENCH_<yyyy-mm-dd>.json into dir, returning the file path.
+func runBenchJSON(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("create bench dir: %w", err)
+	}
+	report := BenchReport{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, bm := range microBenchmarks() {
+		fmt.Fprintf(os.Stderr, "bench %-32s ", bm.name)
+		r := testing.Benchmark(bm.fn)
+		if r.N == 0 {
+			fmt.Fprintln(os.Stderr, "FAILED")
+			return "", fmt.Errorf("bench %s failed (body called b.Fatal)", bm.name)
+		}
+		res := BenchResult{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "%12.1f ns/op %6d allocs/op\n", res.NsPerOp, res.AllocsPerOp)
+		report.Benchmarks = append(report.Benchmarks, res)
+	}
+	path := filepath.Join(dir, "BENCH_"+time.Now().UTC().Format("2006-01-02")+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("create %s: %w", path, err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return "", fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("close %s: %w", path, err)
+	}
+	return path, nil
+}

@@ -9,6 +9,8 @@
 //	paperbench -run fig6,fig12     # selected experiments
 //	paperbench -scale 0.1 -all     # 10% of the paper's run counts
 //	paperbench -all -csv out/      # also write out/<id>.csv
+//	paperbench -benchjson .        # write BENCH_<date>.json with
+//	                                # ns/op + allocs/op of the hot path
 package main
 
 import (
@@ -31,11 +33,12 @@ func main() {
 
 func run() error {
 	var (
-		all    = flag.Bool("all", false, "run every experiment")
-		runIDs = flag.String("run", "", "comma-separated experiment ids (see -list)")
-		scale  = flag.Float64("scale", 1.0, "fraction of the paper's run counts (speed/precision trade-off)")
-		csvDir = flag.String("csv", "", "directory to write <id>.csv files into")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		all       = flag.Bool("all", false, "run every experiment")
+		runIDs    = flag.String("run", "", "comma-separated experiment ids (see -list)")
+		scale     = flag.Float64("scale", 1.0, "fraction of the paper's run counts (speed/precision trade-off)")
+		csvDir    = flag.String("csv", "", "directory to write <id>.csv files into")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		benchJSON = flag.String("benchjson", "", "directory to write BENCH_<date>.json micro-benchmark results into")
 	)
 	flag.Parse()
 
@@ -44,6 +47,16 @@ func run() error {
 			fmt.Println(id)
 		}
 		return nil
+	}
+	if *benchJSON != "" {
+		path, err := runBenchJSON(*benchJSON)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		if !*all && *runIDs == "" {
+			return nil
+		}
 	}
 	var ids []string
 	switch {

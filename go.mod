@@ -1,0 +1,3 @@
+module probsum
+
+go 1.24

@@ -1,0 +1,108 @@
+// Package benchcases holds the hot-path benchmark bodies shared by
+// the repository's bench_test.go and cmd/paperbench's -benchjson
+// emitter. Keeping one copy guarantees the BENCH_<date>.json
+// trajectory measures exactly what `go test -bench` measures — same
+// workloads, same seeds, same loops.
+package benchcases
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"probsum/internal/core"
+	"probsum/internal/store"
+	"probsum/internal/subscription"
+	"probsum/internal/workload"
+)
+
+// Instance builds the canonical micro-benchmark instance (k=100,
+// m=10) for scenario "cover" or "noncover".
+func Instance(scenario string) workload.Instance {
+	rng := rand.New(rand.NewPCG(1, 2))
+	cfg := workload.Config{K: 100, M: 10}
+	switch scenario {
+	case "cover":
+		return workload.RedundantCovering(rng, cfg)
+	case "noncover":
+		return workload.NonCover(rng, cfg, 0.05)
+	default:
+		panic("unknown scenario " + scenario)
+	}
+}
+
+// Checker builds the canonical micro-benchmark checker (δ=1e-6, seed
+// 1/2, 2000-trial cap).
+func Checker(b *testing.B) *core.Checker {
+	b.Helper()
+	c, err := core.NewChecker(
+		core.WithErrorProbability(1e-6),
+		core.WithSeed(1, 2),
+		core.WithMaxTrials(2000),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// CoveredInto is the zero-allocation checker benchmark body: the
+// Algorithm 4 pipeline through CoveredInto with a reused Result.
+func CoveredInto(b *testing.B, scenario string) {
+	in := Instance(scenario)
+	checker := Checker(b)
+	var res core.Result
+	if err := checker.CoveredInto(&res, in.S, in.Set); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := checker.CoveredInto(&res, in.S, in.Set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// StoreSubscribe is the store arrival benchmark body: one
+// subscribe/unsubscribe round-trip against a store pre-filled with
+// 1500 Section 6.4 comparison-workload subscriptions.
+func StoreSubscribe(b *testing.B, policy store.Policy, pruning bool) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	stream, err := workload.NewComparisonStream(rng, workload.DefaultComparisonConfig(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := []store.Option{store.WithCandidatePruning(pruning)}
+	if policy == store.PolicyGroup {
+		checker, err := core.NewChecker(core.WithSeed(33, 34), core.WithMaxTrials(2000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts = append(opts, store.WithChecker(checker))
+	}
+	st, err := store.New(policy, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 1500
+	for i := 0; i < k; i++ {
+		if _, err := st.Subscribe(store.ID(i), stream.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	probes := make([]subscription.Subscription, 256)
+	for i := range probes {
+		probes[i] = stream.Next()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := store.ID(k + 1 + i)
+		if _, err := st.Subscribe(id, probes[i%len(probes)]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Unsubscribe(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -98,12 +98,28 @@ type Option func(*Broker)
 // the per-neighbor coverage tables under store.PolicyGroup. The seed
 // is combined with the broker and neighbor identities so every table
 // gets an independent, reproducible stream.
+//
+// Each coverage table owns its checker instance outright — this is a
+// deliberate design point, not an accident of construction: a Checker
+// carries a non-thread-safe random stream plus the reusable
+// zero-allocation scratch of the hot path, so sharing one across
+// tables (or across the transports that drive different brokers
+// concurrently) would race on both. Callers that multiplex many
+// short-lived checks across goroutines should use core.CheckerPool
+// instead of reaching into a broker's tables.
 func WithCheckerConfig(delta float64, maxTrials int, seed uint64) Option {
 	return func(b *Broker) {
 		b.delta = delta
 		b.maxTrials = maxTrials
 		b.seed = seed
 	}
+}
+
+// WithCandidatePruning toggles the per-attribute candidate index in
+// every per-neighbor coverage table (default on; see
+// store.WithCandidatePruning). Exposed for ablation experiments.
+func WithCandidatePruning(enabled bool) Option {
+	return func(b *Broker) { b.pruning = &enabled }
 }
 
 // Broker is a single node of the overlay. Not safe for concurrent use;
@@ -114,6 +130,7 @@ type Broker struct {
 	delta     float64
 	maxTrials int
 	seed      uint64
+	pruning   *bool // nil means store default (on)
 
 	neighbors map[string]bool
 	clients   map[string]bool
@@ -211,6 +228,8 @@ func (b *Broker) ConnectNeighbor(id string) error {
 	}
 	var opts []store.Option
 	if b.policy == store.PolicyGroup {
+		// One checker per table: see WithCheckerConfig for why the
+		// checker is never shared between tables or transports.
 		checker, err := core.NewChecker(
 			core.WithErrorProbability(b.delta),
 			core.WithMaxTrials(b.maxTrials),
@@ -220,6 +239,9 @@ func (b *Broker) ConnectNeighbor(id string) error {
 			return fmt.Errorf("broker %s: neighbor %s: %w", b.id, id, err)
 		}
 		opts = append(opts, store.WithChecker(checker))
+	}
+	if b.pruning != nil {
+		opts = append(opts, store.WithCandidatePruning(*b.pruning))
 	}
 	st, err := store.New(b.policy, opts...)
 	if err != nil {

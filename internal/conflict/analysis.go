@@ -34,10 +34,22 @@ type Analysis struct {
 // NewAnalysis scans the alive rows (nil means all) and records the
 // per-attribute extrema in O(m*k).
 func NewAnalysis(t *Table, alive []bool) *Analysis {
-	an := &Analysis{
-		t:       t,
-		maxHigh: make([][2]boundAt, t.m),
-		minLow:  make([][2]boundAt, t.m),
+	an := new(Analysis)
+	an.Reset(t, alive)
+	return an
+}
+
+// Reset re-runs the extrema scan in place, reusing the analysis's
+// backing storage; NewAnalysis is Reset on a fresh Analysis. The MCS
+// fixpoint loop calls this once per pass without allocating.
+func (an *Analysis) Reset(t *Table, alive []bool) {
+	an.t = t
+	if cap(an.maxHigh) < t.m || cap(an.minLow) < t.m {
+		an.maxHigh = make([][2]boundAt, t.m)
+		an.minLow = make([][2]boundAt, t.m)
+	} else {
+		an.maxHigh = an.maxHigh[:t.m]
+		an.minLow = an.minLow[:t.m]
 	}
 	for a := 0; a < t.m; a++ {
 		an.maxHigh[a] = [2]boundAt{{row: -1}, {row: -1}}
@@ -72,7 +84,6 @@ func NewAnalysis(t *Table, alive []bool) *Analysis {
 			}
 		}
 	}
-	return an
 }
 
 // conflictLowHigh reports whether a low entry with bound u and a high

@@ -13,8 +13,9 @@
 package conflict
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"probsum/internal/interval"
@@ -64,20 +65,41 @@ type Table struct {
 // set subs in O(m*k). All subscriptions must share s's attribute count;
 // violating rows yield an error.
 func Build(s subscription.Subscription, subs []subscription.Subscription) (*Table, error) {
+	t := new(Table)
+	if err := t.Reset(s, subs); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Reset rebuilds the table in place for s against subs, reusing the
+// backing storage of any previous build. It is the allocation-free
+// core of Build: a caller that owns a Table and calls Reset per query
+// performs zero steady-state allocations once the buffers have grown
+// to the workload's high-water mark.
+func (t *Table) Reset(s subscription.Subscription, subs []subscription.Subscription) error {
 	m := s.Len()
 	if m == 0 {
-		return nil, fmt.Errorf("conflict: tested subscription has no attributes")
+		return fmt.Errorf("conflict: tested subscription has no attributes")
 	}
-	t := &Table{
-		s:       s,
-		subs:    subs,
-		m:       m,
-		defined: make([]bool, len(subs)*2*m),
-		ti:      make([]int, len(subs)),
+	t.s = s
+	t.subs = subs
+	t.m = m
+	n := len(subs) * 2 * m
+	if cap(t.defined) < n {
+		t.defined = make([]bool, n)
+	} else {
+		t.defined = t.defined[:n]
+		clear(t.defined)
+	}
+	if cap(t.ti) < len(subs) {
+		t.ti = make([]int, len(subs))
+	} else {
+		t.ti = t.ti[:len(subs)]
 	}
 	for i, si := range subs {
 		if si.Len() != m {
-			return nil, fmt.Errorf("conflict: subscription %d has %d attributes, want %d: %w",
+			return fmt.Errorf("conflict: subscription %d has %d attributes, want %d: %w",
 				i, si.Len(), m, subscription.ErrSchemaMismatch)
 		}
 		base := i * 2 * m
@@ -97,7 +119,7 @@ func Build(s subscription.Subscription, subs []subscription.Subscription) (*Tabl
 		}
 		t.ti[i] = count
 	}
-	return t, nil
+	return nil
 }
 
 // K returns the number of rows (subscriptions in the set).
@@ -203,6 +225,21 @@ func (t *Table) DefinedEntries(i int) []EntryRef {
 	return out
 }
 
+// Scratch holds the reusable buffers of the allocation-free table
+// algorithm variants (SortedRowConditionScratch, GreedyWitnessScratch)
+// and of the MCS reduction's analysis passes. The zero value is ready
+// to use; buffers grow to the workload's high-water mark and are
+// reused afterwards. A Scratch must not be shared across goroutines.
+type Scratch struct {
+	counts     []int
+	rows       []int
+	eliminated []uint64 // bitset indexed like Table.defined
+	box        []interval.Interval
+
+	// An is the reusable extrema analysis for MCS passes.
+	An Analysis
+}
+
 // SortedRowCondition implements the test of Corollary 3 over the rows
 // selected by alive (nil means all rows): sort the defined-entry counts
 // ascending; if the j-th smallest count is >= j (1-based) for all j, a
@@ -210,16 +247,23 @@ func (t *Table) DefinedEntries(i int) []EntryRef {
 // evaluates the condition; use GreedyWitness to materialize and verify
 // the witness.
 func (t *Table) SortedRowCondition(alive []bool) bool {
-	counts := make([]int, 0, len(t.ti))
+	return t.SortedRowConditionScratch(alive, new(Scratch))
+}
+
+// SortedRowConditionScratch is SortedRowCondition writing its working
+// set into sc instead of allocating.
+func (t *Table) SortedRowConditionScratch(alive []bool, sc *Scratch) bool {
+	counts := sc.counts[:0]
 	for i, n := range t.ti {
 		if alive == nil || alive[i] {
 			counts = append(counts, n)
 		}
 	}
+	sc.counts = counts
 	if len(counts) == 0 {
 		return true // vacuously: an empty set cannot cover a non-empty s
 	}
-	sort.Ints(counts)
+	slices.Sort(counts)
 	for j, n := range counts {
 		if n < j+1 {
 			return false
@@ -236,40 +280,73 @@ func (t *Table) SortedRowCondition(alive []bool) bool {
 // false when construction fails, which can only happen if the sorted
 // row condition does not hold.
 func (t *Table) GreedyWitness(alive []bool) (subscription.Subscription, bool) {
-	rows := make([]int, 0, len(t.ti))
+	return t.GreedyWitnessScratch(alive, new(Scratch))
+}
+
+// GreedyWitnessScratch is GreedyWitness with all intermediate state
+// (row ordering, the elimination set as a bitset, the working box) in
+// sc. Only a successful construction allocates: the verified witness
+// box is cloned out of the scratch so it stays valid across reuse.
+func (t *Table) GreedyWitnessScratch(alive []bool, sc *Scratch) (subscription.Subscription, bool) {
+	rows := sc.rows[:0]
 	for i := range t.ti {
 		if alive == nil || alive[i] {
 			rows = append(rows, i)
 		}
 	}
-	sort.Slice(rows, func(a, b int) bool { return t.ti[rows[a]] < t.ti[rows[b]] })
+	sc.rows = rows
+	slices.SortFunc(rows, func(a, b int) int { return cmp.Compare(t.ti[a], t.ti[b]) })
+
+	// Elimination bitset, one bit per table entry.
+	words := (len(t.defined) + 63) / 64
+	if cap(sc.eliminated) < words {
+		sc.eliminated = make([]uint64, words)
+	} else {
+		sc.eliminated = sc.eliminated[:words]
+		clear(sc.eliminated)
+	}
+	elim := sc.eliminated
+	bit := func(e EntryRef) int { return e.Row*2*t.m + 2*e.Attr + int(e.Side) }
 
 	// Witness box accumulates s ∧ chosen negated predicates.
-	box := t.s.Clone()
-	eliminated := make(map[EntryRef]bool)
+	if cap(sc.box) < t.m {
+		sc.box = make([]interval.Interval, t.m)
+	} else {
+		sc.box = sc.box[:t.m]
+	}
+	box := sc.box
+	copy(box, t.s.Bounds)
+
 	for _, r := range rows {
 		chosen := EntryRef{Row: -1}
-		for _, e := range t.DefinedEntries(r) {
-			if eliminated[e] {
-				continue
+	pick:
+		for a := 0; a < t.m; a++ {
+			for side := SideLow; side <= SideHigh; side++ {
+				if !t.Defined(r, a, side) {
+					continue
+				}
+				e := EntryRef{Row: r, Attr: a, Side: side}
+				if i := bit(e); elim[i/64]&(1<<(i%64)) != 0 {
+					continue
+				}
+				// The entry must still intersect the current box slice;
+				// elimination bookkeeping guarantees this, but verify to
+				// keep the path sound regardless of input.
+				if !t.Region(e).Intersects(box[a]) {
+					continue
+				}
+				chosen = e
+				break pick
 			}
-			// The entry must still intersect the current box slice;
-			// elimination bookkeeping guarantees this, but verify to
-			// keep the path sound regardless of input.
-			if !t.Region(e).Intersects(box.Bounds[e.Attr]) {
-				continue
-			}
-			chosen = e
-			break
 		}
 		if chosen.Row == -1 {
 			return subscription.Subscription{}, false
 		}
 		// Narrow the box by the chosen negated predicate.
 		if chosen.Side == SideLow {
-			box.Bounds[chosen.Attr] = box.Bounds[chosen.Attr].Below(t.Bound(chosen))
+			box[chosen.Attr] = box[chosen.Attr].Below(t.Bound(chosen))
 		} else {
-			box.Bounds[chosen.Attr] = box.Bounds[chosen.Attr].Above(t.Bound(chosen))
+			box[chosen.Attr] = box[chosen.Attr].Above(t.Bound(chosen))
 		}
 		// Eliminate conflicting entries from all other rows: only the
 		// opposite side of the same attribute can conflict.
@@ -283,14 +360,17 @@ func (t *Table) GreedyWitness(alive []bool) (subscription.Subscription, bool) {
 			}
 			e2 := EntryRef{Row: r2, Attr: chosen.Attr, Side: opp}
 			if t.DefinedRef(e2) && t.Conflicting(chosen, e2) {
-				eliminated[e2] = true
+				i := bit(e2)
+				elim[i/64] |= 1 << (i % 64)
 			}
 		}
 	}
-	if !box.IsSatisfiable() {
-		return subscription.Subscription{}, false
+	for _, b := range box {
+		if b.IsEmpty() {
+			return subscription.Subscription{}, false
+		}
 	}
-	return box, true
+	return subscription.New(box...), true
 }
 
 // String renders the table in the layout of the paper's Table 5: one

@@ -61,14 +61,30 @@ func WithFastPaths(enabled bool) Option {
 
 // Checker answers group-subsumption questions with the full pipeline of
 // Algorithm 4. The zero value is not usable; construct with NewChecker.
-// A Checker is not safe for concurrent use (it owns a random stream);
-// create one per goroutine.
+// A Checker is not safe for concurrent use (it owns a random stream and
+// the reusable hot-path buffers); create one per goroutine or table —
+// see CheckerPool for concurrent callers.
 type Checker struct {
 	delta     float64
 	maxTrials int
 	useMCS    bool
 	useFast   bool
 	rng       *rand.Rand
+
+	// sc holds the per-checker scratch the zero-allocation path writes
+	// into; buffers grow to the workload's high-water mark and are
+	// reused across Covered/CoveredInto calls.
+	sc scratch
+}
+
+// scratch aggregates every buffer the Algorithm 4 pipeline needs, so a
+// steady-state CoveredInto call performs no heap allocations.
+type scratch struct {
+	table conflict.Table
+	cs    conflict.Scratch
+	alive []bool
+	point []int64
+	flat  flatSet
 }
 
 // NewChecker returns a Checker with the paper's defaults: δ = 1e-6,
@@ -111,19 +127,36 @@ func (c *Checker) Delta() float64 { return c.delta }
 //     δ, cap it at MaxTrials, and run RSPC: a point witness is a
 //     definite NO, otherwise a probabilistic YES.
 func (c *Checker) Covered(s subscription.Subscription, set []subscription.Subscription) (Result, error) {
-	if !s.IsSatisfiable() {
-		return Result{}, ErrUnsatisfiable
+	var res Result
+	if err := c.CoveredInto(&res, s, set); err != nil {
+		return Result{}, err
 	}
-	res := Result{CoveringRow: -1}
+	return res, nil
+}
+
+// CoveredInto is Covered writing the outcome into res, reusing res's
+// slice capacity and the checker's internal scratch. A caller that
+// keeps one Result per checker performs zero heap allocations in
+// steady state (covered answers); only definite-NO answers allocate,
+// to copy their witness out of the scratch. Decisions are identical to
+// Covered's for the same random stream.
+//
+// res is overwritten entirely; any slices previously returned from it
+// (ReducedSet in particular) are invalidated by the next call.
+func (c *Checker) CoveredInto(res *Result, s subscription.Subscription, set []subscription.Subscription) error {
+	if !s.IsSatisfiable() {
+		return ErrUnsatisfiable
+	}
+	res.resetForReuse()
 	if len(set) == 0 {
 		res.Decision = NotCovered
 		res.Reason = ReasonEmptyMCS
-		return res, nil
+		return nil
 	}
 
-	table, err := conflict.Build(s, set)
-	if err != nil {
-		return Result{}, err
+	table := &c.sc.table
+	if err := table.Reset(s, set); err != nil {
+		return err
 	}
 
 	if c.useFast {
@@ -131,26 +164,35 @@ func (c *Checker) Covered(s subscription.Subscription, set []subscription.Subscr
 			res.Decision = Covered
 			res.Reason = ReasonPairwiseCover
 			res.CoveringRow = row
-			return res, nil
+			return nil
 		}
-		if table.SortedRowCondition(nil) {
-			if witness, ok := table.GreedyWitness(nil); ok {
+		if table.SortedRowConditionScratch(nil, &c.sc.cs) {
+			if witness, ok := table.GreedyWitnessScratch(nil, &c.sc.cs); ok {
 				res.Decision = NotCovered
 				res.Reason = ReasonPolyhedronWitness
 				res.PolyhedronWitness = witness
-				return res, nil
+				return nil
 			}
 		}
 	}
 
 	var alive []bool
 	if c.useMCS {
-		mcs := MCS(table)
-		res.ReducedSet = mcs.Indices()
+		if cap(c.sc.alive) < table.K() {
+			c.sc.alive = make([]bool, table.K())
+		} else {
+			c.sc.alive = c.sc.alive[:table.K()]
+		}
+		mcs := MCSInto(table, c.sc.alive, &c.sc.cs.An)
+		for i, ok := range mcs.Alive {
+			if ok {
+				res.ReducedSet = append(res.ReducedSet, i)
+			}
+		}
 		if mcs.AliveCount == 0 {
 			res.Decision = NotCovered
 			res.Reason = ReasonEmptyMCS
-			return res, nil
+			return nil
 		}
 		alive = mcs.Alive
 	}
@@ -165,15 +207,21 @@ func (c *Checker) Covered(s subscription.Subscription, set []subscription.Subscr
 		res.DCapped = true
 	}
 
-	out := RSPC(s, set, alive, trials, c.rng)
+	if cap(c.sc.point) < s.Len() {
+		c.sc.point = make([]int64, s.Len())
+	} else {
+		c.sc.point = c.sc.point[:s.Len()]
+	}
+	c.sc.flat.build(s, set, alive)
+	out := rspcFlat(s, &c.sc.flat, trials, c.rng, c.sc.point)
 	res.ExecutedTrials = out.Trials
 	if out.Found() {
 		res.Decision = NotCovered
 		res.Reason = ReasonPointWitness
 		res.PointWitness = out.Witness
-		return res, nil
+		return nil
 	}
 	res.Decision = CoveredProbably
 	res.Reason = ReasonTrialsExhausted
-	return res, nil
+	return nil
 }

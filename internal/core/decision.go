@@ -134,3 +134,11 @@ type Result struct {
 	ExecutedTrials int
 	DCapped        bool
 }
+
+// resetForReuse clears the result for the next CoveredInto call while
+// keeping the ReducedSet capacity, so a reused Result stops allocating
+// once it has seen the workload's largest reduced set.
+func (r *Result) resetForReuse() {
+	reduced := r.ReducedSet[:0]
+	*r = Result{CoveringRow: -1, ReducedSet: reduced}
+}

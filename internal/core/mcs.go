@@ -40,15 +40,22 @@ func (r MCSResult) Indices() []int {
 // pass start is conservative and the fixpoint loop picks up the
 // remainder — identical final answer, fewer rescans.
 func MCS(t *conflict.Table) MCSResult {
+	return MCSInto(t, make([]bool, t.K()), new(conflict.Analysis))
+}
+
+// MCSInto is MCS writing the survivor flags into alive (which must
+// have length t.K(); prior contents are overwritten) and reusing an
+// for the per-pass extrema scans. It allocates nothing, making it the
+// hot-path entry used by Checker.CoveredInto.
+func MCSInto(t *conflict.Table, alive []bool, an *conflict.Analysis) MCSResult {
 	k := t.K()
-	alive := make([]bool, k)
 	for i := range alive {
 		alive[i] = true
 	}
 	res := MCSResult{Alive: alive, AliveCount: k}
 	for {
 		res.Passes++
-		an := conflict.NewAnalysis(t, alive)
+		an.Reset(t, alive)
 		removed := false
 		for i := 0; i < k; i++ {
 			if !alive[i] {

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// CheckerPool hands out Checkers to concurrent callers. A Checker is
+// deliberately stateful — it owns a random stream and the reusable
+// zero-allocation scratch — so it must never be shared between
+// goroutines. The pool amortizes both costs: checkers returned with
+// Put keep their warmed-up buffers for the next Get, and each checker
+// created by the pool draws from an independent, reproducibly derived
+// random stream (base seed mixed with a per-checker counter), so
+// concurrent transports never contend on — or correlate through — a
+// shared RNG.
+type CheckerPool struct {
+	pool sync.Pool
+}
+
+// NewCheckerPool builds a pool whose checkers are configured with
+// opts. Checkers are seeded from seed combined with a strictly
+// increasing creation counter, so no two checkers ever share a
+// stream and each checker's stream is a deterministic function of
+// (seed, creation index). Note that sync.Pool may drop idle checkers
+// at GC, so WHICH stream serves a given Get is not reproducible
+// across runs — use a single seeded Checker per goroutine when
+// exact decision replay matters. An explicit WithSeed in opts would
+// break stream independence and is overridden.
+func NewCheckerPool(seed uint64, opts ...Option) (*CheckerPool, error) {
+	// Validate the configuration once, eagerly, so Get never fails.
+	if _, err := NewChecker(opts...); err != nil {
+		return nil, err
+	}
+	var n atomic.Uint64
+	p := &CheckerPool{}
+	p.pool.New = func() any {
+		i := n.Add(1)
+		// splitmix64-style avalanche so consecutive counters produce
+		// uncorrelated PCG seed pairs.
+		mixed := (seed + i*0x9e3779b97f4a7c15) ^ (seed >> 31)
+		withSeed := append(append([]Option(nil), opts...), WithSeed(mixed, i|1))
+		c, err := NewChecker(withSeed...)
+		if err != nil {
+			// Unreachable: the configuration was validated above and
+			// WithSeed cannot invalidate it.
+			panic(err)
+		}
+		return c
+	}
+	return p, nil
+}
+
+// Get checks a checker out of the pool, creating one when empty.
+func (p *CheckerPool) Get() *Checker { return p.pool.Get().(*Checker) }
+
+// Put returns a checker for reuse. The checker must not be used after
+// Put; its scratch buffers stay warm for the next Get.
+func (p *CheckerPool) Put(c *Checker) {
+	if c != nil {
+		p.pool.Put(c)
+	}
+}

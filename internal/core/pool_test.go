@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"probsum/internal/workload"
+)
+
+// TestCheckerPoolConcurrent hammers one pool from many goroutines;
+// with the race detector this pins the claim that pooled checkers
+// never share an RNG or scratch.
+func TestCheckerPoolConcurrent(t *testing.T) {
+	pool, err := NewCheckerPool(7, WithMaxTrials(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(201, 202))
+	instances := make([]workload.Instance, 8)
+	for i := range instances {
+		instances[i] = workload.RedundantCovering(rng, workload.Config{K: 30, M: 5})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var res Result
+			for i := 0; i < 50; i++ {
+				c := pool.Get()
+				in := instances[(g+i)%len(instances)]
+				if err := c.CoveredInto(&res, in.S, in.Set); err != nil {
+					t.Error(err)
+				} else if !res.Decision.IsCovered() {
+					t.Errorf("goroutine %d iter %d: covered instance judged %v", g, i, res.Decision)
+				}
+				pool.Put(c)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCheckerPoolRejectsBadConfig validates eagerly at construction.
+func TestCheckerPoolRejectsBadConfig(t *testing.T) {
+	if _, err := NewCheckerPool(1, WithErrorProbability(2)); err == nil {
+		t.Fatal("expected error for delta out of range")
+	}
+}

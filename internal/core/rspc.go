@@ -1,7 +1,10 @@
 package core
 
 import (
+	"cmp"
+	"math/bits"
 	"math/rand/v2"
+	"slices"
 
 	"probsum/internal/subscription"
 )
@@ -56,4 +59,168 @@ func pointInAnyAlive(p []int64, set []subscription.Subscription, alive []bool) b
 		}
 	}
 	return false
+}
+
+// flatSet lays the alive subscriptions' bounds out as a flat
+// struct-of-arrays — lo and hi as contiguous []int64, row-major — so
+// the RSPC inner loop walks linear memory instead of chasing one
+// bounds slice per subscription. Rows are additionally
+//
+//   - restricted to subscriptions that intersect s (a row disjoint
+//     from s can never contain a point of s, so dropping it cannot
+//     change any membership answer), and
+//   - ordered by descending |row ∩ s|, so the rows most likely to
+//     contain a uniform random point of s are tested first and the
+//     expected early-exit comes sooner.
+//
+// Neither transform changes whether a point is a witness; only the
+// constant factor of the search drops.
+type flatSet struct {
+	m    int
+	rows int
+	lo   []int64
+	hi   []int64
+
+	// sLo and sWidth cache the tested subscription's per-attribute
+	// lower bounds and point counts, so drawing a uniform point is a
+	// multiply-shift per attribute with no interval arithmetic.
+	sLo    []int64
+	sWidth []uint64
+
+	idx  []int     // scratch: selected row indices during build
+	keys []float64 // scratch: per-row ordering key, indexed by original row
+}
+
+// build populates the flat layout from the alive rows of set (nil
+// alive means all rows). It reuses all backing storage.
+func (f *flatSet) build(s subscription.Subscription, set []subscription.Subscription, alive []bool) {
+	m := s.Len()
+	f.m = m
+	if cap(f.sLo) < m {
+		f.sLo = make([]int64, m)
+		f.sWidth = make([]uint64, m)
+	} else {
+		f.sLo = f.sLo[:m]
+		f.sWidth = f.sWidth[:m]
+	}
+	for a, b := range s.Bounds {
+		f.sLo[a] = b.Lo
+		f.sWidth[a] = uint64(b.Hi-b.Lo) + 1
+	}
+	if cap(f.keys) < len(set) {
+		f.keys = make([]float64, len(set))
+	} else {
+		f.keys = f.keys[:len(set)]
+	}
+	idx := f.idx[:0]
+	for i := range set {
+		if alive != nil && !alive[i] {
+			continue
+		}
+		// Ordering key: the float64 product of the intersection's
+		// per-attribute widths. Relative order is all that matters, so
+		// overflow to +Inf for huge boxes merely collapses ties.
+		size := 1.0
+		empty := false
+		for a, b := range set[i].Bounds {
+			iv := b.Intersect(s.Bounds[a])
+			if iv.IsEmpty() {
+				empty = true
+				break
+			}
+			size *= float64(iv.Hi-iv.Lo) + 1
+		}
+		if empty {
+			continue
+		}
+		f.keys[i] = size
+		idx = append(idx, i)
+	}
+	f.idx = idx
+	slices.SortStableFunc(idx, func(a, b int) int { return cmp.Compare(f.keys[b], f.keys[a]) })
+
+	f.rows = len(idx)
+	n := f.rows * m
+	if cap(f.lo) < n {
+		f.lo = make([]int64, n)
+		f.hi = make([]int64, n)
+	} else {
+		f.lo = f.lo[:n]
+		f.hi = f.hi[:n]
+	}
+	for r, i := range idx {
+		base := r * m
+		for a, b := range set[i].Bounds {
+			f.lo[base+a] = b.Lo
+			f.hi[base+a] = b.Hi
+		}
+	}
+}
+
+// contains reports whether p lies inside at least one row.
+func (f *flatSet) contains(p []int64) bool {
+	m := f.m
+	if len(p) < m {
+		return false
+	}
+	p = p[:m]
+	for base := 0; base+m <= len(f.lo); base += m {
+		loRow := f.lo[base : base+m]
+		hiRow := f.hi[base : base+m]
+		inside := true
+		for a, lo := range loRow {
+			if v := p[a]; v < lo || v > hiRow[a] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			return true
+		}
+	}
+	return false
+}
+
+// rspcFlat is RSPC against a prebuilt flat layout, writing guesses
+// into the caller-owned point buffer. Points are drawn from a
+// splitmix64 stream seeded with a single draw from the checker's PCG
+// — decisions stay reproducible for a seeded checker, but the draw
+// sequence is deliberately not RSPC's: splitmix64 advances in a
+// handful of ALU ops, and the [0,width) mapping is a multiply-shift
+// (Lemire) with no rejection loop, which together remove the RNG from
+// the top of the hot-path profile. The mapping's modulo bias is below
+// width/2^64 per attribute — orders of magnitude under any δ a caller
+// can configure — and a found witness is still verified exactly by
+// the membership test, so NO answers remain exact. The witness copy
+// is the lone allocation, on the definite-NO path only.
+func rspcFlat(s subscription.Subscription, f *flatSet, trials int, rng *rand.Rand, point []int64) RSPCOutcome {
+	state := rng.Uint64()
+	m := len(point)
+	sLo := f.sLo[:m]
+	sWidth := f.sWidth[:m]
+	for trial := 1; trial <= trials; trial++ {
+		for a, w := range sWidth {
+			state += 0x9e3779b97f4a7c15
+			z := state
+			z ^= z >> 30
+			z *= 0xbf58476d1ce4e5b9
+			z ^= z >> 27
+			z *= 0x94d049bb133111eb
+			z ^= z >> 31
+			if w == 0 {
+				// Width 2^64 wrapped: the attribute spans the whole
+				// int64 range, so any 64-bit value is a uniform draw.
+				point[a] = int64(z)
+				continue
+			}
+			hi, _ := bits.Mul64(z, w)
+			point[a] = sLo[a] + int64(hi)
+		}
+		if !f.contains(point) {
+			witness := make([]int64, len(point))
+			copy(witness, point)
+			return RSPCOutcome{Witness: witness, Trials: trial}
+		}
+	}
+	return RSPCOutcome{Trials: trials}
 }

@@ -1,0 +1,127 @@
+// Package dist wraps the random distributions the paper's Section 6.4
+// comparison workload draws from: Zipf for attribute popularity,
+// Pareto for range centers ("similar interests" clustering toward the
+// popular corner of the attribute space), and Normal for range widths.
+// All draws go through a caller-supplied *rand.Rand so experiment runs
+// stay reproducible.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// UniformIn returns a uniform integer in [lo, hi]. It tolerates
+// degenerate ranges (hi <= lo yields lo), which the workload
+// generators rely on at domain edges.
+func UniformIn(rng *rand.Rand, lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Int64N(hi-lo+1)
+}
+
+// Zipf draws integers in [0, n) with P(k) proportional to 1/(k+1)^s.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf builds a Zipf source over [0, n) with skew s (must be > 1,
+// the paper uses 2.0).
+func NewZipf(rng *rand.Rand, s float64, n uint64) (*Zipf, error) {
+	if s <= 1 {
+		return nil, fmt.Errorf("dist: zipf skew must be > 1, got %g", s)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("dist: zipf needs a non-empty range")
+	}
+	return &Zipf{z: rand.NewZipf(rng, s, 1, n-1)}, nil
+}
+
+// Draw returns the next Zipf variate in [0, n).
+func (z *Zipf) Draw() uint64 { return z.z.Uint64() }
+
+// Pareto draws from a Pareto distribution with shape alpha and scale 1:
+// P(X > x) = x^-alpha for x >= 1. Small shapes give heavy tails.
+type Pareto struct {
+	rng   *rand.Rand
+	alpha float64
+}
+
+// NewPareto builds a Pareto source with the given shape (must be > 0,
+// the paper uses 1.0).
+func NewPareto(rng *rand.Rand, alpha float64) (*Pareto, error) {
+	if alpha <= 0 {
+		return nil, fmt.Errorf("dist: pareto shape must be positive, got %g", alpha)
+	}
+	return &Pareto{rng: rng, alpha: alpha}, nil
+}
+
+// Draw returns the next Pareto variate in [1, +inf).
+func (p *Pareto) Draw() float64 {
+	// Inverse transform: X = U^(-1/alpha) with U uniform in (0, 1].
+	u := 1 - p.rng.Float64() // (0, 1]
+	return math.Pow(u, -1/p.alpha)
+}
+
+// DrawInDomain maps a Pareto variate into [lo, hi], clustering results
+// toward lo (the "popular" end of the domain). The variate's offset
+// from the Pareto minimum is scaled to 3% of the domain extent per
+// unit, so the median lands near the popular corner while the heavy
+// tail still reaches the far end; values beyond the extent clamp to
+// hi. The factor is calibrated so the Section 6.4 comparison workload
+// produces overlapping interest chains whose union coverage the group
+// checker detects well before any single subscription covers them.
+func (p *Pareto) DrawInDomain(lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	span := float64(hi - lo)
+	v := lo + int64((p.Draw()-1)*span*0.03)
+	if v > hi {
+		v = hi
+	}
+	if v < lo {
+		v = lo
+	}
+	return v
+}
+
+// Normal draws from a normal distribution with the given mean and
+// standard deviation.
+type Normal struct {
+	rng  *rand.Rand
+	mean float64
+	std  float64
+}
+
+// NewNormal builds a normal source. The standard deviation must be
+// non-negative.
+func NewNormal(rng *rand.Rand, mean, std float64) (*Normal, error) {
+	if std < 0 {
+		return nil, fmt.Errorf("dist: normal std must be non-negative, got %g", std)
+	}
+	if math.IsNaN(mean) || math.IsNaN(std) {
+		return nil, fmt.Errorf("dist: normal parameters must be numbers")
+	}
+	return &Normal{rng: rng, mean: mean, std: std}, nil
+}
+
+// Draw returns the next normal variate.
+func (n *Normal) Draw() float64 {
+	return n.mean + n.std*n.rng.NormFloat64()
+}
+
+// DrawWidth returns a range width in [1, max]: a normal variate
+// rounded to the nearest integer and clamped to the usable extent.
+func (n *Normal) DrawWidth(max int64) int64 {
+	w := int64(math.Round(n.Draw()))
+	if w < 1 {
+		w = 1
+	}
+	if w > max {
+		w = max
+	}
+	return w
+}

@@ -11,7 +11,10 @@ import (
 )
 
 // CoveredBySingle reports whether any member of set covers s on its
-// own, returning the index of the first coverer or -1.
+// own, returning the index of the first coverer or -1. It allocates
+// nothing and exits at the first per-attribute violation, so callers
+// on the hot path (store.Subscribe) hand it pruned candidate slices
+// directly.
 func CoveredBySingle(s subscription.Subscription, set []subscription.Subscription) int {
 	for i, si := range set {
 		if si.Covers(s) {

@@ -1,0 +1,166 @@
+package store
+
+// This file implements the per-attribute candidate index that makes
+// Subscribe sublinear in the active-set size. The observation (shared
+// with index-based subscription aggregation in large-scale systems
+// such as Shi et al.'s) is that only active subscriptions whose box
+// INTERSECTS the tested subscription s can participate in covering s:
+// a disjoint subscription contributes no point of s to the union, so
+// removing it changes neither the pairwise nor the group-coverage
+// answer. The index therefore reduces the coverage candidate set from
+// the whole active set to the rows overlapping s before any conflict
+// table is built.
+//
+// Structure: per attribute, two slices of (bound, id) pairs kept
+// sorted — one by each subscription's lower bound, one by its upper
+// bound. For a query s and attribute a, the rows intersecting s on a
+// are exactly  {i : lo_i <= s.hi}  minus  {i : hi_i < s.lo};  both
+// set sizes come from binary searches, so the index can pick the
+// cheapest attribute to enumerate (the one whose 1-D pre-filter emits
+// the fewest rows) in O(m log k), then verify full box intersection
+// only on that shortlist. Insertions and removals are binary-search
+// positioned memmoves, keeping the index exactly in sync with the
+// active set on subscribe/unsubscribe/promote/demote.
+
+import (
+	"cmp"
+	"slices"
+	"sort"
+
+	"probsum/internal/subscription"
+)
+
+// boundEntry pairs one bound value with the active node that owns it.
+// Holding the node pointer keeps the enumeration free of map lookups:
+// the intersection filter reads n.sub straight off the entry.
+type boundEntry struct {
+	v int64
+	n *node
+}
+
+// cmpBoundEntry orders by value, then owner ID, so entries are unique
+// and removal can locate the exact element.
+func cmpBoundEntry(a, b boundEntry) int {
+	if c := cmp.Compare(a.v, b.v); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.n.id, b.n.id)
+}
+
+// attrIndex is the per-attribute sorted-bounds index over the active
+// set. The zero value is ready; the first add fixes the attribute
+// count. Subscriptions with a different attribute count are not
+// indexed (the store disables pruning when it holds a mixed-schema
+// active set, so the index is never consulted for them).
+type attrIndex struct {
+	m    int
+	byLo [][]boundEntry // byLo[a] sorted ascending by lower bound
+	byHi [][]boundEntry // byHi[a] sorted ascending by upper bound
+}
+
+// add indexes an active node.
+func (ix *attrIndex) add(n *node) {
+	if ix.m == 0 {
+		ix.m = n.sub.Len()
+		ix.byLo = make([][]boundEntry, ix.m)
+		ix.byHi = make([][]boundEntry, ix.m)
+	}
+	if n.sub.Len() != ix.m {
+		return
+	}
+	for a, b := range n.sub.Bounds {
+		ix.byLo[a] = insertSorted(ix.byLo[a], boundEntry{v: b.Lo, n: n})
+		ix.byHi[a] = insertSorted(ix.byHi[a], boundEntry{v: b.Hi, n: n})
+	}
+}
+
+// remove un-indexes a previously added node.
+func (ix *attrIndex) remove(n *node) {
+	if ix.m == 0 || n.sub.Len() != ix.m {
+		return
+	}
+	for a, b := range n.sub.Bounds {
+		ix.byLo[a] = removeSorted(ix.byLo[a], boundEntry{v: b.Lo, n: n})
+		ix.byHi[a] = removeSorted(ix.byHi[a], boundEntry{v: b.Hi, n: n})
+	}
+}
+
+func insertSorted(arr []boundEntry, e boundEntry) []boundEntry {
+	pos, _ := slices.BinarySearchFunc(arr, e, cmpBoundEntry)
+	return slices.Insert(arr, pos, e)
+}
+
+func removeSorted(arr []boundEntry, e boundEntry) []boundEntry {
+	pos, ok := slices.BinarySearchFunc(arr, e, cmpBoundEntry)
+	if !ok {
+		return arr
+	}
+	return slices.Delete(arr, pos, pos+1)
+}
+
+// countLE returns how many entries have value <= x.
+func countLE(arr []boundEntry, x int64) int {
+	return sort.Search(len(arr), func(i int) bool { return arr[i].v > x })
+}
+
+// firstGE returns the index of the first entry with value >= x.
+func firstGE(arr []boundEntry, x int64) int {
+	return sort.Search(len(arr), func(i int) bool { return arr[i].v >= x })
+}
+
+// overlapCandidates appends to out the nodes whose boxes intersect s,
+// found through the cheapest 1-D pre-filter, and returns the extended
+// slice (unsorted) with ok=true. When even the best shortlist keeps at
+// least half the set, pruning cannot pay for its own enumeration — the
+// function returns ok=false and the caller scans the full active set,
+// whose early-exit coverage checks are already cheap on such dense
+// workloads. s must have the index's attribute count.
+func (ix *attrIndex) overlapCandidates(s subscription.Subscription, out []*node) ([]*node, bool) {
+	k := 0
+	if ix.m > 0 {
+		k = len(ix.byLo[0])
+	}
+	if k == 0 {
+		return out, true
+	}
+	// Pick the attribute and side whose 1-D shortlist is smallest.
+	bestAttr, bestLowSide, bestCost := 0, true, k+1
+	for a := 0; a < ix.m; a++ {
+		b := s.Bounds[a]
+		if nLo := countLE(ix.byLo[a], b.Hi); nLo < bestCost {
+			bestAttr, bestLowSide, bestCost = a, true, nLo
+		}
+		if nHi := k - firstGE(ix.byHi[a], b.Lo); nHi < bestCost {
+			bestAttr, bestLowSide, bestCost = a, false, nHi
+		}
+	}
+	if 2*bestCost >= k {
+		return out, false
+	}
+	var shortlist []boundEntry
+	if bestLowSide {
+		shortlist = ix.byLo[bestAttr][:bestCost]
+	} else {
+		arr := ix.byHi[bestAttr]
+		shortlist = arr[len(arr)-bestCost:]
+	}
+	// Inline the box-intersection filter: the shortlist can be an
+	// order of magnitude larger than the survivor set, so the per-entry
+	// test must be a handful of compares with an early exit, not a
+	// method call per attribute.
+	sb := s.Bounds
+	for _, e := range shortlist {
+		eb := e.n.sub.Bounds
+		hit := true
+		for a := range sb {
+			if eb[a].Lo > sb[a].Hi || eb[a].Hi < sb[a].Lo {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			out = append(out, e.n)
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,217 @@
+package store
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"probsum/internal/core"
+	"probsum/internal/interval"
+	"probsum/internal/subscription"
+	"probsum/internal/workload"
+)
+
+// subscribeStream builds a deterministic arrival sequence with enough
+// overlap for coverage decisions to fire both ways.
+func subscribeStream(t *testing.T, seed1, seed2 uint64, n, m int) []subscription.Subscription {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed1, seed2))
+	stream, err := workload.NewComparisonStream(rng, workload.DefaultComparisonConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := make([]subscription.Subscription, n)
+	for i := range subs {
+		subs[i] = stream.Next()
+	}
+	return subs
+}
+
+// driveEquivalence feeds the same subscribe/unsubscribe sequence to a
+// pruned and an unpruned store and requires identical observable
+// behavior after every operation: statuses, coverers, demotions,
+// promotions, and the active ID set.
+func driveEquivalence(t *testing.T, mkStore func() *Store) {
+	t.Helper()
+	pruned := mkStore()
+	full := mkStore()
+	WithCandidatePruning(false)(full)
+
+	subs := subscribeStream(t, 41, 42, 400, 6)
+	rng := rand.New(rand.NewPCG(43, 44))
+	live := make([]ID, 0, len(subs))
+	for i, s := range subs {
+		id := ID(i)
+		rp, err := pruned.Subscribe(id, s)
+		if err != nil {
+			t.Fatalf("pruned subscribe %d: %v", i, err)
+		}
+		rf, err := full.Subscribe(id, s)
+		if err != nil {
+			t.Fatalf("full subscribe %d: %v", i, err)
+		}
+		if rp.Status != rf.Status {
+			t.Fatalf("subscribe %d: pruned status %v, full status %v", i, rp.Status, rf.Status)
+		}
+		if !slices.Equal(rp.Coverers, rf.Coverers) {
+			t.Fatalf("subscribe %d: pruned coverers %v, full coverers %v", i, rp.Coverers, rf.Coverers)
+		}
+		if !slices.Equal(rp.Demoted, rf.Demoted) {
+			t.Fatalf("subscribe %d: pruned demoted %v, full demoted %v", i, rp.Demoted, rf.Demoted)
+		}
+		live = append(live, id)
+
+		// Churn: occasionally remove a random live subscription so the
+		// promotion path runs under pruning too.
+		if i%5 == 4 && len(live) > 0 {
+			j := rng.IntN(len(live))
+			victim := live[j]
+			live = slices.Delete(live, j, j+1)
+			up, err := pruned.Unsubscribe(victim)
+			if err != nil {
+				t.Fatalf("pruned unsubscribe %d: %v", victim, err)
+			}
+			uf, err := full.Unsubscribe(victim)
+			if err != nil {
+				t.Fatalf("full unsubscribe %d: %v", victim, err)
+			}
+			if up.WasActive != uf.WasActive || !slices.Equal(up.Promoted, uf.Promoted) {
+				t.Fatalf("unsubscribe %d: pruned (active=%v promoted=%v), full (active=%v promoted=%v)",
+					victim, up.WasActive, up.Promoted, uf.WasActive, uf.Promoted)
+			}
+		}
+		if !slices.Equal(pruned.ActiveIDs(), full.ActiveIDs()) {
+			t.Fatalf("after op %d: pruned active %v != full active %v", i, pruned.ActiveIDs(), full.ActiveIDs())
+		}
+	}
+	if pruned.ActiveLen() == pruned.Len() {
+		t.Fatal("no subscription was ever covered; workload lost its teeth")
+	}
+}
+
+func TestPrunedEquivalencePairwise(t *testing.T) {
+	driveEquivalence(t, func() *Store {
+		st, err := New(PolicyPairwise, WithReversePrune(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	})
+}
+
+func TestPrunedEquivalenceGroup(t *testing.T) {
+	driveEquivalence(t, func() *Store {
+		checker, err := core.NewChecker(core.WithSeed(51, 52))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := New(PolicyGroup, WithChecker(checker), WithReversePrune(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	})
+}
+
+// TestCandidateIndexConsistency churns a store and cross-checks the
+// candidate set against a brute-force scan of the active set after
+// every operation: candidates must be exactly the active rows whose
+// boxes intersect the probe.
+func TestCandidateIndexConsistency(t *testing.T) {
+	st, err := New(PolicyPairwise, WithReversePrune(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := subscribeStream(t, 61, 62, 300, 5)
+	probes := subscribeStream(t, 63, 64, 50, 5)
+	rng := rand.New(rand.NewPCG(65, 66))
+	var live []ID
+	for i, s := range subs {
+		id := ID(i)
+		if _, err := st.Subscribe(id, s); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, id)
+		if i%4 == 3 && len(live) > 0 {
+			j := rng.IntN(len(live))
+			victim := live[j]
+			live = slices.Delete(live, j, j+1)
+			if _, err := st.Unsubscribe(victim); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		probe := probes[i%len(probes)]
+		gotIDs, gotSubs := st.candidates(probe)
+		var want []ID
+		for p, aid := range st.activeIDs {
+			if st.activeSubs[p].Intersects(probe) {
+				want = append(want, aid)
+			}
+		}
+		// Soundness: every active row intersecting the probe must be a
+		// candidate (dropping one could flip a coverage answer), and
+		// every candidate must be active. Exact equality is not
+		// required — the index legitimately hands back the full active
+		// set when pruning would not pay off.
+		for _, id := range want {
+			if !slices.Contains(gotIDs, id) {
+				t.Fatalf("op %d: intersecting row %d missing from candidates %v", i, id, gotIDs)
+			}
+		}
+		for p, id := range gotIDs {
+			if !slices.Contains(st.activeIDs, id) {
+				t.Fatalf("op %d: candidate %d is not active", i, id)
+			}
+			if !st.nodes[id].sub.Equal(gotSubs[p]) {
+				t.Fatalf("op %d: candidate sub mismatch at %d", i, p)
+			}
+		}
+	}
+}
+
+// TestGroupPrunedSoundness checks pruned group decisions against the
+// exhaustive oracle on a small domain: a NotCovered decision is
+// witness-backed and must be exactly right; a covered decision must
+// agree with the oracle (failure probability bounded by δ per check
+// and pinned by the fixed seed).
+func TestGroupPrunedSoundness(t *testing.T) {
+	checker, err := core.NewChecker(core.WithSeed(71, 72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(PolicyGroup, WithChecker(checker))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(73, 74))
+	dom := interval.New(0, 15)
+	randSub := func() subscription.Subscription {
+		bounds := make([]interval.Interval, 2)
+		for a := range bounds {
+			lo := dom.Lo + rng.Int64N(dom.Count())
+			hi := lo + rng.Int64N(dom.Hi-lo+1)
+			bounds[a] = interval.New(lo, hi)
+		}
+		return subscription.Subscription{Bounds: bounds}
+	}
+	for i := 0; i < 300; i++ {
+		s := randSub()
+		active := st.ActiveSubscriptions()
+		oracle, err := core.ExhaustiveCover(s, active)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := st.Subscribe(ID(i), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := res.Status == StatusCovered
+		if covered != oracle {
+			t.Fatalf("subscription %d (%v): store says covered=%v, oracle says %v", i, s, covered, oracle)
+		}
+	}
+	if st.CoveredLen() == 0 {
+		t.Fatal("nothing was covered; workload lost its teeth")
+	}
+}

@@ -9,8 +9,10 @@
 package store
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"probsum/internal/core"
@@ -92,7 +94,10 @@ type SubscribeResult struct {
 	// reverse pruning enabled).
 	Demoted []ID
 	// Checker carries the probabilistic decision detail under
-	// PolicyGroup; zero otherwise.
+	// PolicyGroup; zero otherwise. Its CoveringRow and ReducedSet
+	// indices refer to positions in the ID-ordered active set at
+	// decision time (as returned by ActiveIDs), regardless of any
+	// internal candidate pruning.
 	Checker core.Result
 }
 
@@ -123,25 +128,50 @@ func WithReversePrune(enabled bool) Option {
 	return func(st *Store) { st.reversePrune = enabled }
 }
 
+// WithCandidatePruning toggles the per-attribute candidate index that
+// restricts coverage checks to active subscriptions intersecting the
+// arriving one (default on). Disabling it hands the full active set to
+// the coverage decision, as the pre-index implementation did; the
+// switch exists for the DESIGN.md ablation and for equivalence tests.
+func WithCandidatePruning(enabled bool) Option {
+	return func(st *Store) { st.pruning = enabled }
+}
+
 // Store is a broker-local subscription table. It is not safe for
 // concurrent use; brokers own one store each and serialize access.
+//
+// The active set is maintained incrementally: activeIDs/activeSubs are
+// kept sorted by ID across every status change, and the per-attribute
+// candidate index (see index.go) stays in lockstep, so Subscribe never
+// rescans or re-sorts the whole set.
 type Store struct {
 	policy       Policy
 	checker      *core.Checker
 	reversePrune bool
+	pruning      bool
 	nodes        map[ID]*node
 	activeIDs    []ID // sorted; parallel cache of active set
 	activeSubs   []subscription.Subscription
-	activeDirty  bool
+	idx          attrIndex
+	mismatched   int // active subscriptions disagreeing with idx.m; pruning off while > 0
+
+	// Reusable hot-path buffers.
+	candNodes []*node
+	candIDs   []ID
+	candSubs  []subscription.Subscription
+	checkRes  core.Result
 }
 
 // New returns an empty store with the given policy. PolicyGroup
 // requires a checker (a default one is created when none is supplied).
+// The checker becomes store-owned: it carries a random stream and
+// reusable scratch, so it must not be shared with another store or
+// goroutine.
 func New(policy Policy, opts ...Option) (*Store, error) {
 	if policy < PolicyNone || policy > PolicyGroup {
 		return nil, fmt.Errorf("store: invalid policy %d", policy)
 	}
-	st := &Store{policy: policy, nodes: make(map[ID]*node)}
+	st := &Store{policy: policy, nodes: make(map[ID]*node), pruning: true}
 	for _, opt := range opts {
 		opt(st)
 	}
@@ -158,28 +188,70 @@ func New(policy Policy, opts ...Option) (*Store, error) {
 // Policy returns the store's coverage policy.
 func (st *Store) Policy() Policy { return st.policy }
 
-// refreshActive rebuilds the sorted active-set caches when needed.
-func (st *Store) refreshActive() {
-	if !st.activeDirty && st.activeIDs != nil {
+// activate inserts n into the sorted active caches and the candidate
+// index. Nodes whose attribute count disagrees with the index are
+// counted instead of indexed; pruning stays off while any are active.
+func (st *Store) activate(n *node) {
+	pos, _ := slices.BinarySearch(st.activeIDs, n.id)
+	st.activeIDs = slices.Insert(st.activeIDs, pos, n.id)
+	st.activeSubs = slices.Insert(st.activeSubs, pos, n.sub)
+	st.idx.add(n)
+	if st.idx.m != 0 && n.sub.Len() != st.idx.m {
+		st.mismatched++
+	}
+}
+
+// deactivate removes n from the sorted active caches and the index.
+// Draining the active set resets the index entirely, so a store
+// repopulated under a different attribute count regains pruning.
+func (st *Store) deactivate(n *node) {
+	pos, ok := slices.BinarySearch(st.activeIDs, n.id)
+	if !ok {
 		return
 	}
-	st.activeIDs = st.activeIDs[:0]
-	for id, n := range st.nodes {
-		if n.status == StatusActive {
-			st.activeIDs = append(st.activeIDs, id)
-		}
+	st.activeIDs = slices.Delete(st.activeIDs, pos, pos+1)
+	st.activeSubs = slices.Delete(st.activeSubs, pos, pos+1)
+	st.idx.remove(n)
+	if st.idx.m != 0 && n.sub.Len() != st.idx.m {
+		st.mismatched--
 	}
-	sort.Slice(st.activeIDs, func(i, j int) bool { return st.activeIDs[i] < st.activeIDs[j] })
-	st.activeSubs = st.activeSubs[:0]
-	for _, id := range st.activeIDs {
-		st.activeSubs = append(st.activeSubs, st.nodes[id].sub)
+	if len(st.activeIDs) == 0 {
+		st.idx = attrIndex{}
+		st.mismatched = 0
 	}
-	st.activeDirty = false
+}
+
+// candidates returns the IDs and subscriptions the coverage decision
+// for s must consider: with pruning, the active rows whose boxes
+// intersect s (sorted by ID); otherwise — or when the index reports
+// that pruning cannot shed at least half the set — the full active
+// set. The returned slices are store-owned scratch, valid until the
+// next call.
+func (st *Store) candidates(s subscription.Subscription) ([]ID, []subscription.Subscription) {
+	if !st.pruning || st.mismatched > 0 || len(st.activeIDs) == 0 || s.Len() != st.idx.m {
+		return st.activeIDs, st.activeSubs
+	}
+	cand, ok := st.idx.overlapCandidates(s, st.candNodes[:0])
+	st.candNodes = cand
+	if !ok {
+		return st.activeIDs, st.activeSubs
+	}
+	// Only the surviving candidates get sorted — the 1-D shortlist was
+	// already filtered down to true intersections by the index.
+	slices.SortFunc(cand, func(a, b *node) int { return cmp.Compare(a.id, b.id) })
+	ids := st.candIDs[:0]
+	subs := st.candSubs[:0]
+	for _, n := range cand {
+		ids = append(ids, n.id)
+		subs = append(subs, n.sub)
+	}
+	st.candIDs = ids
+	st.candSubs = subs
+	return ids, subs
 }
 
 // ActiveIDs returns the sorted IDs of the active set.
 func (st *Store) ActiveIDs() []ID {
-	st.refreshActive()
 	out := make([]ID, len(st.activeIDs))
 	copy(out, st.activeIDs)
 	return out
@@ -187,17 +259,13 @@ func (st *Store) ActiveIDs() []ID {
 
 // ActiveSubscriptions returns the active subscriptions ordered by ID.
 func (st *Store) ActiveSubscriptions() []subscription.Subscription {
-	st.refreshActive()
 	out := make([]subscription.Subscription, len(st.activeSubs))
 	copy(out, st.activeSubs)
 	return out
 }
 
 // ActiveLen returns the active set size.
-func (st *Store) ActiveLen() int {
-	st.refreshActive()
-	return len(st.activeIDs)
-}
+func (st *Store) ActiveLen() int { return len(st.activeIDs) }
 
 // CoveredLen returns the covered set size.
 func (st *Store) CoveredLen() int { return len(st.nodes) - st.ActiveLen() }
@@ -214,39 +282,73 @@ func (st *Store) Get(id ID) (subscription.Subscription, Status, bool) {
 	return n.sub, n.status, true
 }
 
-// decideCoverage classifies s against the current active set.
+// decideCoverage classifies s against the current active set. With
+// pruning enabled only the candidate rows intersecting s are handed to
+// the pairwise scan or the probabilistic checker — sound, because a
+// subscription disjoint from s contributes nothing to any cover of s.
 func (st *Store) decideCoverage(s subscription.Subscription) (Status, []ID, core.Result, error) {
-	st.refreshActive()
 	switch st.policy {
 	case PolicyNone:
 		return StatusActive, nil, core.Result{}, nil
 	case PolicyPairwise:
-		if i := pairwise.CoveredBySingle(s, st.activeSubs); i >= 0 {
-			return StatusCovered, []ID{st.activeIDs[i]}, core.Result{}, nil
+		ids, subs := st.candidates(s)
+		if i := pairwise.CoveredBySingle(s, subs); i >= 0 {
+			return StatusCovered, []ID{ids[i]}, core.Result{}, nil
 		}
 		return StatusActive, nil, core.Result{}, nil
 	default: // PolicyGroup
-		res, err := st.checker.Covered(s, st.activeSubs)
-		if err != nil {
+		ids, subs := st.candidates(s)
+		if err := st.checker.CoveredInto(&st.checkRes, s, subs); err != nil {
 			return 0, nil, core.Result{}, err
+		}
+		// Copy the result: checkRes and its ReducedSet are reused by
+		// the next check, while SubscribeResult.Checker escapes to the
+		// caller.
+		res := st.checkRes
+		res.ReducedSet = slices.Clone(res.ReducedSet)
+		coverers := st.resolveCoverers(ids, &res)
+		// Remap CoveringRow/ReducedSet from candidate positions to
+		// positions in the ID-ordered active set, the documented frame
+		// of reference for SubscribeResult.Checker (the candidate
+		// shortlist is internal scratch a caller can never see).
+		if res.CoveringRow >= 0 {
+			res.CoveringRow = st.activePos(ids[res.CoveringRow])
+		}
+		for j, idx := range res.ReducedSet {
+			res.ReducedSet[j] = st.activePos(ids[idx])
 		}
 		if !res.Decision.IsCovered() {
 			return StatusActive, nil, res, nil
 		}
-		if res.Reason == core.ReasonPairwiseCover {
-			return StatusCovered, []ID{st.activeIDs[res.CoveringRow]}, res, nil
-		}
-		coverers := make([]ID, 0, len(res.ReducedSet))
-		for _, idx := range res.ReducedSet {
-			coverers = append(coverers, st.activeIDs[idx])
-		}
-		if len(coverers) == 0 {
-			// MCS was disabled or returned no detail; fall back to the
-			// whole active set as the covering group.
-			coverers = append(coverers, st.activeIDs...)
-		}
 		return StatusCovered, coverers, res, nil
 	}
+}
+
+// resolveCoverers maps a group-coverage result's candidate indices to
+// subscription IDs.
+func (st *Store) resolveCoverers(ids []ID, res *core.Result) []ID {
+	if !res.Decision.IsCovered() {
+		return nil
+	}
+	if res.Reason == core.ReasonPairwiseCover {
+		return []ID{ids[res.CoveringRow]}
+	}
+	coverers := make([]ID, 0, len(res.ReducedSet))
+	for _, idx := range res.ReducedSet {
+		coverers = append(coverers, ids[idx])
+	}
+	if len(coverers) == 0 {
+		// MCS was disabled or returned no detail; fall back to the
+		// whole candidate set as the covering group.
+		coverers = append(coverers, ids...)
+	}
+	return coverers
+}
+
+// activePos returns id's position in the ID-ordered active set.
+func (st *Store) activePos(id ID) int {
+	pos, _ := slices.BinarySearch(st.activeIDs, id)
+	return pos
 }
 
 // Subscribe inserts a subscription under a fresh ID and classifies it.
@@ -273,7 +375,9 @@ func (st *Store) Subscribe(id ID, s subscription.Subscription) (SubscribeResult,
 		st.nodes[c].children[id] = struct{}{}
 	}
 	st.nodes[id] = n
-	st.activeDirty = true
+	if status == StatusActive {
+		st.activate(n)
+	}
 
 	res := SubscribeResult{Status: status, Coverers: coverers, Checker: checkRes}
 	if status == StatusActive && st.reversePrune {
@@ -284,15 +388,16 @@ func (st *Store) Subscribe(id ID, s subscription.Subscription) (SubscribeResult,
 
 // demoteCoveredBy moves active subscriptions covered by the new node
 // into the covered set beneath it, preserving their own children
-// (multi-level forest).
+// (multi-level forest). A subscription covered by n.sub is contained
+// in it, hence intersects it, so the candidate index narrows the scan.
 func (st *Store) demoteCoveredBy(n *node) []ID {
-	st.refreshActive()
 	var demoted []ID
-	for i, id := range st.activeIDs {
+	ids, subs := st.candidates(n.sub)
+	for i, id := range ids {
 		if id == n.id {
 			continue
 		}
-		if n.sub.Covers(st.activeSubs[i]) {
+		if n.sub.Covers(subs[i]) {
 			old := st.nodes[id]
 			old.status = StatusCovered
 			old.coverers = map[ID]struct{}{n.id: {}}
@@ -300,8 +405,9 @@ func (st *Store) demoteCoveredBy(n *node) []ID {
 			demoted = append(demoted, id)
 		}
 	}
-	if demoted != nil {
-		st.activeDirty = true
+	// Deactivate after the scan: ids may alias the live active caches.
+	for _, id := range demoted {
+		st.deactivate(st.nodes[id])
 	}
 	return demoted
 }
@@ -322,7 +428,9 @@ func (st *Store) Unsubscribe(id ID) (UnsubscribeResult, error) {
 		delete(st.nodes[c].children, id)
 	}
 	delete(st.nodes, id)
-	st.activeDirty = true
+	if res.WasActive {
+		st.deactivate(n)
+	}
 
 	// Children losing a coverer must be re-validated; process in ID
 	// order for determinism. Promotions can cascade: a promoted child
@@ -355,7 +463,7 @@ func (st *Store) Unsubscribe(id ID) (UnsubscribeResult, error) {
 			continue
 		}
 		child.status = StatusActive
-		st.activeDirty = true
+		st.activate(child)
 		res.Promoted = append(res.Promoted, cid)
 	}
 	return res, nil
@@ -366,7 +474,6 @@ func (st *Store) Unsubscribe(id ID) (UnsubscribeResult, error) {
 // covered subscription only when one of its coverers (transitively)
 // matched. Results are sorted by ID.
 func (st *Store) Match(p subscription.Publication) []ID {
-	st.refreshActive()
 	var out []ID
 	frontier := make([]ID, 0, 8)
 	for i, sub := range st.activeSubs {
@@ -407,7 +514,6 @@ func (st *Store) Match(p subscription.Publication) []ID {
 // covered set. It exists as the paper-faithful reference; Match is the
 // optimized variant and returns identical results.
 func (st *Store) MatchTwoPhase(p subscription.Publication) []ID {
-	st.refreshActive()
 	var out []ID
 	matched := false
 	for i, sub := range st.activeSubs {

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand/v2"
+	"sort"
 
 	"probsum/internal/dist"
 	"probsum/internal/interval"
@@ -116,7 +117,15 @@ func (cs *ComparisonStream) Next() subscription.Subscription {
 		}
 		chosen[a] = true
 	}
+	// Draw bounds in ascending attribute order: iterating the map
+	// directly would consume the rng in map order, making the stream
+	// nondeterministic across runs despite a fixed seed.
+	attrs := make([]int, 0, len(chosen))
 	for a := range chosen {
+		attrs = append(attrs, a)
+	}
+	sort.Ints(attrs)
+	for _, a := range attrs {
 		center := cs.pareto.DrawInDomain(cfg.Domain.Lo, cfg.Domain.Hi)
 		width := cs.normal.DrawWidth(cfg.Domain.Count())
 		lo := center - width/2

@@ -94,6 +94,15 @@ type Config struct {
 	// broker-to-broker links (default 0), modeling the lossy sensor
 	// and MANET environments the paper targets.
 	DropRate, DupRate float64
+	// DisableCandidatePruning turns off the per-attribute candidate
+	// index in every broker coverage table, handing the full forwarded
+	// set to each coverage decision. Exists for ablation measurements.
+	// Pruning never changes which sets cover which subscriptions
+	// (dropped rows are disjoint from the tested one), but the
+	// probabilistic checker sees a smaller conflict table, so
+	// individual borderline decisions may fall on the other side of
+	// the same δ-bounded contract.
+	DisableCandidatePruning bool
 }
 
 func (c Config) withDefaults() Config {
@@ -136,8 +145,13 @@ func (n *Network) Dropped() int { return n.inner.Dropped() }
 
 // AddBroker creates a broker node.
 func (n *Network) AddBroker(id string) error {
-	return n.inner.AddBroker(id, n.policy,
-		broker.WithCheckerConfig(n.cfg.ErrorProbability, n.cfg.MaxTrials, n.cfg.Seed))
+	opts := []broker.Option{
+		broker.WithCheckerConfig(n.cfg.ErrorProbability, n.cfg.MaxTrials, n.cfg.Seed),
+	}
+	if n.cfg.DisableCandidatePruning {
+		opts = append(opts, broker.WithCandidatePruning(false))
+	}
+	return n.inner.AddBroker(id, n.policy, opts...)
 }
 
 // Connect links two brokers bidirectionally.

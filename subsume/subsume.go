@@ -255,6 +255,45 @@ func (c *Checker) Covered(s Subscription, set []Subscription) (Result, error) {
 	return Result{inner: res}, nil
 }
 
+// CoveredInto is Covered for the hot path: the outcome is written into
+// res, reusing its storage and the checker's internal scratch, so a
+// caller that keeps one Result per checker performs zero steady-state
+// heap allocations (only definite-NO answers allocate, to copy their
+// witness out). res is overwritten entirely; slices previously read
+// from it are invalidated by the next call.
+func (c *Checker) CoveredInto(res *Result, s Subscription, set []Subscription) error {
+	return c.inner.CoveredInto(&res.inner, s, set)
+}
+
+// CheckerPool hands out checkers to concurrent callers: a Checker owns
+// a random stream and reusable scratch, so it must never be shared
+// across goroutines — Get one per in-flight check (or per worker) and
+// Put it back. Checkers are seeded reproducibly from the pool seed,
+// each with an independent stream.
+type CheckerPool struct {
+	inner *core.CheckerPool
+}
+
+// NewCheckerPool builds a pool whose checkers use opts; any WithSeed
+// among them is overridden by the pool's per-checker seed derivation.
+func NewCheckerPool(seed uint64, opts ...Option) (*CheckerPool, error) {
+	p, err := core.NewCheckerPool(seed, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &CheckerPool{inner: p}, nil
+}
+
+// Get checks a checker out of the pool, creating one when empty.
+func (p *CheckerPool) Get() *Checker { return &Checker{inner: p.inner.Get()} }
+
+// Put returns a checker for reuse; it must not be used afterwards.
+func (p *CheckerPool) Put(c *Checker) {
+	if c != nil {
+		p.inner.Put(c.inner)
+	}
+}
+
 // CoveredBySingle reports whether one subscription covers another —
 // the classical pairwise check, exact and fast (O(m)).
 func CoveredBySingle(s, by Subscription) bool { return by.Covers(s) }
