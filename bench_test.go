@@ -252,6 +252,22 @@ func BenchmarkMatchCountingIndex(b *testing.B) {
 	}
 }
 
+// BenchmarkMatchITreeIndex is the dynamic interval-tree matcher the
+// broker publish path uses (lazy rebuild outside the timed loop).
+func BenchmarkMatchITreeIndex(b *testing.B) {
+	_, ids, subs, pubs := benchMatchSetup(b)
+	idx := match.NewITreeIndex()
+	for i, id := range ids {
+		idx.Add(id, subs[i])
+	}
+	idx.Match(pubs[0]) // build the trees before timing
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Match(pubs[i%len(pubs)])
+	}
+}
+
 // BenchmarkStoreMatchForest measures Algorithm 5 with the multi-level
 // cover forest versus its two-phase literal form.
 func BenchmarkStoreMatchForest(b *testing.B) {
@@ -371,6 +387,27 @@ func BenchmarkStoreSubscribeSparse(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkTableSubscribeBatch measures burst admission through the
+// public subsume.Table: a shuffled 512-subscription burst of broad
+// parents and narrow children, admitted per-item in arrival order
+// versus through SubscribeBatch (which re-sorts by volume inside one
+// critical section, so parents admit first and children take the
+// pairwise fast path). The acceptance target is batch ≥ 2x per-item
+// on this workload; batch-4shards adds the sharded variant.
+func BenchmarkTableSubscribeBatch(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		batch  bool
+		shards int
+	}{
+		{"peritem", false, 1},
+		{"batch", true, 1},
+		{"batch-4shards", true, 4},
+	} {
+		b.Run(tc.name, func(b *testing.B) { benchcases.TableSubscribeBatch(b, tc.batch, tc.shards) })
 	}
 }
 

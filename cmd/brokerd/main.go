@@ -25,6 +25,7 @@ import (
 	"probsum/internal/broker"
 	"probsum/internal/store"
 	"probsum/internal/wire"
+	"probsum/subsume"
 )
 
 // peerList collects repeated -peer NAME=ADDR flags.
@@ -76,7 +77,12 @@ func run() error {
 		return fmt.Errorf("unknown policy %q", *policyIn)
 	}
 
-	b, err := broker.New(*id, policy, broker.WithCheckerConfig(*delta, 100_000, *seed))
+	b, err := broker.New(*id, policy,
+		broker.WithSeed(*seed),
+		broker.WithTableOptions(subsume.WithTableChecker(
+			subsume.WithErrorProbability(*delta),
+			subsume.WithMaxTrials(100_000),
+		)))
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -86,14 +87,78 @@ func microBenchmarks() []struct {
 		{"StoreSubscribe/group-noprune", func(b *testing.B) {
 			benchcases.StoreSubscribe(b, store.PolicyGroup, false)
 		}},
+		{"TableSubscribeBatch/peritem", func(b *testing.B) {
+			benchcases.TableSubscribeBatch(b, false, 1)
+		}},
+		{"TableSubscribeBatch/batch", func(b *testing.B) {
+			benchcases.TableSubscribeBatch(b, true, 1)
+		}},
+		{"TableSubscribeBatch/batch-4shards", func(b *testing.B) {
+			benchcases.TableSubscribeBatch(b, true, 4)
+		}},
 	}
 }
 
+// regressionGated lists the benchmark-name prefixes the CI regression
+// gate compares: the covered-path checker and the subscribe paths
+// (store and Table), per the perf-trajectory roadmap item. Figure
+// benchmarks and ablations stay informational.
+var regressionGated = []string{"CoveredInto/", "StoreSubscribe/", "TableSubscribeBatch/"}
+
+// checkRegressions compares a fresh report against a committed
+// baseline file and errors when any gated benchmark's ns/op regressed
+// by more than maxRegress (0.30 = +30%). Benchmarks present on only
+// one side are skipped, so adding or retiring benchmarks never breaks
+// the gate.
+func checkRegressions(report BenchReport, baselinePath string, maxRegress float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base BenchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+	baseNs := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseNs[b.Name] = b.NsPerOp
+	}
+	gated := func(name string) bool {
+		for _, p := range regressionGated {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	var failures []string
+	for _, b := range report.Benchmarks {
+		old, ok := baseNs[b.Name]
+		if !ok || old <= 0 || !gated(b.Name) {
+			continue
+		}
+		delta := b.NsPerOp/old - 1
+		fmt.Fprintf(os.Stderr, "gate  %-32s %12.1f -> %12.1f ns/op (%+.1f%%)\n",
+			b.Name, old, b.NsPerOp, 100*delta)
+		if delta > maxRegress {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.1f -> %.1f ns/op (%+.1f%% > %+.0f%%)",
+					b.Name, old, b.NsPerOp, 100*delta, 100*maxRegress))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench regressions vs %s:\n  %s",
+			baselinePath, strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
 // runBenchJSON executes the micro-benchmarks and writes
-// BENCH_<yyyy-mm-dd>.json into dir, returning the file path.
-func runBenchJSON(dir string) (string, error) {
+// BENCH_<yyyy-mm-dd>.json into dir, returning the file path and the
+// report for regression gating.
+func runBenchJSON(dir string) (string, BenchReport, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", fmt.Errorf("create bench dir: %w", err)
+		return "", BenchReport{}, fmt.Errorf("create bench dir: %w", err)
 	}
 	report := BenchReport{
 		Date:      time.Now().UTC().Format(time.RFC3339),
@@ -106,7 +171,7 @@ func runBenchJSON(dir string) (string, error) {
 		r := testing.Benchmark(bm.fn)
 		if r.N == 0 {
 			fmt.Fprintln(os.Stderr, "FAILED")
-			return "", fmt.Errorf("bench %s failed (body called b.Fatal)", bm.name)
+			return "", BenchReport{}, fmt.Errorf("bench %s failed (body called b.Fatal)", bm.name)
 		}
 		res := BenchResult{
 			Name:        bm.name,
@@ -121,16 +186,16 @@ func runBenchJSON(dir string) (string, error) {
 	path := filepath.Join(dir, "BENCH_"+time.Now().UTC().Format("2006-01-02")+".json")
 	f, err := os.Create(path)
 	if err != nil {
-		return "", fmt.Errorf("create %s: %w", path, err)
+		return "", BenchReport{}, fmt.Errorf("create %s: %w", path, err)
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(report); err != nil {
 		f.Close()
-		return "", fmt.Errorf("write %s: %w", path, err)
+		return "", BenchReport{}, fmt.Errorf("write %s: %w", path, err)
 	}
 	if err := f.Close(); err != nil {
-		return "", fmt.Errorf("close %s: %w", path, err)
+		return "", BenchReport{}, fmt.Errorf("close %s: %w", path, err)
 	}
-	return path, nil
+	return path, report, nil
 }

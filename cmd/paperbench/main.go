@@ -11,6 +11,9 @@
 //	paperbench -all -csv out/      # also write out/<id>.csv
 //	paperbench -benchjson .        # write BENCH_<date>.json with
 //	                                # ns/op + allocs/op of the hot path
+//	paperbench -benchjson /tmp -baseline BENCH_2026-07-29.json
+//	                                # …and fail if the covered-path or
+//	                                # subscribe benchmarks regressed >30%
 package main
 
 import (
@@ -39,6 +42,8 @@ func run() error {
 		csvDir    = flag.String("csv", "", "directory to write <id>.csv files into")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		benchJSON = flag.String("benchjson", "", "directory to write BENCH_<date>.json micro-benchmark results into")
+		baseline  = flag.String("baseline", "", "committed BENCH_*.json to gate -benchjson results against")
+		regress   = flag.Float64("regress", 0.30, "max allowed ns/op regression vs -baseline (0.30 = +30%)")
 	)
 	flag.Parse()
 
@@ -49,11 +54,17 @@ func run() error {
 		return nil
 	}
 	if *benchJSON != "" {
-		path, err := runBenchJSON(*benchJSON)
+		path, report, err := runBenchJSON(*benchJSON)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", path)
+		if *baseline != "" {
+			if err := checkRegressions(report, *baseline, *regress); err != nil {
+				return err
+			}
+			fmt.Printf("no regressions beyond %+.0f%% vs %s\n", 100**regress, *baseline)
+		}
 		if !*all && *runIDs == "" {
 			return nil
 		}

@@ -10,9 +10,11 @@ import (
 	"testing"
 
 	"probsum/internal/core"
+	"probsum/internal/interval"
 	"probsum/internal/store"
 	"probsum/internal/subscription"
 	"probsum/internal/workload"
+	"probsum/subsume"
 )
 
 // Instance builds the canonical micro-benchmark instance (k=100,
@@ -59,6 +61,86 @@ func CoveredInto(b *testing.B, scenario string) {
 	for i := 0; i < b.N; i++ {
 		if err := checker.CoveredInto(&res, in.S, in.Set); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// tableBurstSchema is the burst-workload attribute space.
+func tableBurstSchema() *subsume.Schema { return subsume.UniformSchema(6, 0, 9999) }
+
+// TableBurst builds the burst workload for the Table batch benchmark:
+// a shuffled mix of broad "parent" boxes and narrow children shrunk
+// inside them — the arrival pattern of a subscriber population with a
+// few aggregate interests and many specific ones. Shuffled arrival
+// order is the worst case for per-item admission (children arriving
+// before their parent are admitted active and checked expensively);
+// the batch path re-sorts by volume, so parents admit first and the
+// children fall to the pairwise fast path.
+func TableBurst(size int) ([]subsume.ID, []subsume.Subscription) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	m := tableBurstSchema().Len()
+	nParents := size / 16
+	parents := make([]subsume.Subscription, nParents)
+	subs := make([]subsume.Subscription, 0, size)
+	for i := range parents {
+		bounds := make([]interval.Interval, m)
+		for a := range bounds {
+			lo := rng.Int64N(6000)
+			bounds[a] = interval.New(lo, lo+2000+rng.Int64N(1500))
+		}
+		parents[i] = subscription.Subscription{Bounds: bounds}
+		subs = append(subs, parents[i])
+	}
+	for len(subs) < size {
+		p := parents[rng.IntN(nParents)]
+		bounds := make([]interval.Interval, m)
+		for a, b := range p.Bounds {
+			w := (b.Hi - b.Lo) / 4
+			off := rng.Int64N(b.Hi - b.Lo - w)
+			bounds[a] = interval.New(b.Lo+off, b.Lo+off+w)
+		}
+		subs = append(subs, subscription.Subscription{Bounds: bounds})
+	}
+	rng.Shuffle(len(subs), func(i, j int) { subs[i], subs[j] = subs[j], subs[i] })
+	ids := make([]subsume.ID, len(subs))
+	for i := range ids {
+		ids[i] = subsume.ID(i + 1)
+	}
+	return ids, subs
+}
+
+// TableSubscribeBatch is the Table burst-admission benchmark body:
+// one 512-subscription burst per iteration into a fresh Group table,
+// through SubscribeBatch (batch=true) or per-item Subscribe in
+// arrival order (batch=false). Table construction is excluded from
+// the timing.
+func TableSubscribeBatch(b *testing.B, batch bool, shards int) {
+	ids, subs := TableBurst(512)
+	schema := tableBurstSchema()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tbl, err := subsume.NewTable(subsume.Group,
+			subsume.WithShards(shards),
+			subsume.WithTableSchema(schema),
+			subsume.WithTableSeed(7),
+			subsume.WithTableChecker(subsume.WithSeed(43, 44), subsume.WithMaxTrials(2000)),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if batch {
+			if _, err := tbl.SubscribeBatch(ids, subs); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for j, id := range ids {
+				if _, err := tbl.Subscribe(id, subs[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
 		}
 	}
 }

@@ -18,9 +18,10 @@ import (
 	"fmt"
 	"sort"
 
-	"probsum/internal/core"
+	"probsum/internal/match"
 	"probsum/internal/store"
 	"probsum/internal/subscription"
+	"probsum/subsume"
 )
 
 // MsgKind enumerates protocol messages.
@@ -94,10 +95,9 @@ type Metrics struct {
 // Option configures a Broker.
 type Option func(*Broker)
 
-// WithCheckerConfig sets the probabilistic checker parameters used by
-// the per-neighbor coverage tables under store.PolicyGroup. The seed
-// is combined with the broker and neighbor identities so every table
-// gets an independent, reproducible stream.
+// WithSeed sets the base seed mixed with the broker and neighbor
+// identities so every per-neighbor coverage table gets an independent,
+// reproducible checker stream under store.PolicyGroup (default 1).
 //
 // Each coverage table owns its checker instance outright — this is a
 // deliberate design point, not an accident of construction: a Checker
@@ -107,19 +107,18 @@ type Option func(*Broker)
 // concurrently) would race on both. Callers that multiplex many
 // short-lived checks across goroutines should use core.CheckerPool
 // instead of reaching into a broker's tables.
-func WithCheckerConfig(delta float64, maxTrials int, seed uint64) Option {
-	return func(b *Broker) {
-		b.delta = delta
-		b.maxTrials = maxTrials
-		b.seed = seed
-	}
+func WithSeed(seed uint64) Option {
+	return func(b *Broker) { b.seed = seed }
 }
 
-// WithCandidatePruning toggles the per-attribute candidate index in
-// every per-neighbor coverage table (default on; see
-// store.WithCandidatePruning). Exposed for ablation experiments.
-func WithCandidatePruning(enabled bool) Option {
-	return func(b *Broker) { b.pruning = &enabled }
+// WithTableOptions appends subsume table options applied to every
+// per-neighbor coverage table — error probability, trial cap,
+// candidate-pruning ablation, and so on (pubsub.Config converts to
+// exactly these). The broker's per-neighbor checker seed is applied
+// after them, so a WithSeed among the checker options is overridden
+// to keep table streams independent.
+func WithTableOptions(opts ...subsume.TableOption) Option {
+	return func(b *Broker) { b.tableOpts = append(b.tableOpts, opts...) }
 }
 
 // Broker is a single node of the overlay. Not safe for concurrent use;
@@ -127,26 +126,28 @@ func WithCandidatePruning(enabled bool) Option {
 type Broker struct {
 	id        string
 	policy    store.Policy
-	delta     float64
-	maxTrials int
 	seed      uint64
-	pruning   *bool // nil means store default (on)
+	tableOpts []subsume.TableOption
 
 	neighbors map[string]bool
 	clients   map[string]bool
 
 	// out holds one coverage table per neighbor: the subscriptions this
 	// broker has forwarded to that neighbor, reduced under the policy.
-	out map[string]*store.Store
-	// outIDs maps subscription IDs to per-store numeric IDs; idToSub is
-	// its inverse, used when promotions must be re-announced.
-	outIDs  map[string]store.ID
-	idToSub map[store.ID]string
-	nextID  store.ID
+	out map[string]*subsume.Table
+	// outIDs maps subscription IDs to per-broker numeric IDs; idToSub
+	// is its inverse, used when promotions must be re-announced.
+	outIDs  map[string]subsume.ID
+	idToSub map[subsume.ID]string
+	nextID  subsume.ID
 
 	// in records, per port, the subscriptions received from that port:
 	// the reverse-path routing table.
 	in map[string]map[string]subscription.Subscription
+	// matchers indexes each port's reverse-path table with the
+	// interval-tree matcher, so handlePublish runs stabbing queries
+	// instead of a linear scan per publication.
+	matchers map[string]*match.ITreeIndex
 	// source records the first-arrival port of each known subscription.
 	source map[string]string
 
@@ -164,15 +165,14 @@ func New(id string, policy store.Policy, opts ...Option) (*Broker, error) {
 	b := &Broker{
 		id:        id,
 		policy:    policy,
-		delta:     core.DefaultErrorProbability,
-		maxTrials: core.DefaultMaxTrials,
 		seed:      1,
 		neighbors: make(map[string]bool),
 		clients:   make(map[string]bool),
-		out:       make(map[string]*store.Store),
-		outIDs:    make(map[string]store.ID),
-		idToSub:   make(map[store.ID]string),
+		out:       make(map[string]*subsume.Table),
+		outIDs:    make(map[string]subsume.ID),
+		idToSub:   make(map[subsume.ID]string),
 		in:        make(map[string]map[string]subscription.Subscription),
+		matchers:  make(map[string]*match.ITreeIndex),
 		source:    make(map[string]string),
 		seenPubs:  make(map[string]bool),
 	}
@@ -180,6 +180,20 @@ func New(id string, policy store.Policy, opts ...Option) (*Broker, error) {
 		opt(b)
 	}
 	return b, nil
+}
+
+// tablePolicy converts the store-level policy to the public one.
+func tablePolicy(p store.Policy) (subsume.Policy, error) {
+	switch p {
+	case store.PolicyNone:
+		return subsume.Flood, nil
+	case store.PolicyPairwise:
+		return subsume.Pairwise, nil
+	case store.PolicyGroup:
+		return subsume.Group, nil
+	default:
+		return 0, fmt.Errorf("invalid policy %d", p)
+	}
 }
 
 // ID returns the broker identifier.
@@ -218,7 +232,12 @@ func fnv1a(s string) uint64 {
 }
 
 // ConnectNeighbor registers a neighbor port and creates its outgoing
-// coverage table.
+// coverage table through the public subsume.Table API. Tables are
+// single-shard: a broker serializes access itself, and one shard keeps
+// the exact sequential coverage semantics the simulator equivalence
+// tests pin. The per-neighbor checker seed is applied after any
+// caller-supplied table options, so every table keeps an independent,
+// reproducible stream (see WithSeed).
 func (b *Broker) ConnectNeighbor(id string) error {
 	if id == b.id {
 		return fmt.Errorf("broker %s: cannot neighbor itself", b.id)
@@ -226,29 +245,25 @@ func (b *Broker) ConnectNeighbor(id string) error {
 	if b.neighbors[id] {
 		return nil
 	}
-	var opts []store.Option
+	policy, err := tablePolicy(b.policy)
+	if err != nil {
+		return fmt.Errorf("broker %s: neighbor %s: %w", b.id, id, err)
+	}
+	// Caller options first; WithShards(1) and the per-neighbor seed
+	// come after so they always win — single-shard tables and
+	// independent checker streams are broker invariants, not knobs.
+	opts := append(append([]subsume.TableOption{}, b.tableOpts...), subsume.WithShards(1))
 	if b.policy == store.PolicyGroup {
-		// One checker per table: see WithCheckerConfig for why the
-		// checker is never shared between tables or transports.
-		checker, err := core.NewChecker(
-			core.WithErrorProbability(b.delta),
-			core.WithMaxTrials(b.maxTrials),
-			core.WithSeed(b.seed^fnv1a(b.id), fnv1a(id)|1),
-		)
-		if err != nil {
-			return fmt.Errorf("broker %s: neighbor %s: %w", b.id, id, err)
-		}
-		opts = append(opts, store.WithChecker(checker))
+		opts = append(opts, subsume.WithTableChecker(
+			subsume.WithSeed(b.seed^fnv1a(b.id), fnv1a(id)|1),
+		))
 	}
-	if b.pruning != nil {
-		opts = append(opts, store.WithCandidatePruning(*b.pruning))
-	}
-	st, err := store.New(b.policy, opts...)
+	tbl, err := subsume.NewTable(policy, opts...)
 	if err != nil {
 		return fmt.Errorf("broker %s: neighbor %s: %w", b.id, id, err)
 	}
 	b.neighbors[id] = true
-	b.out[id] = st
+	b.out[id] = tbl
 	return nil
 }
 
@@ -277,7 +292,7 @@ func (b *Broker) Handle(from string, msg Message) ([]Outbound, error) {
 
 // storeID returns (allocating if needed) the numeric per-broker ID for
 // a subscription identifier.
-func (b *Broker) storeID(subID string) store.ID {
+func (b *Broker) storeID(subID string) subsume.ID {
 	if id, ok := b.outIDs[subID]; ok {
 		return id
 	}
@@ -285,6 +300,17 @@ func (b *Broker) storeID(subID string) store.ID {
 	b.outIDs[subID] = b.nextID
 	b.idToSub[b.nextID] = subID
 	return b.nextID
+}
+
+// matcher returns (creating if needed) the reverse-path matcher for a
+// port.
+func (b *Broker) matcher(port string) *match.ITreeIndex {
+	m := b.matchers[port]
+	if m == nil {
+		m = match.NewITreeIndex()
+		b.matchers[port] = m
+	}
+	return m
 }
 
 func (b *Broker) handleSubscribe(from string, msg Message) ([]Outbound, error) {
@@ -305,6 +331,7 @@ func (b *Broker) handleSubscribe(from string, msg Message) ([]Outbound, error) {
 	b.in[from][msg.SubID] = msg.Sub
 
 	id := b.storeID(msg.SubID)
+	b.matcher(from).Add(match.ID(id), msg.Sub)
 	var out []Outbound
 	for _, n := range b.Neighbors() {
 		if n == from {
@@ -341,6 +368,7 @@ func (b *Broker) handleUnsubscribe(from string, msg Message) ([]Outbound, error)
 	if !ok {
 		return nil, nil
 	}
+	b.matcher(from).Remove(match.ID(id))
 	delete(b.outIDs, msg.SubID)
 	delete(b.idToSub, id)
 
@@ -393,21 +421,29 @@ func (b *Broker) handlePublish(from string, msg Message) ([]Outbound, error) {
 	b.metrics.PubsReceived++
 
 	var out []Outbound
-	// Deliver to local clients whose subscriptions match.
+	// Deliver to local clients whose subscriptions match. The per-port
+	// interval-tree matcher answers in O(m log k + hits) instead of
+	// scanning the port's reverse-path table linearly.
 	for _, c := range b.Clients() {
 		if c == from {
 			continue
 		}
-		for subID, sub := range b.in[c] {
-			if sub.Matches(msg.Pub) {
-				b.metrics.Notifications++
-				out = append(out, Outbound{To: c, Msg: Message{
-					Kind:  MsgNotify,
-					SubID: subID,
-					PubID: msg.PubID,
-					Pub:   msg.Pub,
-				}})
+		m := b.matchers[c]
+		if m == nil || m.Len() == 0 {
+			continue
+		}
+		for _, nid := range m.Match(msg.Pub) {
+			subID := b.idToSub[subsume.ID(nid)]
+			if subID == "" {
+				continue
 			}
+			b.metrics.Notifications++
+			out = append(out, Outbound{To: c, Msg: Message{
+				Kind:  MsgNotify,
+				SubID: subID,
+				PubID: msg.PubID,
+				Pub:   msg.Pub,
+			}})
 		}
 	}
 	// Reverse-path forwarding: send to every neighbor that announced a
@@ -416,12 +452,13 @@ func (b *Broker) handlePublish(from string, msg Message) ([]Outbound, error) {
 		if n == from {
 			continue
 		}
-		for _, sub := range b.in[n] {
-			if sub.Matches(msg.Pub) {
-				b.metrics.PubsForwarded++
-				out = append(out, Outbound{To: n, Msg: msg})
-				break
-			}
+		m := b.matchers[n]
+		if m == nil || m.Len() == 0 {
+			continue
+		}
+		if m.MatchAny(msg.Pub) {
+			b.metrics.PubsForwarded++
+			out = append(out, Outbound{To: n, Msg: msg})
 		}
 	}
 	sortOutbound(out)

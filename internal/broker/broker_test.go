@@ -1,11 +1,15 @@
 package broker
 
 import (
+	"fmt"
+	"maps"
+	"math/rand/v2"
 	"testing"
 
 	"probsum/internal/interval"
 	"probsum/internal/store"
 	"probsum/internal/subscription"
+	"probsum/subsume"
 )
 
 func box(lo1, hi1, lo2, hi2 int64) subscription.Subscription {
@@ -14,7 +18,10 @@ func box(lo1, hi1, lo2, hi2 int64) subscription.Subscription {
 
 func newBroker(t *testing.T, policy store.Policy) *Broker {
 	t.Helper()
-	b, err := New("B", policy, WithCheckerConfig(1e-9, 10_000, 5))
+	b, err := New("B", policy, WithSeed(5),
+		WithTableOptions(subsume.WithTableChecker(
+			subsume.WithErrorProbability(1e-9),
+			subsume.WithMaxTrials(10_000))))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,6 +31,11 @@ func newBroker(t *testing.T, policy store.Policy) *Broker {
 func TestNewValidation(t *testing.T) {
 	if _, err := New("", store.PolicyNone); err == nil {
 		t.Error("empty id accepted")
+	}
+	if b, err := New("B", store.Policy(42)); err != nil {
+		t.Fatal(err)
+	} else if err := b.ConnectNeighbor("n1"); err == nil {
+		t.Error("invalid policy accepted at ConnectNeighbor")
 	}
 	b := newBroker(t, store.PolicyNone)
 	if err := b.ConnectNeighbor("B"); err == nil {
@@ -249,5 +261,107 @@ func TestMsgKindString(t *testing.T) {
 		if got := k.String(); got != want {
 			t.Errorf("MsgKind(%d).String() = %q, want %q", k, got, want)
 		}
+	}
+}
+
+// TestPublishItreeMatchesLinearReference cross-checks the
+// interval-tree publish path against the linear scan it replaced:
+// for random churn and random publications, handlePublish must emit
+// exactly the notifications and forwards a direct scan of the
+// reverse-path tables predicts.
+func TestPublishItreeMatchesLinearReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 18))
+	b := newBroker(t, store.PolicyNone) // flood: every sub reaches every table
+	for _, n := range []string{"n1", "n2"} {
+		if err := b.ConnectNeighbor(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.AttachClient("c1")
+	b.AttachClient("c2")
+	ports := []string{"n1", "n2", "c1", "c2"}
+
+	randomBox := func() subscription.Subscription {
+		lo1, lo2 := rng.Int64N(80), rng.Int64N(80)
+		return box(lo1, lo1+rng.Int64N(100-lo1), lo2, lo2+rng.Int64N(100-lo2))
+	}
+	var live []string
+	for step := 0; step < 300; step++ {
+		switch op := rng.IntN(10); {
+		case op < 4: // subscribe from a random port
+			subID := fmt.Sprintf("s%d", step)
+			from := ports[rng.IntN(len(ports))]
+			if _, err := b.Handle(from, Message{Kind: MsgSubscribe, SubID: subID, Sub: randomBox()}); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, subID)
+		case op < 5 && len(live) > 0: // unsubscribe via its source port
+			i := rng.IntN(len(live))
+			subID := live[i]
+			live = append(live[:i], live[i+1:]...)
+			src := b.source[subID]
+			if _, err := b.Handle(src, Message{Kind: MsgUnsubscribe, SubID: subID}); err != nil {
+				t.Fatal(err)
+			}
+		default: // publish and cross-check
+			from := ports[rng.IntN(len(ports))]
+			pub := subscription.NewPublication(rng.Int64N(101), rng.Int64N(101))
+
+			wantNotify := map[string]bool{} // "port/subID"
+			wantForward := map[string]bool{}
+			for port, subs := range b.in {
+				if port == from {
+					continue
+				}
+				for subID, sub := range subs {
+					if !sub.Matches(pub) {
+						continue
+					}
+					if b.clients[port] {
+						wantNotify[port+"/"+subID] = true
+					} else if b.neighbors[port] {
+						wantForward[port] = true
+					}
+				}
+			}
+			out, err := b.Handle(from, Message{Kind: MsgPublish, PubID: fmt.Sprintf("p%d", step), Pub: pub})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotNotify := map[string]bool{}
+			gotForward := map[string]bool{}
+			for _, o := range out {
+				switch o.Msg.Kind {
+				case MsgNotify:
+					gotNotify[o.To+"/"+o.Msg.SubID] = true
+				case MsgPublish:
+					gotForward[o.To] = true
+				default:
+					t.Fatalf("unexpected outbound kind %v", o.Msg.Kind)
+				}
+			}
+			if !maps.Equal(gotNotify, wantNotify) {
+				t.Fatalf("step %d: notifications %v, reference %v", step, gotNotify, wantNotify)
+			}
+			if !maps.Equal(gotForward, wantForward) {
+				t.Fatalf("step %d: forwards %v, reference %v", step, gotForward, wantForward)
+			}
+		}
+	}
+}
+
+// TestConnectNeighborPinsSingleShard guards the broker invariant that
+// per-neighbor tables are single-shard with independent per-neighbor
+// checker streams, even when caller table options say otherwise.
+func TestConnectNeighborPinsSingleShard(t *testing.T) {
+	b, err := New("B", store.PolicyGroup, WithTableOptions(subsume.WithShards(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ConnectNeighbor("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.out["n1"].Shards(); got != 1 {
+		t.Fatalf("per-neighbor table has %d shards, want 1", got)
 	}
 }

@@ -45,6 +45,13 @@ func NewCountingIndex(schema *subscription.Schema, ids []ID, subs []subscription
 			return nil, fmt.Errorf("match: subscription %d has %d attributes, want %d: %w",
 				i, s.Len(), m, subscription.ErrSchemaMismatch)
 		}
+		if !s.IsSatisfiable() {
+			// An empty bound matches nothing: keep the subscription out
+			// of the trees (buildITree requires non-empty intervals)
+			// with a counter target it can never reach.
+			idx.required[i] = -1
+			continue
+		}
 		for a, b := range s.Bounds {
 			if b.ContainsInterval(schema.Domain(a)) {
 				continue // trivial predicate: matches everything

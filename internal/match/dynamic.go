@@ -1,0 +1,218 @@
+package match
+
+import (
+	"sort"
+
+	"probsum/internal/interval"
+	"probsum/internal/subscription"
+)
+
+// ITreeIndex is a dynamic matcher over the per-attribute centered
+// interval trees: Add and Remove mark the index dirty, and the next
+// Match rebuilds the trees lazily, so maintenance is O(1) per change
+// and the O(k log k) rebuild is amortized over the publications
+// between changes — the broker regime, where publications far
+// outnumber subscription churn.
+//
+// Unlike CountingIndex it needs no schema, yet it keeps the counting
+// algorithm's trivial-predicate optimization by inferring a
+// pseudo-domain: per attribute, the HULL of the indexed predicates. A
+// predicate spanning the whole hull is satisfied by every point any
+// predicate on that attribute can accept, so it is exact to leave it
+// un-indexed and count it as pre-satisfied — provided the query value
+// lies inside the hull; a value outside the hull is outside every
+// predicate on that attribute (all are within the hull), so the whole
+// bucket misses. On realistic workloads most predicates are the
+// unconstrained full domain, which the hull test recovers without
+// being told the domain.
+//
+// Subscriptions are bucketed by attribute count, so sets fed from
+// mixed schemas stay matchable: a publication consults only the
+// bucket with its own attribute count, mirroring Subscription.Matches
+// (which rejects on length mismatch).
+type ITreeIndex struct {
+	subs    map[ID]subscription.Subscription
+	dirty   bool
+	buckets map[int]*itreeBucket
+}
+
+// itreeBucket matches subscriptions of one attribute count.
+type itreeBucket struct {
+	ids      []ID
+	hulls    []interval.Interval // per-attribute hull of all predicates
+	trees    []*itreeNode        // non-hull-spanning predicates only
+	required []int               // indexed-predicate count per position
+	matchAll []int               // positions with zero indexed predicates
+	counts   []int
+	stamp    []uint32
+	epoch    uint32
+	hits     []int // stab scratch
+}
+
+var _ Matcher = (*ITreeIndex)(nil)
+
+// NewITreeIndex returns an empty dynamic matcher.
+func NewITreeIndex() *ITreeIndex {
+	return &ITreeIndex{subs: make(map[ID]subscription.Subscription)}
+}
+
+// Add indexes a subscription under id, replacing any previous entry.
+func (x *ITreeIndex) Add(id ID, s subscription.Subscription) {
+	x.subs[id] = s
+	x.dirty = true
+}
+
+// Remove drops the subscription with the given id, if present.
+func (x *ITreeIndex) Remove(id ID) {
+	if _, ok := x.subs[id]; !ok {
+		return
+	}
+	delete(x.subs, id)
+	x.dirty = true
+}
+
+// Len implements Matcher.
+func (x *ITreeIndex) Len() int { return len(x.subs) }
+
+// rebuild reconstructs the per-bucket trees from the current set.
+func (x *ITreeIndex) rebuild() {
+	x.buckets = make(map[int]*itreeBucket)
+	// Deterministic tree shape: insert in ascending ID order.
+	ids := make([]ID, 0, len(x.subs))
+	for id := range x.subs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s := x.subs[id]
+		if !s.IsSatisfiable() {
+			continue // an empty bound matches nothing: keep it out of
+			// the trees (buildITree requires non-empty intervals)
+		}
+		m := s.Len()
+		bkt := x.buckets[m]
+		if bkt == nil {
+			bkt = &itreeBucket{trees: make([]*itreeNode, m)}
+			x.buckets[m] = bkt
+		}
+		bkt.ids = append(bkt.ids, id)
+	}
+	for m, bkt := range x.buckets {
+		bkt.hulls = make([]interval.Interval, m)
+		for i, id := range bkt.ids {
+			for a, b := range x.subs[id].Bounds {
+				if i == 0 {
+					bkt.hulls[a] = b
+				} else {
+					bkt.hulls[a] = bkt.hulls[a].Hull(b)
+				}
+			}
+		}
+		perAttr := make([][]entry, m)
+		bkt.required = make([]int, len(bkt.ids))
+		for pos, id := range bkt.ids {
+			for a, b := range x.subs[id].Bounds {
+				if b.ContainsInterval(bkt.hulls[a]) {
+					continue // hull-spanning: pre-satisfied inside the hull
+				}
+				perAttr[a] = append(perAttr[a], entry{iv: b, sub: pos})
+				bkt.required[pos]++
+			}
+			if bkt.required[pos] == 0 {
+				bkt.matchAll = append(bkt.matchAll, pos)
+			}
+		}
+		for a := range perAttr {
+			bkt.trees[a] = buildITree(perAttr[a])
+		}
+		bkt.counts = make([]int, len(bkt.ids))
+		bkt.stamp = make([]uint32, len(bkt.ids))
+	}
+	x.dirty = false
+}
+
+// bucketFor rebuilds if dirty and returns the bucket for p's arity —
+// nil when no bucket exists or p falls outside a per-attribute hull
+// (outside the hull means outside every predicate on that attribute,
+// and every subscription carries one).
+func (x *ITreeIndex) bucketFor(p subscription.Publication) *itreeBucket {
+	if x.dirty || x.buckets == nil {
+		x.rebuild()
+	}
+	bkt := x.buckets[len(p.Values)]
+	if bkt == nil {
+		return nil
+	}
+	for a, hull := range bkt.hulls {
+		if !hull.Contains(p.Values[a]) {
+			return nil
+		}
+	}
+	return bkt
+}
+
+// completions runs the counting stab loop, invoking emit for every
+// position whose indexed predicates all contain p (matchAll positions
+// are complete by definition and come first). emit returning false
+// stops the scan.
+func (bkt *itreeBucket) completions(p subscription.Publication, emit func(pos int) bool) {
+	for _, pos := range bkt.matchAll {
+		if !emit(pos) {
+			return
+		}
+	}
+	bkt.epoch++
+	if bkt.epoch == 0 { // wrapped: reset stamps
+		for i := range bkt.stamp {
+			bkt.stamp[i] = 0
+		}
+		bkt.epoch = 1
+	}
+	for a, tree := range bkt.trees {
+		bkt.hits = tree.stab(p.Values[a], bkt.hits[:0])
+		for _, pos := range bkt.hits {
+			if bkt.stamp[pos] != bkt.epoch {
+				bkt.stamp[pos] = bkt.epoch
+				bkt.counts[pos] = 0
+			}
+			bkt.counts[pos]++
+			if bkt.counts[pos] == bkt.required[pos] {
+				if !emit(pos) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Match implements Matcher in O(m·log k + hits) per publication after
+// an amortized rebuild.
+func (x *ITreeIndex) Match(p subscription.Publication) []ID {
+	bkt := x.bucketFor(p)
+	if bkt == nil {
+		return nil
+	}
+	var out []ID
+	bkt.completions(p, func(pos int) bool {
+		out = append(out, bkt.ids[pos])
+		return true
+	})
+	sortIDs(out)
+	return out
+}
+
+// MatchAny reports whether any indexed subscription matches p,
+// returning as soon as one completes — the existence form the broker
+// uses for reverse-path forwarding, where the member list is unused.
+func (x *ITreeIndex) MatchAny(p subscription.Publication) bool {
+	bkt := x.bucketFor(p)
+	if bkt == nil {
+		return false
+	}
+	found := false
+	bkt.completions(p, func(int) bool {
+		found = true
+		return false
+	})
+	return found
+}

@@ -1,0 +1,170 @@
+package match
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"probsum/internal/interval"
+	"probsum/internal/subscription"
+)
+
+// TestITreeIndexCrossCheck churns a dynamic interval-tree index and
+// cross-checks every Match against both the brute-force scan and a
+// CountingIndex rebuilt from the same snapshot (the counting algorithm
+// is the paper's deterministic reference [18]).
+func TestITreeIndexCrossCheck(t *testing.T) {
+	const m = 3
+	rng := rand.New(rand.NewPCG(3, 4))
+	schema := subscription.UniformSchema(m, 0, 999)
+	randomSub := func() subscription.Subscription {
+		bounds := make([]interval.Interval, m)
+		for a := range bounds {
+			lo := rng.Int64N(900)
+			bounds[a] = interval.New(lo, lo+rng.Int64N(1000-lo))
+		}
+		return subscription.Subscription{Bounds: bounds}
+	}
+
+	idx := NewITreeIndex()
+	var bf BruteForce
+	live := map[ID]subscription.Subscription{}
+	next := ID(0)
+	for step := 0; step < 60; step++ {
+		// Mutate: a few adds, sometimes a removal or replacement.
+		for i := 0; i < 1+rng.IntN(20); i++ {
+			next++
+			s := randomSub()
+			idx.Add(next, s)
+			bf.Add(next, s)
+			live[next] = s
+		}
+		if len(live) > 0 && rng.IntN(2) == 0 {
+			for id := range live {
+				idx.Remove(id)
+				bf.Remove(id)
+				delete(live, id)
+				break
+			}
+		}
+		if len(live) > 0 && rng.IntN(3) == 0 {
+			for id := range live {
+				s := randomSub()
+				idx.Add(id, s) // replacement
+				bf.Add(id, s)
+				live[id] = s
+				break
+			}
+		}
+		if idx.Len() != len(live) {
+			t.Fatalf("step %d: Len = %d, want %d", step, idx.Len(), len(live))
+		}
+
+		ids := make([]ID, 0, len(live))
+		for id := range live {
+			ids = append(ids, id)
+		}
+		slices.Sort(ids)
+		subs := make([]subscription.Subscription, len(ids))
+		for i, id := range ids {
+			subs[i] = live[id]
+		}
+		counting, err := NewCountingIndex(schema, ids, subs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 20; probe++ {
+			vals := make([]int64, m)
+			for a := range vals {
+				vals[a] = rng.Int64N(1000)
+			}
+			p := subscription.Publication{Values: vals}
+			got := idx.Match(p)
+			if want := bf.Match(p); !slices.Equal(got, want) {
+				t.Fatalf("step %d: itree %v, brute force %v", step, got, want)
+			}
+			if want := counting.Match(p); !slices.Equal(got, want) {
+				t.Fatalf("step %d: itree %v, counting %v", step, got, want)
+			}
+		}
+	}
+}
+
+// TestITreeIndexMixedSchemas pins the bucketing: subscriptions with
+// different attribute counts coexist, and a publication consults only
+// its own arity — the same contract as Subscription.Matches.
+func TestITreeIndexMixedSchemas(t *testing.T) {
+	idx := NewITreeIndex()
+	idx.Add(1, subscription.New(interval.New(0, 10)))
+	idx.Add(2, subscription.New(interval.New(0, 10), interval.New(0, 10)))
+	idx.Add(3, subscription.New(interval.New(5, 20)))
+
+	if got := idx.Match(subscription.NewPublication(7)); !slices.Equal(got, []ID{1, 3}) {
+		t.Fatalf("1-D match = %v, want [1 3]", got)
+	}
+	if got := idx.Match(subscription.NewPublication(7, 7)); !slices.Equal(got, []ID{2}) {
+		t.Fatalf("2-D match = %v, want [2]", got)
+	}
+	if got := idx.Match(subscription.NewPublication(7, 7, 7)); got != nil {
+		t.Fatalf("3-D match = %v, want nil", got)
+	}
+	idx.Remove(1)
+	idx.Remove(99) // absent: no-op
+	if got := idx.Match(subscription.NewPublication(7)); !slices.Equal(got, []ID{3}) {
+		t.Fatalf("after remove = %v, want [3]", got)
+	}
+}
+
+// TestITreeIndexEmptyBounds guards the buildITree precondition: a
+// subscription with an empty bound (lo > hi) must be tolerated — it
+// matches nothing — not recurse the tree builder to death. The broker
+// feeds this index unvalidated wire input, so this is a hostile-input
+// test, covering CountingIndex the same way.
+func TestITreeIndexEmptyBounds(t *testing.T) {
+	idx := NewITreeIndex()
+	idx.Add(1, subscription.New(interval.New(0, 100)))
+	idx.Add(2, subscription.New(interval.Empty())) // lo > hi
+	if got := idx.Match(subscription.NewPublication(7)); !slices.Equal(got, []ID{1}) {
+		t.Fatalf("Match = %v, want [1]", got)
+	}
+	if !idx.MatchAny(subscription.NewPublication(7)) {
+		t.Fatal("MatchAny missed the satisfiable subscription")
+	}
+	if idx.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (stored, even if unmatchable)", idx.Len())
+	}
+
+	schema := subscription.UniformSchema(1, 0, 100)
+	counting, err := NewCountingIndex(schema,
+		[]ID{1, 2},
+		[]subscription.Subscription{
+			subscription.New(interval.New(0, 100)),
+			subscription.New(interval.Empty()),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counting.Match(subscription.NewPublication(7)); !slices.Equal(got, []ID{1}) {
+		t.Fatalf("counting Match = %v, want [1]", got)
+	}
+}
+
+// TestITreeIndexMatchAny cross-checks the existence query against the
+// full Match over random churn.
+func TestITreeIndexMatchAny(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	idx := NewITreeIndex()
+	for i := 0; i < 200; i++ {
+		lo := rng.Int64N(900)
+		idx.Add(ID(i), subscription.New(
+			interval.New(lo, lo+rng.Int64N(60)),
+			interval.New(0, 999), // hull-spanning on the second attribute
+		))
+	}
+	for probe := 0; probe < 300; probe++ {
+		p := subscription.NewPublication(rng.Int64N(1000), rng.Int64N(1000))
+		if got, want := idx.MatchAny(p), len(idx.Match(p)) > 0; got != want {
+			t.Fatalf("MatchAny(%v) = %v, Match says %v", p, got, want)
+		}
+	}
+}

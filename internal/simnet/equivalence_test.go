@@ -9,6 +9,7 @@ import (
 	"probsum/internal/interval"
 	"probsum/internal/store"
 	"probsum/internal/subscription"
+	"probsum/subsume"
 )
 
 // randomScript is a reproducible client workload: subscriptions, some
@@ -54,7 +55,10 @@ func runScript(t *testing.T, topoSeed uint64, policy store.Policy, sc randomScri
 	t.Helper()
 	n := New()
 	if err := BuildRandomConnected(n, 6, 2, topoSeed, policy,
-		broker.WithCheckerConfig(1e-12, 50_000, topoSeed|1)); err != nil {
+		broker.WithSeed(topoSeed|1),
+		broker.WithTableOptions(subsume.WithTableChecker(
+			subsume.WithErrorProbability(1e-12),
+			subsume.WithMaxTrials(50_000)))); err != nil {
 		t.Fatal(err)
 	}
 	brokers := n.BrokerIDs()
@@ -153,7 +157,10 @@ func TestGroupPolicySavesTraffic(t *testing.T) {
 		for _, policy := range []store.Policy{store.PolicyNone, store.PolicyPairwise, store.PolicyGroup} {
 			n := New()
 			if err := BuildRandomConnected(n, 6, 2, seed, policy,
-				broker.WithCheckerConfig(1e-12, 50_000, seed|1)); err != nil {
+				broker.WithSeed(seed|1),
+				broker.WithTableOptions(subsume.WithTableChecker(
+					subsume.WithErrorProbability(1e-12),
+					subsume.WithMaxTrials(50_000)))); err != nil {
 				t.Fatal(err)
 			}
 			brokers := n.BrokerIDs()

@@ -8,6 +8,7 @@ import (
 	"probsum/internal/interval"
 	"probsum/internal/store"
 	"probsum/internal/subscription"
+	"probsum/subsume"
 )
 
 func box(lo1, hi1, lo2, hi2 int64) subscription.Subscription {
@@ -119,7 +120,10 @@ func TestFigure1DeliveryTrees(t *testing.T) {
 func TestChainPropagationAndGroupCoverage(t *testing.T) {
 	n := New()
 	if err := BuildChain(n, 5, store.PolicyGroup,
-		broker.WithCheckerConfig(1e-9, 10_000, 77)); err != nil {
+		broker.WithSeed(77),
+		broker.WithTableOptions(subsume.WithTableChecker(
+			subsume.WithErrorProbability(1e-9),
+			subsume.WithMaxTrials(10_000)))); err != nil {
 		t.Fatal(err)
 	}
 	n.AttachClient("sub1", "B1")

@@ -1,0 +1,486 @@
+package store
+
+import (
+	"math"
+	"math/rand/v2"
+	"slices"
+	"sync"
+	"testing"
+
+	"probsum/internal/core"
+	"probsum/internal/interval"
+	"probsum/internal/subscription"
+)
+
+// randomBox returns a random box over [0,99]^m.
+func randomBox(rng *rand.Rand, m int) subscription.Subscription {
+	bounds := make([]interval.Interval, m)
+	for a := range bounds {
+		lo := rng.Int64N(80)
+		bounds[a] = interval.New(lo, lo+1+rng.Int64N(100-lo-1))
+	}
+	return subscription.Subscription{Bounds: bounds}
+}
+
+func randomPoint(rng *rand.Rand, m int) subscription.Publication {
+	vals := make([]int64, m)
+	for a := range vals {
+		vals[a] = rng.Int64N(100)
+	}
+	return subscription.Publication{Values: vals}
+}
+
+// compareStates fails when the sharded table and the oracle disagree
+// on the active set, sizes, or Match results for sample points.
+func compareStates(t *testing.T, step int, sh *Sharded, activeIDs []ID, total int, match func(subscription.Publication) []ID, rng *rand.Rand, m int) {
+	t.Helper()
+	if got := sh.ActiveIDs(); !slices.Equal(got, activeIDs) {
+		t.Fatalf("step %d: active set mismatch:\n sharded %v\n oracle  %v", step, got, activeIDs)
+	}
+	if snap := sh.Snapshot(); snap.Len != total {
+		t.Fatalf("step %d: Len = %d, oracle %d", step, snap.Len, total)
+	}
+	for probe := 0; probe < 4; probe++ {
+		p := randomPoint(rng, m)
+		if got, want := sh.Match(p), match(p); !slices.Equal(got, want) {
+			t.Fatalf("step %d: Match(%v) = %v, oracle %v", step, p, got, want)
+		}
+	}
+}
+
+// TestShardedSingleShardParity pins WithShards(1) to exact Store
+// behavior: the same interleaved per-item/batch/unsubscribe script on
+// a 1-shard Sharded and a raw Store (checkers seeded identically) must
+// agree on every result, the active set, and Match — decision for
+// decision, under both policies.
+func TestShardedSingleShardParity(t *testing.T) {
+	const m = 3
+	for _, policy := range []Policy{PolicyPairwise, PolicyGroup} {
+		t.Run(policy.String(), func(t *testing.T) {
+			copts := []core.Option{core.WithSeed(11, 12), core.WithMaxTrials(5000)}
+			var oracleOpts []Option
+			if policy == PolicyGroup {
+				chk, err := core.NewChecker(copts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				oracleOpts = append(oracleOpts, WithChecker(chk))
+			}
+			oracle, err := New(policy, oracleOpts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh, err := NewSharded(policy, WithShards(1), WithShardCheckerOptions(copts...))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rng := rand.New(rand.NewPCG(21, 22))
+			probeRNG1 := rand.New(rand.NewPCG(31, 32))
+			live := []ID{}
+			next := ID(0)
+			for step := 0; step < 300; step++ {
+				switch op := rng.IntN(10); {
+				case op < 5: // per-item subscribe
+					next++
+					s := randomBox(rng, m)
+					want, werr := oracle.Subscribe(next, s)
+					got, gerr := sh.Subscribe(next, s)
+					if (werr == nil) != (gerr == nil) {
+						t.Fatalf("step %d: subscribe err mismatch: %v vs %v", step, werr, gerr)
+					}
+					if werr == nil {
+						if got.Status != want.Status || !slices.Equal(got.Coverers, want.Coverers) {
+							t.Fatalf("step %d: subscribe result mismatch:\n sharded %+v\n oracle  %+v", step, got, want)
+						}
+						live = append(live, next)
+					}
+				case op < 7: // batch subscribe
+					n := 2 + rng.IntN(6)
+					ids := make([]ID, n)
+					subs := make([]subscription.Subscription, n)
+					for i := range ids {
+						next++
+						ids[i] = next
+						subs[i] = randomBox(rng, m)
+					}
+					want, werr := oracle.SubscribeBatch(ids, subs)
+					got, gerr := sh.SubscribeBatch(ids, subs)
+					if (werr == nil) != (gerr == nil) {
+						t.Fatalf("step %d: batch err mismatch: %v vs %v", step, werr, gerr)
+					}
+					for i := range want {
+						if got[i].Status != want[i].Status || !slices.Equal(got[i].Coverers, want[i].Coverers) {
+							t.Fatalf("step %d item %d: batch result mismatch:\n sharded %+v\n oracle  %+v", step, i, got[i], want[i])
+						}
+					}
+					live = append(live, ids...)
+				case len(live) > 0: // unsubscribe
+					i := rng.IntN(len(live))
+					id := live[i]
+					live = slices.Delete(live, i, i+1)
+					want, werr := oracle.Unsubscribe(id)
+					got, gerr := sh.Unsubscribe(id)
+					if (werr == nil) != (gerr == nil) {
+						t.Fatalf("step %d: unsubscribe err mismatch: %v vs %v", step, werr, gerr)
+					}
+					if got.Existed != want.Existed || got.WasActive != want.WasActive ||
+						!slices.Equal(got.Promoted, want.Promoted) {
+						t.Fatalf("step %d: unsubscribe result mismatch:\n sharded %+v\n oracle  %+v", step, got, want)
+					}
+				}
+				compareStates(t, step, sh, oracle.ActiveIDs(), oracle.Len(), oracle.Match, probeRNG1, m)
+			}
+			if sh.Metrics().Subscribes == 0 {
+				t.Fatal("metrics recorded no subscribes")
+			}
+		})
+	}
+}
+
+// TestShardedCrossShardPairwiseEquivalence runs the same churn script
+// (with batches) on a 4-shard and a 1-shard pairwise table. Pairwise
+// coverage is a single-coverer question, which the cross-shard
+// admission pass answers over every shard, and promotion re-offers
+// promoted subscriptions across shards — so the sharded table lands on
+// the same active set and Match results as the sequential one.
+func TestShardedCrossShardPairwiseEquivalence(t *testing.T) {
+	const m = 3
+	flat, err := NewSharded(PolicyPairwise, WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewSharded(PolicyPairwise, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(41, 42))
+	probeRNG := rand.New(rand.NewPCG(51, 52))
+	live := []ID{}
+	next := ID(0)
+	for step := 0; step < 400; step++ {
+		switch op := rng.IntN(10); {
+		case op < 6:
+			n := 1 + rng.IntN(8)
+			ids := make([]ID, n)
+			subs := make([]subscription.Subscription, n)
+			for i := range ids {
+				next++
+				ids[i] = next
+				subs[i] = randomBox(rng, m)
+			}
+			if _, err := flat.SubscribeBatch(ids, subs); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sh.SubscribeBatch(ids, subs); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, ids...)
+		case len(live) > 0:
+			i := rng.IntN(len(live))
+			id := live[i]
+			live = slices.Delete(live, i, i+1)
+			if _, err := flat.Unsubscribe(id); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sh.Unsubscribe(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		compareStates(t, step, sh, flat.ActiveIDs(), flat.Snapshot().Len, flat.Match, probeRNG, m)
+	}
+	if sh.Metrics().CrossShardSuppressed == 0 {
+		t.Fatal("script never exercised cross-shard coverage; weaken the boxes")
+	}
+}
+
+// TestShardedGroupPerShardUnionSemantics pins the documented
+// weakening: a union cover whose members are split across shards is
+// not seen by a sharded table (the subscription stays active — the
+// sound direction), while the 1-shard table suppresses it.
+func TestShardedGroupPerShardUnionSemantics(t *testing.T) {
+	// Two halves whose union covers s, neither alone.
+	left := subscription.New(interval.New(0, 60), interval.New(0, 99))
+	right := subscription.New(interval.New(50, 99), interval.New(0, 99))
+	s := subscription.New(interval.New(20, 80), interval.New(10, 90))
+
+	copts := []core.Option{core.WithSeed(61, 62), core.WithErrorProbability(1e-9)}
+	build := func(shards int, router Router) *Sharded {
+		t.Helper()
+		opts := []ShardedOption{WithShards(shards), WithShardCheckerOptions(copts...)}
+		if router != nil {
+			opts = append(opts, WithShardRouter(router))
+		}
+		sh, err := NewSharded(PolicyGroup, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sh
+	}
+	// Route by ID parity so left (1) and right (2) land in different
+	// shards and s (3) homes with left.
+	router := func(id ID, _ subscription.Subscription) uint64 { return uint64(id) }
+
+	flat := build(1, nil)
+	split := build(2, router)
+	for _, sh := range []*Sharded{flat, split} {
+		if _, err := sh.Subscribe(1, left); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sh.Subscribe(2, right); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fres, err := flat.Subscribe(3, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.Status != StatusCovered {
+		t.Fatalf("1-shard table should cover s by the union, got %v", fres.Status)
+	}
+	sres, err := split.Subscribe(3, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Status != StatusActive {
+		t.Fatalf("split table should keep s active (per-shard unions), got %v", sres.Status)
+	}
+}
+
+// TestShardedPromotionMigration pins the cross-shard merge on
+// cancellation: when the coverer of a covered subscription leaves, and
+// an equivalent cover lives in ANOTHER shard, the promoted
+// subscription migrates there (covered) instead of surfacing active.
+func TestShardedPromotionMigration(t *testing.T) {
+	wideA := subscription.New(interval.New(0, 90), interval.New(0, 90))
+	wideB := subscription.New(interval.New(0, 95), interval.New(0, 95))
+	small := subscription.New(interval.New(10, 20), interval.New(10, 20))
+
+	router := func(id ID, _ subscription.Subscription) uint64 { return uint64(id) }
+	sh, err := NewSharded(PolicyPairwise, WithShards(2), WithShardRouter(router))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// wideA (id 2) -> shard 0; wideB (id 1) -> shard 1;
+	// small (id 4) homes in shard 0 and is covered by wideA there.
+	if _, err := sh.Subscribe(2, wideA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Subscribe(1, wideB); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sh.Subscribe(4, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusCovered || !slices.Equal(res.Coverers, []ID{2}) {
+		t.Fatalf("small should be covered by wideA, got %+v", res)
+	}
+
+	ures, err := sh.Unsubscribe(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ures.Promoted) != 0 {
+		t.Fatalf("promotion should have migrated, got Promoted=%v", ures.Promoted)
+	}
+	sub, status, ok := sh.Get(4)
+	if !ok || status != StatusCovered {
+		t.Fatalf("small should be covered in the other shard, got ok=%v status=%v", ok, status)
+	}
+	if !sub.Equal(small) {
+		t.Fatalf("migrated subscription changed: %v", sub)
+	}
+	if got := sh.Metrics().Migrations; got != 1 {
+		t.Fatalf("Migrations = %d, want 1", got)
+	}
+	// The migrated subscription must still be matchable and must
+	// promote normally when its new coverer leaves too.
+	p := subscription.NewPublication(15, 15)
+	if got := sh.Match(p); !slices.Equal(got, []ID{1, 4}) {
+		t.Fatalf("Match after migration = %v, want [1 4]", got)
+	}
+	ures, err = sh.Unsubscribe(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(ures.Promoted, []ID{4}) {
+		t.Fatalf("Promoted = %v, want [4]", ures.Promoted)
+	}
+	if got := sh.ActiveIDs(); !slices.Equal(got, []ID{4}) {
+		t.Fatalf("ActiveIDs = %v, want [4]", got)
+	}
+}
+
+// TestShardedConcurrentChurn hammers a 4-shard pairwise table from
+// concurrent goroutines (run under -race) and then checks the final
+// state against a brute-force oracle over the surviving subscriptions:
+// Match must return exactly the stored subscriptions containing each
+// probe point, and the size accounting must balance.
+func TestShardedConcurrentChurn(t *testing.T) {
+	const (
+		m          = 3
+		goroutines = 8
+		perG       = 150
+	)
+	sh, err := NewSharded(PolicyPairwise, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type kept struct {
+		id  ID
+		sub subscription.Subscription
+	}
+	remaining := make([][]kept, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g)+100, uint64(g)*7+1))
+			base := ID(g * 1_000_000)
+			var mine []kept
+			for i := 0; i < perG; i++ {
+				switch op := rng.IntN(10); {
+				case op < 5:
+					id := base + ID(i)
+					s := randomBox(rng, m)
+					if _, err := sh.Subscribe(id, s); err != nil {
+						t.Errorf("g%d: subscribe: %v", g, err)
+						return
+					}
+					mine = append(mine, kept{id, s})
+				case op < 7:
+					n := 2 + rng.IntN(4)
+					ids := make([]ID, n)
+					subs := make([]subscription.Subscription, n)
+					for j := range ids {
+						ids[j] = base + ID(i*10+j+perG*10)
+						subs[j] = randomBox(rng, m)
+					}
+					if _, err := sh.SubscribeBatch(ids, subs); err != nil {
+						t.Errorf("g%d: batch: %v", g, err)
+						return
+					}
+					for j := range ids {
+						mine = append(mine, kept{ids[j], subs[j]})
+					}
+				case op < 8 && len(mine) > 0:
+					j := rng.IntN(len(mine))
+					if _, err := sh.Unsubscribe(mine[j].id); err != nil {
+						t.Errorf("g%d: unsubscribe: %v", g, err)
+						return
+					}
+					mine = slices.Delete(mine, j, j+1)
+				default:
+					sh.Match(randomPoint(rng, m))
+				}
+			}
+			remaining[g] = mine
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	var all []kept
+	for _, mine := range remaining {
+		all = append(all, mine...)
+	}
+	snap := sh.Snapshot()
+	if snap.Len != len(all) {
+		t.Fatalf("Len = %d, want %d survivors", snap.Len, len(all))
+	}
+	if snap.Active+snap.Covered != snap.Len {
+		t.Fatalf("active %d + covered %d != len %d", snap.Active, snap.Covered, snap.Len)
+	}
+	if len(snap.Shards) != 4 {
+		t.Fatalf("Snapshot has %d shards, want 4", len(snap.Shards))
+	}
+	probeRNG := rand.New(rand.NewPCG(71, 72))
+	for probe := 0; probe < 50; probe++ {
+		p := randomPoint(probeRNG, m)
+		var want []ID
+		for _, k := range all {
+			if k.sub.Matches(p) {
+				want = append(want, k.id)
+			}
+		}
+		slices.Sort(want)
+		if got := sh.Match(p); !slices.Equal(got, want) {
+			t.Fatalf("probe %d: Match(%v) = %v, want %v", probe, p, got, want)
+		}
+	}
+	// Every survivor is retrievable with its own subscription.
+	for _, k := range all {
+		sub, _, ok := sh.Get(k.id)
+		if !ok || !sub.Equal(k.sub) {
+			t.Fatalf("Get(%d) = (%v, ok=%v), want stored sub", k.id, sub, ok)
+		}
+	}
+}
+
+// TestShardedValidation covers constructor and admission errors.
+func TestShardedValidation(t *testing.T) {
+	if _, err := NewSharded(Policy(99)); err == nil {
+		t.Error("invalid policy accepted")
+	}
+	if _, err := NewSharded(PolicyPairwise, WithShards(0)); err == nil {
+		t.Error("zero shards accepted")
+	}
+	sh, err := NewSharded(PolicyPairwise, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := subscription.New(interval.New(0, 9))
+	if _, err := sh.Subscribe(1, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Subscribe(1, s); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	bad := subscription.New(interval.Empty())
+	if _, err := sh.Subscribe(2, bad); err == nil {
+		t.Error("unsatisfiable subscription accepted")
+	}
+	// A failed admission must release its reservation.
+	if _, err := sh.Subscribe(2, s); err != nil {
+		t.Errorf("ID 2 should be reusable after failed admission: %v", err)
+	}
+	if _, err := sh.SubscribeBatch([]ID{3, 3}, []subscription.Subscription{s, s}); err == nil {
+		t.Error("in-batch duplicate accepted")
+	}
+	if _, err := sh.SubscribeBatch([]ID{4}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if res, err := sh.Unsubscribe(999); err != nil || res.Existed {
+		t.Errorf("unknown unsubscribe = (%+v, %v)", res, err)
+	}
+}
+
+// TestShardedHugeDomainRouting guards the router against schemas whose
+// domain point-count overflows int64 (e.g. the full int64 range):
+// routing must fall back to a safe grid instead of dividing by zero.
+func TestShardedHugeDomainRouting(t *testing.T) {
+	schema, err := subscription.NewSchema(
+		[]string{"x"},
+		[]interval.Interval{interval.New(math.MinInt64, math.MaxInt64)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewSharded(PolicyPairwise, WithShards(4), WithShardSchema(schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 8; i++ {
+		s := subscription.New(interval.New(i*1000, i*1000+50))
+		if _, err := sh.Subscribe(ID(i), s); err != nil {
+			t.Fatalf("subscribe %d: %v", i, err)
+		}
+	}
+	if sh.Snapshot().Len != 8 {
+		t.Fatalf("Len = %d, want 8", sh.Snapshot().Len)
+	}
+}

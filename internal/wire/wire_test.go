@@ -8,6 +8,7 @@ import (
 	"probsum/internal/interval"
 	"probsum/internal/store"
 	"probsum/internal/subscription"
+	"probsum/subsume"
 )
 
 func box(lo1, hi1, lo2, hi2 int64) subscription.Subscription {
@@ -16,7 +17,10 @@ func box(lo1, hi1, lo2, hi2 int64) subscription.Subscription {
 
 func startServer(t *testing.T, id string, policy store.Policy) *Server {
 	t.Helper()
-	b, err := broker.New(id, policy, broker.WithCheckerConfig(1e-9, 10_000, 3))
+	b, err := broker.New(id, policy, broker.WithSeed(3),
+		broker.WithTableOptions(subsume.WithTableChecker(
+			subsume.WithErrorProbability(1e-9),
+			subsume.WithMaxTrials(10_000))))
 	if err != nil {
 		t.Fatal(err)
 	}

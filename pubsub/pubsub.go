@@ -20,6 +20,7 @@ import (
 	"probsum/internal/simnet"
 	"probsum/internal/store"
 	"probsum/internal/subscription"
+	"probsum/subsume"
 )
 
 // Policy selects subscription-forwarding reduction.
@@ -118,6 +119,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// TableOptions converts the network tuning into subsume.Table options
+// — the exact options AddBroker applies to every per-neighbor coverage
+// table (per-neighbor checker seeding is layered on top by the broker;
+// Config.Seed feeds that derivation, not an option here). Exported so
+// a standalone subsume.Table can share a network's tuning.
+func (c Config) TableOptions() []subsume.TableOption {
+	c = c.withDefaults()
+	opts := []subsume.TableOption{
+		subsume.WithTableChecker(
+			subsume.WithErrorProbability(c.ErrorProbability),
+			subsume.WithMaxTrials(c.MaxTrials),
+		),
+	}
+	if c.DisableCandidatePruning {
+		opts = append(opts, subsume.WithTableCandidatePruning(false))
+	}
+	return opts
+}
+
 // Network is an in-process deterministic broker overlay.
 type Network struct {
 	inner  *simnet.Network
@@ -146,10 +166,8 @@ func (n *Network) Dropped() int { return n.inner.Dropped() }
 // AddBroker creates a broker node.
 func (n *Network) AddBroker(id string) error {
 	opts := []broker.Option{
-		broker.WithCheckerConfig(n.cfg.ErrorProbability, n.cfg.MaxTrials, n.cfg.Seed),
-	}
-	if n.cfg.DisableCandidatePruning {
-		opts = append(opts, broker.WithCandidatePruning(false))
+		broker.WithSeed(n.cfg.Seed),
+		broker.WithTableOptions(n.cfg.TableOptions()...),
 	}
 	return n.inner.AddBroker(id, n.policy, opts...)
 }

@@ -59,3 +59,51 @@ func ExampleSubscription_Matches() {
 	// true
 	// false
 }
+
+// A Table is the maintained form of the coverage question a broker
+// actually asks: admit a burst of subscriptions, suppress the ones the
+// active set already covers, route publications, and promote covered
+// subscriptions when their coverer cancels. Tables are safe for
+// concurrent callers; sharding distributes the load.
+func ExampleTable() {
+	schema := subsume.NewSchema(
+		subsume.Attr("price", 0, 10_000),
+		subsume.Attr("qty", 0, 1_000),
+	)
+	tbl, _ := subsume.NewTable(subsume.Group,
+		subsume.WithShards(4),
+		subsume.WithTableSchema(schema),
+		subsume.WithTableSeed(1),
+	)
+
+	broad := subsume.NewSubscription(schema).Range("price", 0, 5000).Build()
+	mid := subsume.NewSubscription(schema).Range("price", 4000, 8000).Build()
+	narrow := subsume.NewSubscription(schema).
+		Range("price", 1000, 2000).Range("qty", 0, 500).Build()
+
+	// One arrival burst: the batch path admits the broad subscriptions
+	// first, so narrow is suppressed on arrival — whichever shard its
+	// coverer lives in.
+	results, _ := tbl.SubscribeBatch(
+		[]subsume.ID{1, 2, 3},
+		[]subsume.Subscription{broad, mid, narrow},
+	)
+	for i, r := range results {
+		fmt.Printf("sub %d: %v %v\n", i+1, r.Status, r.Coverers)
+	}
+	fmt.Println("active:", tbl.ActiveLen(), "covered:", tbl.CoveredLen())
+
+	// Publications match against the whole table (Algorithm 5).
+	fmt.Println("match (1500, 100):", tbl.Match(subsume.NewPublication(1500, 100)))
+
+	// When the coverer cancels, the suppressed subscription surfaces.
+	ures, _ := tbl.Unsubscribe(1)
+	fmt.Println("promoted:", ures.Promoted)
+	// Output:
+	// sub 1: active []
+	// sub 2: active []
+	// sub 3: covered [1]
+	// active: 2 covered: 1
+	// match (1500, 100): [1 3]
+	// promoted: [3]
+}

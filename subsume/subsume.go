@@ -33,7 +33,6 @@
 package subsume
 
 import (
-	"errors"
 	"fmt"
 
 	"probsum/internal/core"
@@ -322,7 +321,7 @@ func MatchesBox(s Subscription, box Subscription, mode BoxMatchMode) bool {
 func Exact(s Subscription, set []Subscription) (bool, error) {
 	covered, err := core.ExhaustiveCover(s, set)
 	if err != nil {
-		return false, errors.Join(err)
+		return false, err
 	}
 	return covered, nil
 }

@@ -1,0 +1,243 @@
+// Table: the maintained coverage table, the paper's payoff operation.
+// A broker does not ask one-shot Covered questions — it keeps the set
+// of forwarded subscriptions and suppresses arrivals the active set
+// already covers. Table packages that machinery (internal/store) as an
+// embeddable, concurrency-safe component: hash-sharded stores, a
+// cross-shard merge for coverage decisions that span shards, batch
+// admission for arrival bursts, and Algorithm 5 matching.
+package subsume
+
+import (
+	"fmt"
+
+	"probsum/internal/core"
+	"probsum/internal/store"
+)
+
+// Policy selects how a Table reduces arriving subscriptions.
+type Policy int
+
+// Coverage policies.
+const (
+	// Flood keeps every subscription active (no reduction).
+	Flood Policy = iota + 1
+	// Pairwise suppresses a subscription only when a single active
+	// subscription covers it (classical deterministic systems).
+	Pairwise
+	// Group suppresses a subscription when the probabilistic checker
+	// decides the active set jointly covers it (the paper's
+	// contribution).
+	Group
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case Flood:
+		return "flood"
+	case Pairwise:
+		return "pairwise"
+	case Group:
+		return "group"
+	default:
+		return "unknown"
+	}
+}
+
+func (p Policy) toStore() (store.Policy, error) {
+	switch p {
+	case Flood:
+		return store.PolicyNone, nil
+	case Pairwise:
+		return store.PolicyPairwise, nil
+	case Group:
+		return store.PolicyGroup, nil
+	default:
+		return 0, fmt.Errorf("subsume: invalid policy %d", p)
+	}
+}
+
+// ID identifies a subscription within a Table.
+type ID = store.ID
+
+// Status reports where a subscription lives: StatusActive entries
+// drive routing and matching; StatusCovered entries are suppressed by
+// the active set and stored in the cover forest.
+type Status = store.Status
+
+// Status values.
+const (
+	StatusActive  = store.StatusActive
+	StatusCovered = store.StatusCovered
+)
+
+// SubscribeResult reports how an arrival was classified; see the
+// fields of store.SubscribeResult.
+type SubscribeResult = store.SubscribeResult
+
+// UnsubscribeResult reports a removal and any promotions it caused.
+type UnsubscribeResult = store.UnsubscribeResult
+
+// ShardStats sizes one shard of a Table.
+type ShardStats = store.ShardStats
+
+// TableSnapshot is a point-in-time size report, per shard and total.
+type TableSnapshot = store.ShardedSnapshot
+
+// TableMetrics are a Table's cumulative operation counters.
+type TableMetrics = store.ShardedMetrics
+
+// ErrDuplicateID is returned when subscribing an ID already in use.
+var ErrDuplicateID = store.ErrDuplicateID
+
+// TableOption configures a Table.
+type TableOption func(*tableConfig)
+
+type tableConfig struct {
+	shards       int
+	seed         uint64
+	copts        []core.Option
+	reversePrune bool
+	pruning      bool
+	schema       *Schema
+}
+
+// WithShards sets the shard count (default 1). A single shard keeps
+// the exact semantics of one sequential coverage table; more shards
+// add concurrency at a documented cost: group coverage weakens to
+// PER-SHARD unions, so a set of subscriptions spread across shards is
+// never considered jointly and a sharded table may keep subscriptions
+// active that a one-shard table would suppress. The weakening is sound
+// (it errs toward forwarding, never toward losing publications).
+func WithShards(n int) TableOption {
+	return func(c *tableConfig) { c.shards = n }
+}
+
+// WithTableSeed seeds the checker pool per-shard checkers are drawn
+// from under Group (default 1). With one shard the checker is built
+// directly from the WithTableChecker options instead, so an explicit
+// WithSeed there is honored exactly.
+func WithTableSeed(seed uint64) TableOption {
+	return func(c *tableConfig) { c.seed = seed }
+}
+
+// WithTableChecker appends checker options (WithErrorProbability,
+// WithMaxTrials, …) applied to every per-shard checker under Group.
+func WithTableChecker(opts ...Option) TableOption {
+	return func(c *tableConfig) { c.copts = append(c.copts, opts...) }
+}
+
+// WithTableReversePrune enables demoting existing active subscriptions
+// that an arrival covers (the Section 4.4 multi-level forest). With
+// more than one shard, demotion scans only the arrival's home shard.
+func WithTableReversePrune(enabled bool) TableOption {
+	return func(c *tableConfig) { c.reversePrune = enabled }
+}
+
+// WithTableCandidatePruning toggles the per-attribute candidate index
+// in every shard (default on).
+func WithTableCandidatePruning(enabled bool) TableOption {
+	return func(c *tableConfig) { c.pruning = enabled }
+}
+
+// WithTableSchema makes shard routing schema-aware: the dominant
+// (most selective) bound is judged relative to its domain, so boxes
+// concentrated in the same region of the same attribute tend to share
+// a shard and coverage relations stay intra-shard.
+func WithTableSchema(schema *Schema) TableOption {
+	return func(c *tableConfig) { c.schema = schema }
+}
+
+// Table is a maintained coverage table, safe for concurrent callers.
+// Subscriptions are admitted covered when the active set (per shard)
+// already covers them and active otherwise; Match answers publication
+// routing across the whole table. Concurrency races always resolve
+// toward keeping subscriptions active — the direction that forwards
+// more and never loses publications.
+type Table struct {
+	sh     *store.Sharded
+	policy Policy
+}
+
+// NewTable builds a coverage table under the given policy.
+func NewTable(policy Policy, opts ...TableOption) (*Table, error) {
+	sp, err := policy.toStore()
+	if err != nil {
+		return nil, err
+	}
+	cfg := tableConfig{shards: 1, seed: 1, pruning: true}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	sopts := []store.ShardedOption{
+		store.WithShards(cfg.shards),
+		store.WithShardSeed(cfg.seed),
+		store.WithShardReversePrune(cfg.reversePrune),
+		store.WithShardCandidatePruning(cfg.pruning),
+	}
+	if len(cfg.copts) > 0 {
+		sopts = append(sopts, store.WithShardCheckerOptions(cfg.copts...))
+	}
+	if cfg.schema != nil {
+		sopts = append(sopts, store.WithShardSchema(cfg.schema))
+	}
+	sh, err := store.NewSharded(sp, sopts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{sh: sh, policy: policy}, nil
+}
+
+// Policy returns the table's coverage policy.
+func (t *Table) Policy() Policy { return t.policy }
+
+// Shards returns the shard count.
+func (t *Table) Shards() int { return t.sh.ShardCount() }
+
+// Subscribe admits one subscription under a caller-chosen unique ID.
+func (t *Table) Subscribe(id ID, s Subscription) (SubscribeResult, error) {
+	return t.sh.Subscribe(id, s)
+}
+
+// SubscribeBatch admits an arrival burst in one call. The burst is
+// processed in descending box-volume order inside a single critical
+// section, so within-burst coverage is found immediately and broad
+// subscriptions suppress the narrow ones arriving alongside them;
+// results are returned in input order. On burst workloads this is
+// substantially faster than per-item Subscribe (see
+// BenchmarkTableSubscribeBatch).
+func (t *Table) SubscribeBatch(ids []ID, subs []Subscription) ([]SubscribeResult, error) {
+	return t.sh.SubscribeBatch(ids, subs)
+}
+
+// Unsubscribe removes id, promoting covered subscriptions whose cover
+// no longer holds (and, across shards, re-covering promoted ones into
+// shards that still cover them). Removing an unknown ID is a no-op.
+func (t *Table) Unsubscribe(id ID) (UnsubscribeResult, error) {
+	return t.sh.Unsubscribe(id)
+}
+
+// Match returns the sorted IDs of every stored subscription matching
+// p — active and covered, via the paper's Algorithm 5 descent.
+func (t *Table) Match(p Publication) []ID { return t.sh.Match(p) }
+
+// Get returns the subscription and status for id.
+func (t *Table) Get(id ID) (Subscription, Status, bool) { return t.sh.Get(id) }
+
+// ActiveIDs returns the sorted IDs of the active set across shards.
+func (t *Table) ActiveIDs() []ID { return t.sh.ActiveIDs() }
+
+// Len returns the total number of stored subscriptions.
+func (t *Table) Len() int { return t.Snapshot().Len }
+
+// ActiveLen returns the active-set size across shards.
+func (t *Table) ActiveLen() int { return t.Snapshot().Active }
+
+// CoveredLen returns the covered-set size across shards.
+func (t *Table) CoveredLen() int { return t.Snapshot().Covered }
+
+// Snapshot reports current sizes, per shard and total.
+func (t *Table) Snapshot() TableSnapshot { return t.sh.Snapshot() }
+
+// Metrics reports cumulative operation counters.
+func (t *Table) Metrics() TableMetrics { return t.sh.Metrics() }

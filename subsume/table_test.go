@@ -1,0 +1,292 @@
+package subsume_test
+
+import (
+	"math/rand/v2"
+	"slices"
+	"sync"
+	"testing"
+
+	"probsum/internal/core"
+	"probsum/internal/store"
+	"probsum/subsume"
+)
+
+func tableSchema() *subsume.Schema {
+	return subsume.NewSchema(
+		subsume.Attr("x", 0, 999),
+		subsume.Attr("y", 0, 999),
+	)
+}
+
+func randomTableSub(rng *rand.Rand, schema *subsume.Schema) subsume.Subscription {
+	loX, loY := rng.Int64N(800), rng.Int64N(800)
+	return subsume.NewSubscription(schema).
+		Range("x", loX, loX+10+rng.Int64N(180)).
+		Range("y", loY, loY+10+rng.Int64N(180)).
+		Build()
+}
+
+// TestTableSingleShardStoreParity drives a churn script with batches
+// through the public Table (one shard, explicit seed) and a raw
+// internal store with an identically seeded checker: statuses, active
+// sets, and Match results must agree exactly — the acceptance pin
+// that WithShards(1) is the sequential coverage table.
+func TestTableSingleShardStoreParity(t *testing.T) {
+	schema := tableSchema()
+	tbl, err := subsume.NewTable(subsume.Group,
+		subsume.WithShards(1),
+		subsume.WithTableSchema(schema),
+		subsume.WithTableChecker(subsume.WithSeed(7, 8), subsume.WithMaxTrials(5000)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := core.NewChecker(core.WithSeed(7, 8), core.WithMaxTrials(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := store.New(store.PolicyGroup, store.WithChecker(chk))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewPCG(81, 82))
+	var live []subsume.ID
+	next := subsume.ID(0)
+	for step := 0; step < 200; step++ {
+		switch op := rng.IntN(10); {
+		case op < 4:
+			next++
+			s := randomTableSub(rng, schema)
+			got, err := tbl.Subscribe(next, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.Subscribe(next, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Status != want.Status || !slices.Equal(got.Coverers, want.Coverers) {
+				t.Fatalf("step %d: %+v vs oracle %+v", step, got, want)
+			}
+			live = append(live, next)
+		case op < 7:
+			n := 2 + rng.IntN(6)
+			ids := make([]subsume.ID, n)
+			subs := make([]subsume.Subscription, n)
+			for i := range ids {
+				next++
+				ids[i] = next
+				subs[i] = randomTableSub(rng, schema)
+			}
+			got, err := tbl.SubscribeBatch(ids, subs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.SubscribeBatch(ids, subs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i].Status != want[i].Status {
+					t.Fatalf("step %d item %d: %+v vs oracle %+v", step, i, got[i], want[i])
+				}
+			}
+			live = append(live, ids...)
+		case len(live) > 0:
+			i := rng.IntN(len(live))
+			id := live[i]
+			live = slices.Delete(live, i, i+1)
+			got, err := tbl.Unsubscribe(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.Unsubscribe(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Existed != want.Existed || !slices.Equal(got.Promoted, want.Promoted) {
+				t.Fatalf("step %d: %+v vs oracle %+v", step, got, want)
+			}
+		}
+		if got, want := tbl.ActiveIDs(), oracle.ActiveIDs(); !slices.Equal(got, want) {
+			t.Fatalf("step %d: active %v vs oracle %v", step, got, want)
+		}
+		p := subsume.NewPublication(rng.Int64N(1000), rng.Int64N(1000))
+		if got, want := tbl.Match(p), oracle.Match(p); !slices.Equal(got, want) {
+			t.Fatalf("step %d: Match %v vs oracle %v", step, got, want)
+		}
+	}
+	if tbl.Len() != oracle.Len() || tbl.ActiveLen() != oracle.ActiveLen() || tbl.CoveredLen() != oracle.CoveredLen() {
+		t.Fatalf("sizes diverged: table %d/%d/%d oracle %d/%d/%d",
+			tbl.Len(), tbl.ActiveLen(), tbl.CoveredLen(),
+			oracle.Len(), oracle.ActiveLen(), oracle.CoveredLen())
+	}
+}
+
+// TestTableConcurrent exercises the full public surface from
+// concurrent goroutines on a sharded Group table (run under -race)
+// and checks the accounting afterwards.
+func TestTableConcurrent(t *testing.T) {
+	schema := tableSchema()
+	tbl, err := subsume.NewTable(subsume.Group,
+		subsume.WithShards(4),
+		subsume.WithTableSchema(schema),
+		subsume.WithTableSeed(99),
+		subsume.WithTableChecker(subsume.WithMaxTrials(2000)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 6
+	counts := make([]int, goroutines) // surviving subscriptions per goroutine
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g)+7, uint64(g)+11))
+			base := subsume.ID(g * 1_000_000)
+			var mine []subsume.ID
+			for i := 0; i < 120; i++ {
+				switch op := rng.IntN(10); {
+				case op < 4:
+					id := base + subsume.ID(i)
+					if _, err := tbl.Subscribe(id, randomTableSub(rng, schema)); err != nil {
+						t.Errorf("g%d subscribe: %v", g, err)
+						return
+					}
+					mine = append(mine, id)
+				case op < 6:
+					n := 2 + rng.IntN(4)
+					ids := make([]subsume.ID, n)
+					subs := make([]subsume.Subscription, n)
+					for j := range ids {
+						ids[j] = base + subsume.ID(10_000+i*10+j)
+						subs[j] = randomTableSub(rng, schema)
+					}
+					if _, err := tbl.SubscribeBatch(ids, subs); err != nil {
+						t.Errorf("g%d batch: %v", g, err)
+						return
+					}
+					mine = append(mine, ids...)
+				case op < 7 && len(mine) > 0:
+					j := rng.IntN(len(mine))
+					if _, err := tbl.Unsubscribe(mine[j]); err != nil {
+						t.Errorf("g%d unsubscribe: %v", g, err)
+						return
+					}
+					mine = slices.Delete(mine, j, j+1)
+				case op < 9:
+					tbl.Match(subsume.NewPublication(rng.Int64N(1000), rng.Int64N(1000)))
+				default:
+					tbl.Snapshot()
+				}
+			}
+			counts[g] = len(mine)
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	want := 0
+	for _, c := range counts {
+		want += c
+	}
+	snap := tbl.Snapshot()
+	if snap.Len != want {
+		t.Fatalf("Len = %d, want %d survivors", snap.Len, want)
+	}
+	if snap.Active+snap.Covered != snap.Len {
+		t.Fatalf("active %d + covered %d != %d", snap.Active, snap.Covered, snap.Len)
+	}
+	m := tbl.Metrics()
+	if m.Subscribes == 0 || m.Batches == 0 || m.Unsubscribes == 0 || m.Matches == 0 {
+		t.Fatalf("metrics missed activity: %+v", m)
+	}
+	if m.BatchItems < m.Batches*2 {
+		t.Fatalf("batch accounting off: %+v", m)
+	}
+}
+
+// TestTableBatchSuppression pins what the batch path buys on bursts:
+// processed largest-first, the burst's broad subscriptions admit first
+// and the narrow ones are suppressed, whereas per-item admission in
+// arrival order activates narrow subscriptions that arrived early.
+func TestTableBatchSuppression(t *testing.T) {
+	schema := tableSchema()
+	parent := subsume.NewSubscription(schema).Range("x", 0, 900).Range("y", 0, 900).Build()
+	children := make([]subsume.Subscription, 8)
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := range children {
+		lo := rng.Int64N(700)
+		children[i] = subsume.NewSubscription(schema).
+			Range("x", lo, lo+50).Range("y", lo, lo+50).Build()
+	}
+	// Arrival order: children first, parent last.
+	burst := append(slices.Clone(children), parent)
+	ids := make([]subsume.ID, len(burst))
+	for i := range ids {
+		ids[i] = subsume.ID(i + 1)
+	}
+
+	newTable := func() *subsume.Table {
+		tbl, err := subsume.NewTable(subsume.Pairwise, subsume.WithTableSchema(schema))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	perItem := newTable()
+	for i, s := range burst {
+		if _, err := perItem.Subscribe(ids[i], s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batched := newTable()
+	if _, err := batched.SubscribeBatch(ids, burst); err != nil {
+		t.Fatal(err)
+	}
+	if got := perItem.ActiveLen(); got != len(burst) {
+		t.Fatalf("per-item in arrival order should keep all active (no reverse prune), got %d", got)
+	}
+	if got := batched.ActiveLen(); got != 1 {
+		t.Fatalf("batch should admit only the parent active, got %d", got)
+	}
+	if got := batched.Metrics().Suppressed; got != uint64(len(children)) {
+		t.Fatalf("Suppressed = %d, want %d", got, len(children))
+	}
+}
+
+// TestTableValidation covers the public error paths.
+func TestTableValidation(t *testing.T) {
+	if _, err := subsume.NewTable(subsume.Policy(42)); err == nil {
+		t.Error("invalid policy accepted")
+	}
+	if _, err := subsume.NewTable(subsume.Group, subsume.WithShards(-1)); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	tbl, err := subsume.NewTable(subsume.Flood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Policy() != subsume.Flood || tbl.Shards() != 1 {
+		t.Fatalf("defaults off: policy=%v shards=%d", tbl.Policy(), tbl.Shards())
+	}
+	s := subsume.FromIntervals([2]int64{0, 9})
+	if _, err := tbl.Subscribe(1, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Subscribe(1, s); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if _, _, ok := tbl.Get(1); !ok {
+		t.Error("Get lost the subscription")
+	}
+	for _, p := range []subsume.Policy{subsume.Flood, subsume.Pairwise, subsume.Group, subsume.Policy(0)} {
+		if p.String() == "" {
+			t.Errorf("empty String for %d", int(p))
+		}
+	}
+}
