@@ -411,6 +411,25 @@ func BenchmarkTableSubscribeBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkTableUnsubscribeBatch measures a cancellation burst — the
+// burst workload's broad parents withdrawn at once — removed per-item
+// (each removal runs its own promotion cascade) versus through
+// UnsubscribeBatch (one shared cascade frontier: every orphaned child
+// is re-validated exactly once against the post-removal set).
+func BenchmarkTableUnsubscribeBatch(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		batch  bool
+		shards int
+	}{
+		{"peritem", false, 1},
+		{"batch", true, 1},
+		{"batch-4shards", true, 4},
+	} {
+		b.Run(tc.name, func(b *testing.B) { benchcases.TableUnsubscribeBatch(b, tc.batch, tc.shards) })
+	}
+}
+
 func benchStoreSetup(b *testing.B) (*store.Store, []subscription.Publication) {
 	b.Helper()
 	rng := rand.New(rand.NewPCG(21, 22))

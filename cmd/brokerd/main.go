@@ -1,6 +1,6 @@
 // Command brokerd runs one content-based publish/subscribe broker
-// over TCP. Brokers form an overlay by dialing each other; clients
-// connect with cmd/psclient.
+// over TCP — a thin wrapper over pubsub.ListenBroker. Brokers form an
+// overlay by dialing each other; clients connect with cmd/psclient.
 //
 // Usage (three-broker chain):
 //
@@ -8,12 +8,18 @@
 //	brokerd -id B2 -listen :7002 -peer B1=localhost:7001
 //	brokerd -id B3 -listen :7003 -peer B2=localhost:7002
 //
-// Every -peer link is dialed outward; the remote side registers the
-// reverse direction automatically when our hello arrives, but for a
-// fully bidirectional overlay each daemon should list its neighbors.
+// Every -peer link is dialed outward; when -listen carries a concrete
+// host (as above) the hello advertises it and the remote side dials
+// the reverse direction back automatically. Daemons listening on a
+// wildcard address (-listen :7001) cannot advertise a reachable
+// address, so there each side must list the other as a -peer.
+//
+// On SIGINT/SIGTERM the broker shuts down gracefully, draining
+// in-flight frames for up to -drain.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,10 +28,7 @@ import (
 	"syscall"
 	"time"
 
-	"probsum/internal/broker"
-	"probsum/internal/store"
-	"probsum/internal/wire"
-	"probsum/subsume"
+	"probsum/pubsub"
 )
 
 // peerList collects repeated -peer NAME=ADDR flags.
@@ -58,6 +61,7 @@ func run() error {
 		delta    = flag.Float64("delta", 1e-6, "group policy error probability")
 		seed     = flag.Uint64("seed", 1, "group policy random seed")
 		retries  = flag.Int("peer-retries", 10, "dial attempts per peer (1s apart)")
+		drain    = flag.Duration("drain", 5*time.Second, "graceful shutdown drain budget")
 	)
 	flag.Var(peers, "peer", "neighbor broker as NAME=ADDR (repeatable)")
 	flag.Parse()
@@ -65,36 +69,22 @@ func run() error {
 	if *id == "" {
 		return fmt.Errorf("-id is required")
 	}
-	var policy store.Policy
-	switch *policyIn {
-	case "flood":
-		policy = store.PolicyNone
-	case "pairwise":
-		policy = store.PolicyPairwise
-	case "group":
-		policy = store.PolicyGroup
-	default:
-		return fmt.Errorf("unknown policy %q", *policyIn)
+	policy, err := pubsub.ParsePolicy(*policyIn)
+	if err != nil {
+		return err
 	}
 
-	b, err := broker.New(*id, policy,
-		broker.WithSeed(*seed),
-		broker.WithTableOptions(subsume.WithTableChecker(
-			subsume.WithErrorProbability(*delta),
-			subsume.WithMaxTrials(100_000),
-		)))
+	b, err := pubsub.ListenBroker(*id, *listen, policy, pubsub.Config{
+		ErrorProbability: *delta,
+		Seed:             *seed,
+	})
 	if err != nil {
 		return err
 	}
-	srv, err := wire.NewServer(b, *listen)
-	if err != nil {
-		return err
-	}
-	defer srv.Close()
-	fmt.Printf("brokerd %s listening on %s (policy %s)\n", *id, srv.Addr(), *policyIn)
+	fmt.Printf("brokerd %s listening on %s (policy %s)\n", *id, b.Addr(), policy)
 
 	for name, addr := range peers {
-		if err := dialWithRetry(srv, name, addr, *retries); err != nil {
+		if err := dialWithRetry(b, name, addr, *retries); err != nil {
 			return err
 		}
 		fmt.Printf("connected peer %s at %s\n", name, addr)
@@ -104,14 +94,16 @@ func run() error {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
-	return nil
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	return b.Shutdown(ctx)
 }
 
 // dialWithRetry keeps trying so daemons can start in any order.
-func dialWithRetry(srv *wire.Server, name, addr string, attempts int) error {
+func dialWithRetry(b *pubsub.Broker, name, addr string, attempts int) error {
 	var err error
 	for i := 0; i < attempts; i++ {
-		if err = srv.ConnectPeer(name, addr); err == nil {
+		if err = b.ConnectPeer(name, addr); err == nil {
 			return nil
 		}
 		time.Sleep(time.Second)

@@ -96,6 +96,12 @@ func microBenchmarks() []struct {
 		{"TableSubscribeBatch/batch-4shards", func(b *testing.B) {
 			benchcases.TableSubscribeBatch(b, true, 4)
 		}},
+		{"TableUnsubscribeBatch/peritem", func(b *testing.B) {
+			benchcases.TableUnsubscribeBatch(b, false, 1)
+		}},
+		{"TableUnsubscribeBatch/batch", func(b *testing.B) {
+			benchcases.TableUnsubscribeBatch(b, true, 1)
+		}},
 	}
 }
 
@@ -103,7 +109,7 @@ func microBenchmarks() []struct {
 // gate compares: the covered-path checker and the subscribe paths
 // (store and Table), per the perf-trajectory roadmap item. Figure
 // benchmarks and ablations stay informational.
-var regressionGated = []string{"CoveredInto/", "StoreSubscribe/", "TableSubscribeBatch/"}
+var regressionGated = []string{"CoveredInto/", "StoreSubscribe/", "TableSubscribeBatch/", "TableUnsubscribeBatch/"}
 
 // checkRegressions compares a fresh report against a committed
 // baseline file and errors when any gated benchmark's ns/op regressed

@@ -1,4 +1,5 @@
-// Command psclient is a publish/subscribe client for brokerd.
+// Command psclient is a publish/subscribe client for brokerd — a thin
+// wrapper over pubsub.Dial.
 //
 // Usage:
 //
@@ -13,12 +14,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
-	"probsum/internal/subscription"
-	"probsum/internal/wire"
+	"probsum/pubsub"
+	"probsum/subsume"
 )
 
 func main() {
@@ -37,6 +42,7 @@ func run() error {
 		pubIn      = flag.String("publish", "", "publication JSON: publish once and exit")
 		subID      = flag.String("sub-id", "", "subscription id (default <name>/1)")
 		pubID      = flag.String("pub-id", "", "publication id (default <name>/p1)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-operation deadline")
 	)
 	flag.Parse()
 
@@ -46,20 +52,26 @@ func run() error {
 	if *schemaIn == "" {
 		return fmt.Errorf("-schema is required")
 	}
-	schema, err := subscription.UnmarshalSchema([]byte(*schemaIn))
+	schema, err := subsume.UnmarshalSchema([]byte(*schemaIn))
 	if err != nil {
 		return err
 	}
 
-	client, err := wire.Dial(*brokerAddr, *name)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	client, err := pubsub.Dial(ctx, *brokerAddr, *name)
+	cancel()
 	if err != nil {
 		return err
 	}
 	defer client.Close()
 
+	opCtx := func() (context.Context, context.CancelFunc) {
+		return context.WithTimeout(context.Background(), *timeout)
+	}
+
 	switch {
 	case *subIn != "":
-		sub, err := subscription.UnmarshalSubscription([]byte(*subIn), schema)
+		sub, err := subsume.UnmarshalSubscription([]byte(*subIn), schema)
 		if err != nil {
 			return err
 		}
@@ -67,19 +79,28 @@ func run() error {
 		if id == "" {
 			id = *name + "/1"
 		}
-		if err := client.Subscribe(id, sub); err != nil {
+		ctx, cancel := opCtx()
+		err = client.Subscribe(ctx, id, sub)
+		cancel()
+		if err != nil {
 			return err
 		}
 		fmt.Printf("subscribed as %s: %v\n", id, sub)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 		for {
-			msg, err := client.Recv()
-			if err != nil {
-				return err
+			select {
+			case n, ok := <-client.Notifications():
+				if !ok {
+					return fmt.Errorf("connection closed")
+				}
+				fmt.Printf("notify %s: %v (matched %s)\n", n.PubID, n.Pub, n.SubID)
+			case <-sig:
+				return nil
 			}
-			fmt.Printf("notify %s: %v (matched %s)\n", msg.PubID, msg.Pub, msg.SubID)
 		}
 	case *pubIn != "":
-		pub, err := subscription.UnmarshalPublication([]byte(*pubIn), schema)
+		pub, err := subsume.UnmarshalPublication([]byte(*pubIn), schema)
 		if err != nil {
 			return err
 		}
@@ -87,7 +108,10 @@ func run() error {
 		if id == "" {
 			id = *name + "/p1"
 		}
-		if err := client.Publish(id, pub); err != nil {
+		ctx, cancel := opCtx()
+		err = client.Publish(ctx, id, pub)
+		cancel()
+		if err != nil {
 			return err
 		}
 		fmt.Printf("published %s: %v\n", id, pub)

@@ -145,6 +145,90 @@ func TableSubscribeBatch(b *testing.B, batch bool, shards int) {
 	}
 }
 
+// UnsubBurst builds the cancellation-burst workload: 32 overlapping
+// "tile" parents (stride 300, width 600 on attribute x1, unbounded
+// elsewhere) and 480 children straddling tile boundaries, so each
+// child is covered only by the UNION of neighboring tiles — the
+// paper's group-coverage regime. Withdrawing the whole tile wall (a
+// gateway canceling its aggregate interests) is the worst case for
+// per-item removal: every removal orphans children that are then
+// re-covered by surviving tiles, only to be orphaned again by the
+// next removal, so a child can be re-validated once per tile it
+// touches. Returns the admission burst and the cancellation burst
+// (the parent IDs).
+func UnsubBurst() (ids []subsume.ID, subs []subsume.Subscription, burst []subsume.ID) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	m := tableBurstSchema().Len()
+	const nParents = 32
+	full := interval.New(0, 9999)
+	for i := 0; i < nParents; i++ {
+		bounds := make([]interval.Interval, m)
+		for a := range bounds {
+			bounds[a] = full
+		}
+		bounds[0] = interval.New(int64(i)*300, int64(i)*300+600)
+		subs = append(subs, subscription.Subscription{Bounds: bounds})
+	}
+	for len(subs) < 512 {
+		bounds := make([]interval.Interval, m)
+		x := rng.Int64N(9000)
+		bounds[0] = interval.New(x, x+450)
+		for a := 1; a < m; a++ {
+			lo := rng.Int64N(5000)
+			bounds[a] = interval.New(lo, lo+2000+rng.Int64N(2500))
+		}
+		subs = append(subs, subscription.Subscription{Bounds: bounds})
+	}
+	ids = make([]subsume.ID, len(subs))
+	for i := range ids {
+		ids[i] = subsume.ID(i + 1)
+	}
+	burst = append(burst, ids[:nParents]...)
+	return ids, subs, burst
+}
+
+// TableUnsubscribeBatch is the Table cancellation-burst benchmark
+// body: admit the UnsubBurst workload, then withdraw the tile parents
+// per-item (each removal runs its own promotion cascade, repeatedly
+// re-validating children that keep finding cover in surviving tiles)
+// or through UnsubscribeBatch (one shared cascade frontier: every
+// orphaned child is re-validated exactly once against the
+// post-removal set). Table construction and admission are excluded
+// from the timing.
+func TableUnsubscribeBatch(b *testing.B, batch bool, shards int) {
+	ids, subs, burst := UnsubBurst()
+	schema := tableBurstSchema()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tbl, err := subsume.NewTable(subsume.Group,
+			subsume.WithShards(shards),
+			subsume.WithTableSchema(schema),
+			subsume.WithTableSeed(7),
+			subsume.WithTableChecker(subsume.WithSeed(43, 44), subsume.WithMaxTrials(2000)),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tbl.SubscribeBatch(ids, subs); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if batch {
+			if _, err := tbl.UnsubscribeBatch(burst); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for _, id := range burst {
+				if _, err := tbl.Unsubscribe(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
 // StoreSubscribe is the store arrival benchmark body: one
 // subscribe/unsubscribe round-trip against a store pre-filled with
 // 1500 Section 6.4 comparison-workload subscriptions.

@@ -1,7 +1,7 @@
 // Package broker implements a content-based publish/subscribe broker
 // as a pure state machine: messages in, messages out, no I/O. That
 // makes brokers deterministic under the simulator (package simnet) and
-// reusable behind the TCP transport (package wire).
+// reusable behind the TCP transport (pubsub's TCP path).
 //
 // Routing follows the paper's Section 2: subscriptions flood the
 // overlay with duplicate suppression (first arrival defines the
@@ -17,6 +17,8 @@ package broker
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"probsum/internal/match"
 	"probsum/internal/store"
@@ -92,6 +94,53 @@ type Metrics struct {
 	Promotions      int // covered subscriptions promoted after unsubscribe
 }
 
+// Add accumulates another broker's counters into m — the one
+// summation used by every consumer that aggregates over brokers
+// (simulator totals, transport settling, examples).
+func (m *Metrics) Add(o Metrics) {
+	m.SubsReceived += o.SubsReceived
+	m.SubsForwarded += o.SubsForwarded
+	m.SubsSuppressed += o.SubsSuppressed
+	m.DupSubsDropped += o.DupSubsDropped
+	m.UnsubsForwarded += o.UnsubsForwarded
+	m.PubsReceived += o.PubsReceived
+	m.PubsForwarded += o.PubsForwarded
+	m.DupPubsDropped += o.DupPubsDropped
+	m.Notifications += o.Notifications
+	m.Promotions += o.Promotions
+}
+
+// counters is the internal, atomically updated form of Metrics, so the
+// publish path can count under the shared (read) lock.
+type counters struct {
+	subsReceived    atomic.Int64
+	subsForwarded   atomic.Int64
+	subsSuppressed  atomic.Int64
+	dupSubsDropped  atomic.Int64
+	unsubsForwarded atomic.Int64
+	pubsReceived    atomic.Int64
+	pubsForwarded   atomic.Int64
+	dupPubsDropped  atomic.Int64
+	notifications   atomic.Int64
+	promotions      atomic.Int64
+}
+
+// snapshot converts the counters to the public Metrics form.
+func (c *counters) snapshot() Metrics {
+	return Metrics{
+		SubsReceived:    int(c.subsReceived.Load()),
+		SubsForwarded:   int(c.subsForwarded.Load()),
+		SubsSuppressed:  int(c.subsSuppressed.Load()),
+		DupSubsDropped:  int(c.dupSubsDropped.Load()),
+		UnsubsForwarded: int(c.unsubsForwarded.Load()),
+		PubsReceived:    int(c.pubsReceived.Load()),
+		PubsForwarded:   int(c.pubsForwarded.Load()),
+		DupPubsDropped:  int(c.dupPubsDropped.Load()),
+		Notifications:   int(c.notifications.Load()),
+		Promotions:      int(c.promotions.Load()),
+	}
+}
+
 // Option configures a Broker.
 type Option func(*Broker)
 
@@ -121,13 +170,27 @@ func WithTableOptions(opts ...subsume.TableOption) Option {
 	return func(b *Broker) { b.tableOpts = append(b.tableOpts, opts...) }
 }
 
-// Broker is a single node of the overlay. Not safe for concurrent use;
-// wrap with simnet or wire for transport.
+// Broker is a single node of the overlay.
+//
+// Concurrency: Handle serializes subscription-state changes (subscribe
+// and unsubscribe take an exclusive lock) but lets publications run
+// concurrently — handlePublish only reads the routing state, matching
+// through the concurrency-safe per-port ITreeIndex, deduplicating
+// through an atomic map and counting through atomic metrics. Driven
+// from a single goroutine (the simulator) the broker behaves exactly
+// as before: all locks are uncontended and every decision sequence is
+// deterministic. Driven from the TCP transport's per-connection
+// goroutines, publish matching parallelizes across connections while
+// coverage-table admission stays ordered per port.
 type Broker struct {
 	id        string
 	policy    store.Policy
 	seed      uint64
 	tableOpts []subsume.TableOption
+
+	// mu guards the routing state below: exclusive for subscribe /
+	// unsubscribe / topology changes, shared for publish.
+	mu sync.RWMutex
 
 	neighbors map[string]bool
 	clients   map[string]bool
@@ -151,9 +214,11 @@ type Broker struct {
 	// source records the first-arrival port of each known subscription.
 	source map[string]string
 
-	seenPubs map[string]bool
+	// seenPubs deduplicates publications on cyclic overlays; a sync.Map
+	// so concurrent publishes race on LoadOrStore instead of b.mu.
+	seenPubs sync.Map
 
-	metrics Metrics
+	metrics counters
 }
 
 // New creates a broker. Policy selects subscription-forwarding
@@ -174,7 +239,6 @@ func New(id string, policy store.Policy, opts ...Option) (*Broker, error) {
 		in:        make(map[string]map[string]subscription.Subscription),
 		matchers:  make(map[string]*match.ITreeIndex),
 		source:    make(map[string]string),
-		seenPubs:  make(map[string]bool),
 	}
 	for _, opt := range opts {
 		opt(b)
@@ -200,13 +264,21 @@ func tablePolicy(p store.Policy) (subsume.Policy, error) {
 func (b *Broker) ID() string { return b.id }
 
 // Metrics returns a copy of the activity counters.
-func (b *Broker) Metrics() Metrics { return b.metrics }
+func (b *Broker) Metrics() Metrics { return b.metrics.snapshot() }
 
 // Neighbors returns the connected neighbor ports, sorted.
-func (b *Broker) Neighbors() []string { return sortedKeys(b.neighbors) }
+func (b *Broker) Neighbors() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return sortedKeys(b.neighbors)
+}
 
 // Clients returns the attached client ports, sorted.
-func (b *Broker) Clients() []string { return sortedKeys(b.clients) }
+func (b *Broker) Clients() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return sortedKeys(b.clients)
+}
 
 func sortedKeys(set map[string]bool) []string {
 	out := make([]string, 0, len(set))
@@ -242,6 +314,8 @@ func (b *Broker) ConnectNeighbor(id string) error {
 	if id == b.id {
 		return fmt.Errorf("broker %s: cannot neighbor itself", b.id)
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.neighbors[id] {
 		return nil
 	}
@@ -267,8 +341,12 @@ func (b *Broker) ConnectNeighbor(id string) error {
 	return nil
 }
 
-// AttachClient registers a local client port.
+// AttachClient registers a local client port. Attaching an already
+// attached client is a no-op, so a reconnecting TCP client keeps its
+// reverse-path state.
 func (b *Broker) AttachClient(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.clients[id] = true
 	if b.in[id] == nil {
 		b.in[id] = make(map[string]subscription.Subscription)
@@ -276,14 +354,22 @@ func (b *Broker) AttachClient(id string) {
 }
 
 // Handle processes one message arriving on port from and returns the
-// messages to emit. It is the broker's entire behavior.
+// messages to emit. It is the broker's entire behavior. Subscribe and
+// unsubscribe are mutually exclusive; publishes from different callers
+// run concurrently (see the type comment).
 func (b *Broker) Handle(from string, msg Message) ([]Outbound, error) {
 	switch msg.Kind {
 	case MsgSubscribe:
+		b.mu.Lock()
+		defer b.mu.Unlock()
 		return b.handleSubscribe(from, msg)
 	case MsgUnsubscribe:
+		b.mu.Lock()
+		defer b.mu.Unlock()
 		return b.handleUnsubscribe(from, msg)
 	case MsgPublish:
+		b.mu.RLock()
+		defer b.mu.RUnlock()
 		return b.handlePublish(from, msg)
 	default:
 		return nil, fmt.Errorf("broker %s: unexpected message kind %v from %s", b.id, msg.Kind, from)
@@ -320,10 +406,10 @@ func (b *Broker) handleSubscribe(from string, msg Message) ([]Outbound, error) {
 	if _, seen := b.source[msg.SubID]; seen {
 		// Duplicate arrival over a cycle: the first arrival defined
 		// the reverse path; drop this copy.
-		b.metrics.DupSubsDropped++
+		b.metrics.dupSubsDropped.Add(1)
 		return nil, nil
 	}
-	b.metrics.SubsReceived++
+	b.metrics.subsReceived.Add(1)
 	b.source[msg.SubID] = from
 	if b.in[from] == nil {
 		b.in[from] = make(map[string]subscription.Subscription)
@@ -333,7 +419,7 @@ func (b *Broker) handleSubscribe(from string, msg Message) ([]Outbound, error) {
 	id := b.storeID(msg.SubID)
 	b.matcher(from).Add(match.ID(id), msg.Sub)
 	var out []Outbound
-	for _, n := range b.Neighbors() {
+	for _, n := range sortedKeys(b.neighbors) {
 		if n == from {
 			continue
 		}
@@ -342,10 +428,10 @@ func (b *Broker) handleSubscribe(from string, msg Message) ([]Outbound, error) {
 			return nil, fmt.Errorf("broker %s: neighbor %s: %w", b.id, n, err)
 		}
 		if res.Status == store.StatusActive {
-			b.metrics.SubsForwarded++
+			b.metrics.subsForwarded.Add(1)
 			out = append(out, Outbound{To: n, Msg: msg})
 		} else {
-			b.metrics.SubsSuppressed++
+			b.metrics.subsSuppressed.Add(1)
 		}
 	}
 	return out, nil
@@ -373,7 +459,7 @@ func (b *Broker) handleUnsubscribe(from string, msg Message) ([]Outbound, error)
 	delete(b.idToSub, id)
 
 	var out []Outbound
-	for _, n := range b.Neighbors() {
+	for _, n := range sortedKeys(b.neighbors) {
 		if n == from {
 			continue
 		}
@@ -387,7 +473,7 @@ func (b *Broker) handleUnsubscribe(from string, msg Message) ([]Outbound, error)
 		if res.WasActive {
 			// The neighbor knew this subscription: propagate the
 			// cancellation.
-			b.metrics.UnsubsForwarded++
+			b.metrics.unsubsForwarded.Add(1)
 			out = append(out, Outbound{To: n, Msg: msg})
 		}
 		// Late-forward promoted subscriptions: they were suppressed
@@ -401,30 +487,32 @@ func (b *Broker) handleUnsubscribe(from string, msg Message) ([]Outbound, error)
 			if subID == "" {
 				continue
 			}
-			b.metrics.Promotions++
-			b.metrics.SubsForwarded++
+			b.metrics.promotions.Add(1)
+			b.metrics.subsForwarded.Add(1)
 			out = append(out, Outbound{To: n, Msg: Message{Kind: MsgSubscribe, SubID: subID, Sub: sub}})
 		}
 	}
 	return out, nil
 }
 
+// handlePublish runs under the SHARED lock: everything it touches is
+// either read-only routing state (maps mutated only under the
+// exclusive lock), the concurrency-safe matchers, or atomics.
 func (b *Broker) handlePublish(from string, msg Message) ([]Outbound, error) {
 	if msg.PubID == "" {
 		return nil, fmt.Errorf("broker %s: publish without PubID", b.id)
 	}
-	if b.seenPubs[msg.PubID] {
-		b.metrics.DupPubsDropped++
+	if _, dup := b.seenPubs.LoadOrStore(msg.PubID, struct{}{}); dup {
+		b.metrics.dupPubsDropped.Add(1)
 		return nil, nil
 	}
-	b.seenPubs[msg.PubID] = true
-	b.metrics.PubsReceived++
+	b.metrics.pubsReceived.Add(1)
 
 	var out []Outbound
 	// Deliver to local clients whose subscriptions match. The per-port
 	// interval-tree matcher answers in O(m log k + hits) instead of
 	// scanning the port's reverse-path table linearly.
-	for _, c := range b.Clients() {
+	for _, c := range sortedKeys(b.clients) {
 		if c == from {
 			continue
 		}
@@ -437,7 +525,7 @@ func (b *Broker) handlePublish(from string, msg Message) ([]Outbound, error) {
 			if subID == "" {
 				continue
 			}
-			b.metrics.Notifications++
+			b.metrics.notifications.Add(1)
 			out = append(out, Outbound{To: c, Msg: Message{
 				Kind:  MsgNotify,
 				SubID: subID,
@@ -448,7 +536,7 @@ func (b *Broker) handlePublish(from string, msg Message) ([]Outbound, error) {
 	}
 	// Reverse-path forwarding: send to every neighbor that announced a
 	// matching subscription.
-	for _, n := range b.Neighbors() {
+	for _, n := range sortedKeys(b.neighbors) {
 		if n == from {
 			continue
 		}
@@ -457,7 +545,7 @@ func (b *Broker) handlePublish(from string, msg Message) ([]Outbound, error) {
 			continue
 		}
 		if m.MatchAny(msg.Pub) {
-			b.metrics.PubsForwarded++
+			b.metrics.pubsForwarded.Add(1)
 			out = append(out, Outbound{To: n, Msg: msg})
 		}
 	}

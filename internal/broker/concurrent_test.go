@@ -1,0 +1,113 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"probsum/internal/store"
+	"probsum/internal/subscription"
+)
+
+// TestConcurrentPublish drives the concurrency contract the TCP
+// transport relies on: publications from many goroutines run in
+// parallel (shared lock) while subscribes/unsubscribes interleave
+// (exclusive lock), with duplicate suppression and metrics staying
+// exact. Run under -race in CI.
+func TestConcurrentPublish(t *testing.T) {
+	b := newBroker(t, store.PolicyPairwise)
+	if err := b.ConnectNeighbor("N1"); err != nil {
+		t.Fatal(err)
+	}
+	b.AttachClient("C0")
+	for g := 0; g < 4; g++ {
+		b.AttachClient(fmt.Sprintf("P%d", g))
+	}
+	// A standing subscription so publishes do real matching work.
+	if _, err := b.Handle("C0", Message{Kind: MsgSubscribe, SubID: "base", Sub: box(0, 100, 0, 100)}); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		goroutines = 4
+		pubsEach   = 200
+	)
+	var notified atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			port := fmt.Sprintf("P%d", g)
+			for i := 0; i < pubsEach; i++ {
+				// Every 8th operation is a subscription churn on the
+				// exclusive path, racing the shared publish path.
+				if i%8 == 0 {
+					subID := fmt.Sprintf("s%d-%d", g, i)
+					if _, err := b.Handle(port, Message{Kind: MsgSubscribe, SubID: subID, Sub: box(10, 20, 10, 20)}); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := b.Handle(port, Message{Kind: MsgUnsubscribe, SubID: subID}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				outs, err := b.Handle(port, Message{
+					Kind:  MsgPublish,
+					PubID: fmt.Sprintf("p%d-%d", g, i),
+					Pub:   subscription.NewPublication(50, 50),
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, o := range outs {
+					if o.Msg.Kind == MsgNotify && o.To == "C0" {
+						notified.Add(1)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	total := goroutines * pubsEach
+	m := b.Metrics()
+	if m.PubsReceived != total {
+		t.Errorf("PubsReceived = %d, want %d", m.PubsReceived, total)
+	}
+	// Every publication matched the standing subscription exactly once.
+	if got := notified.Load(); got != int64(total) {
+		t.Errorf("notifications to C0 = %d, want %d", got, total)
+	}
+	if m.Notifications != total {
+		t.Errorf("Notifications metric = %d, want %d", m.Notifications, total)
+	}
+
+	// Duplicate suppression is exact under racing re-publishes.
+	var dupWg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		dupWg.Add(1)
+		go func(g int) {
+			defer dupWg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := b.Handle(fmt.Sprintf("P%d", g), Message{Kind: MsgPublish, PubID: "dup", Pub: subscription.NewPublication(1, 1)}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	dupWg.Wait()
+	m = b.Metrics()
+	if m.PubsReceived != total+1 {
+		t.Errorf("after dup storm: PubsReceived = %d, want %d", m.PubsReceived, total+1)
+	}
+	if m.DupPubsDropped != goroutines*50-1 {
+		t.Errorf("DupPubsDropped = %d, want %d", m.DupPubsDropped, goroutines*50-1)
+	}
+}

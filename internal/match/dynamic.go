@@ -2,6 +2,7 @@ package match
 
 import (
 	"sort"
+	"sync"
 
 	"probsum/internal/interval"
 	"probsum/internal/subscription"
@@ -30,23 +31,40 @@ import (
 // mixed schemas stay matchable: a publication consults only the
 // bucket with its own attribute count, mirroring Subscription.Matches
 // (which rejects on length mismatch).
+//
+// All methods are safe for concurrent use. Match and MatchAny run in
+// parallel with each other: a bucket's tree structure is immutable
+// after its rebuild, and the counting-stab scratch is drawn from a
+// per-bucket pool, so concurrent stabs never share state. Add and
+// Remove only mark the index dirty under the write lock; the rebuild
+// itself happens inside whichever Match observes the dirty flag
+// first, with later readers either waiting on the lock or stabbing
+// the previous (still-valid) generation they already hold.
 type ITreeIndex struct {
+	mu      sync.RWMutex
 	subs    map[ID]subscription.Subscription
 	dirty   bool
 	buckets map[int]*itreeBucket
 }
 
-// itreeBucket matches subscriptions of one attribute count.
+// itreeBucket matches subscriptions of one attribute count. Every
+// field except the scratch pool is immutable once the rebuild that
+// created the bucket returns.
 type itreeBucket struct {
 	ids      []ID
 	hulls    []interval.Interval // per-attribute hull of all predicates
 	trees    []*itreeNode        // non-hull-spanning predicates only
 	required []int               // indexed-predicate count per position
 	matchAll []int               // positions with zero indexed predicates
-	counts   []int
-	stamp    []uint32
-	epoch    uint32
-	hits     []int // stab scratch
+	scratch  sync.Pool           // *stabScratch sized for this bucket
+}
+
+// stabScratch is the per-call state of the counting stab loop.
+type stabScratch struct {
+	counts []int
+	stamp  []uint32
+	epoch  uint32
+	hits   []int
 }
 
 var _ Matcher = (*ITreeIndex)(nil)
@@ -58,23 +76,31 @@ func NewITreeIndex() *ITreeIndex {
 
 // Add indexes a subscription under id, replacing any previous entry.
 func (x *ITreeIndex) Add(id ID, s subscription.Subscription) {
+	x.mu.Lock()
 	x.subs[id] = s
 	x.dirty = true
+	x.mu.Unlock()
 }
 
 // Remove drops the subscription with the given id, if present.
 func (x *ITreeIndex) Remove(id ID) {
-	if _, ok := x.subs[id]; !ok {
-		return
+	x.mu.Lock()
+	if _, ok := x.subs[id]; ok {
+		delete(x.subs, id)
+		x.dirty = true
 	}
-	delete(x.subs, id)
-	x.dirty = true
+	x.mu.Unlock()
 }
 
 // Len implements Matcher.
-func (x *ITreeIndex) Len() int { return len(x.subs) }
+func (x *ITreeIndex) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.subs)
+}
 
 // rebuild reconstructs the per-bucket trees from the current set.
+// Caller holds the write lock.
 func (x *ITreeIndex) rebuild() {
 	x.buckets = make(map[int]*itreeBucket)
 	// Deterministic tree shape: insert in ascending ID order.
@@ -125,8 +151,10 @@ func (x *ITreeIndex) rebuild() {
 		for a := range perAttr {
 			bkt.trees[a] = buildITree(perAttr[a])
 		}
-		bkt.counts = make([]int, len(bkt.ids))
-		bkt.stamp = make([]uint32, len(bkt.ids))
+		n := len(bkt.ids)
+		bkt.scratch.New = func() any {
+			return &stabScratch{counts: make([]int, n), stamp: make([]uint32, n)}
+		}
 	}
 	x.dirty = false
 }
@@ -134,12 +162,22 @@ func (x *ITreeIndex) rebuild() {
 // bucketFor rebuilds if dirty and returns the bucket for p's arity —
 // nil when no bucket exists or p falls outside a per-attribute hull
 // (outside the hull means outside every predicate on that attribute,
-// and every subscription carries one).
+// and every subscription carries one). The returned bucket is safe to
+// stab after the lock is released: its structure never mutates, only
+// its generation gets superseded.
 func (x *ITreeIndex) bucketFor(p subscription.Publication) *itreeBucket {
+	x.mu.RLock()
 	if x.dirty || x.buckets == nil {
-		x.rebuild()
+		x.mu.RUnlock()
+		x.mu.Lock()
+		if x.dirty || x.buckets == nil {
+			x.rebuild()
+		}
+		x.mu.Unlock()
+		x.mu.RLock()
 	}
 	bkt := x.buckets[len(p.Values)]
+	x.mu.RUnlock()
 	if bkt == nil {
 		return nil
 	}
@@ -151,32 +189,32 @@ func (x *ITreeIndex) bucketFor(p subscription.Publication) *itreeBucket {
 	return bkt
 }
 
-// completions runs the counting stab loop, invoking emit for every
-// position whose indexed predicates all contain p (matchAll positions
-// are complete by definition and come first). emit returning false
-// stops the scan.
-func (bkt *itreeBucket) completions(p subscription.Publication, emit func(pos int) bool) {
+// completions runs the counting stab loop with the given scratch,
+// invoking emit for every position whose indexed predicates all
+// contain p (matchAll positions are complete by definition and come
+// first). emit returning false stops the scan.
+func (bkt *itreeBucket) completions(p subscription.Publication, sc *stabScratch, emit func(pos int) bool) {
 	for _, pos := range bkt.matchAll {
 		if !emit(pos) {
 			return
 		}
 	}
-	bkt.epoch++
-	if bkt.epoch == 0 { // wrapped: reset stamps
-		for i := range bkt.stamp {
-			bkt.stamp[i] = 0
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: reset stamps
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
 		}
-		bkt.epoch = 1
+		sc.epoch = 1
 	}
 	for a, tree := range bkt.trees {
-		bkt.hits = tree.stab(p.Values[a], bkt.hits[:0])
-		for _, pos := range bkt.hits {
-			if bkt.stamp[pos] != bkt.epoch {
-				bkt.stamp[pos] = bkt.epoch
-				bkt.counts[pos] = 0
+		sc.hits = tree.stab(p.Values[a], sc.hits[:0])
+		for _, pos := range sc.hits {
+			if sc.stamp[pos] != sc.epoch {
+				sc.stamp[pos] = sc.epoch
+				sc.counts[pos] = 0
 			}
-			bkt.counts[pos]++
-			if bkt.counts[pos] == bkt.required[pos] {
+			sc.counts[pos]++
+			if sc.counts[pos] == bkt.required[pos] {
 				if !emit(pos) {
 					return
 				}
@@ -186,17 +224,19 @@ func (bkt *itreeBucket) completions(p subscription.Publication, emit func(pos in
 }
 
 // Match implements Matcher in O(m·log k + hits) per publication after
-// an amortized rebuild.
+// an amortized rebuild. Safe for concurrent callers.
 func (x *ITreeIndex) Match(p subscription.Publication) []ID {
 	bkt := x.bucketFor(p)
 	if bkt == nil {
 		return nil
 	}
+	sc := bkt.scratch.Get().(*stabScratch)
 	var out []ID
-	bkt.completions(p, func(pos int) bool {
+	bkt.completions(p, sc, func(pos int) bool {
 		out = append(out, bkt.ids[pos])
 		return true
 	})
+	bkt.scratch.Put(sc)
 	sortIDs(out)
 	return out
 }
@@ -204,15 +244,18 @@ func (x *ITreeIndex) Match(p subscription.Publication) []ID {
 // MatchAny reports whether any indexed subscription matches p,
 // returning as soon as one completes — the existence form the broker
 // uses for reverse-path forwarding, where the member list is unused.
+// Safe for concurrent callers.
 func (x *ITreeIndex) MatchAny(p subscription.Publication) bool {
 	bkt := x.bucketFor(p)
 	if bkt == nil {
 		return false
 	}
+	sc := bkt.scratch.Get().(*stabScratch)
 	found := false
-	bkt.completions(p, func(int) bool {
+	bkt.completions(p, sc, func(int) bool {
 		found = true
 		return false
 	})
+	bkt.scratch.Put(sc)
 	return found
 }

@@ -3,6 +3,10 @@
 // deliveries are recorded, and optional failure injection (message
 // drop and duplication) exercises the protocol's idempotence. All
 // randomness is seeded, so a run is a pure function of its inputs.
+// Brokers carry internal locking for the concurrent TCP transport,
+// but driven from this single goroutine every lock is uncontended and
+// every decision sequence is exactly the sequential one — the
+// equivalence tests in this package pin that.
 package simnet
 
 import (
@@ -239,17 +243,7 @@ func (n *Network) Duplicated() int { return n.duplicated }
 func (n *Network) TotalMetrics() broker.Metrics {
 	var total broker.Metrics
 	for _, b := range n.brokers {
-		m := b.Metrics()
-		total.SubsReceived += m.SubsReceived
-		total.SubsForwarded += m.SubsForwarded
-		total.SubsSuppressed += m.SubsSuppressed
-		total.DupSubsDropped += m.DupSubsDropped
-		total.UnsubsForwarded += m.UnsubsForwarded
-		total.PubsReceived += m.PubsReceived
-		total.PubsForwarded += m.PubsForwarded
-		total.DupPubsDropped += m.DupPubsDropped
-		total.Notifications += m.Notifications
-		total.Promotions += m.Promotions
+		total.Add(b.Metrics())
 	}
 	return total
 }

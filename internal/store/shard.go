@@ -151,6 +151,9 @@ type shardedCounters struct {
 	promotions   atomic.Uint64
 	migrations   atomic.Uint64
 	matches      atomic.Uint64
+	// placed counts, per shard, the subscriptions that landed there
+	// (admissions and migrations) — the routing-skew measure.
+	placed []atomic.Uint64
 }
 
 // ShardStats sizes one shard.
@@ -188,6 +191,13 @@ type ShardedMetrics struct {
 	Migrations   uint64
 	// Matches counts Match calls.
 	Matches uint64
+	// ShardPlacements counts, per shard, the subscriptions placed there
+	// over the table's lifetime (admissions plus migrations), and
+	// ShardOccupancy is the CURRENT per-shard stored-subscription count
+	// — together they make routing skew (shard clumping) measurable
+	// from the public API without a separate Snapshot call.
+	ShardPlacements []uint64
+	ShardOccupancy  []int
 }
 
 // NewSharded builds a sharded table. PolicyGroup shards draw their
@@ -223,6 +233,7 @@ func NewSharded(policy Policy, opts ...ShardedOption) (*Sharded, error) {
 		shards:    make([]*shardSlot, cfg.shards),
 		placement: make(map[ID]int),
 	}
+	sh.metrics.placed = make([]atomic.Uint64, cfg.shards)
 	for j := range sh.shards {
 		sopts := []Option{
 			WithReversePrune(cfg.reversePrune),
@@ -361,6 +372,7 @@ func (sh *Sharded) Subscribe(id ID, s subscription.Subscription) (SubscribeResul
 		return SubscribeResult{}, err
 	}
 	sh.place(id, shard)
+	sh.metrics.placed[shard].Add(1)
 	if res.Status == StatusCovered {
 		sh.metrics.suppressed.Add(1)
 		if shard != home {
@@ -467,6 +479,7 @@ func (sh *Sharded) SubscribeBatch(ids []ID, subs []subscription.Subscription) ([
 		}
 		out[i], placed[i] = res, shard
 		done++
+		sh.metrics.placed[shard].Add(1)
 		if res.Status == StatusCovered {
 			sh.metrics.suppressed.Add(1)
 			if shard != homes[i] {
@@ -585,6 +598,7 @@ func (sh *Sharded) recoverPromoted(from int, pid ID) (bool, error) {
 		if removed {
 			sh.placement[pid] = j
 			sh.metrics.migrations.Add(1)
+			sh.metrics.placed[j].Add(1)
 			return true, nil
 		}
 		// The cascade re-covered something beneath pid: keep it active
@@ -660,9 +674,10 @@ func (sh *Sharded) Snapshot() ShardedSnapshot {
 	return snap
 }
 
-// Metrics reports the cumulative operation counters.
+// Metrics reports the cumulative operation counters plus the current
+// per-shard occupancy.
 func (sh *Sharded) Metrics() ShardedMetrics {
-	return ShardedMetrics{
+	m := ShardedMetrics{
 		Subscribes:           sh.metrics.subscribes.Load(),
 		Suppressed:           sh.metrics.suppressed.Load(),
 		CrossShardSuppressed: sh.metrics.crossShard.Load(),
@@ -672,5 +687,14 @@ func (sh *Sharded) Metrics() ShardedMetrics {
 		Promotions:           sh.metrics.promotions.Load(),
 		Migrations:           sh.metrics.migrations.Load(),
 		Matches:              sh.metrics.matches.Load(),
+		ShardPlacements:      make([]uint64, len(sh.shards)),
+		ShardOccupancy:       make([]int, len(sh.shards)),
 	}
+	for j, slot := range sh.shards {
+		m.ShardPlacements[j] = sh.metrics.placed[j].Load()
+		slot.mu.Lock()
+		m.ShardOccupancy[j] = slot.st.Len()
+		slot.mu.Unlock()
+	}
+	return m
 }

@@ -3,18 +3,31 @@
 // reduction — the distributed side of the Middleware 2006 paper this
 // library reproduces.
 //
-// A Network hosts brokers connected by overlay links. Clients attach
-// to brokers, subscribe with boxes (see package subsume), and publish
-// points. Subscriptions flood the overlay along reverse paths;
-// depending on the coverage Policy, a broker suppresses forwarding a
-// subscription to a neighbor when the subscriptions already sent to
-// that neighbor cover it — pairwise (classical, exact) or group
-// coverage (the paper's probabilistic algorithm, which suppresses
-// strictly more traffic at a bounded risk of losing publications).
+// Brokers form an overlay; clients attach to brokers, subscribe with
+// boxes (see package subsume), and publish points. Subscriptions
+// flood the overlay along reverse paths; depending on the coverage
+// Policy, a broker suppresses forwarding a subscription to a neighbor
+// when the subscriptions already sent to that neighbor cover it —
+// pairwise (classical, exact) or group coverage (the paper's
+// probabilistic algorithm, which suppresses strictly more traffic at
+// a bounded risk of losing publications).
+//
+// The package offers the same protocol over two transports behind one
+// surface (see Transport, Broker, Client):
+//
+//   - NewSimTransport hosts the overlay on the deterministic
+//     in-process simulator — the evaluation and testing regime.
+//   - NewTCPTransport hosts it on real sockets with concurrent
+//     message handling; ListenBroker and Dial are the cross-process
+//     forms used by cmd/brokerd and cmd/psclient.
+//
+// Network is the older, simulator-only facade kept for callers that
+// want synchronous pull-style access to deliveries.
 package pubsub
 
 import (
 	"fmt"
+	"strings"
 
 	"probsum/internal/broker"
 	"probsum/internal/simnet"
@@ -51,6 +64,23 @@ func (p Policy) String() string {
 	}
 }
 
+// ParsePolicy parses a policy name as accepted by the CLI tools:
+// "flood" (or "none"), "pairwise", and "group". It is the single
+// string→Policy conversion shared by cmd/brokerd, cmd/psclient,
+// examples and any embedding program.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "flood", "none":
+		return Flood, nil
+	case "pairwise":
+		return Pairwise, nil
+	case "group":
+		return Group, nil
+	default:
+		return 0, fmt.Errorf("pubsub: unknown policy %q (want flood | pairwise | group)", s)
+	}
+}
+
 func (p Policy) toStore() (store.Policy, error) {
 	switch p {
 	case Flood:
@@ -75,6 +105,7 @@ type (
 // subscription ID.
 type Notification struct {
 	SubID string
+	PubID string
 	Pub   Publication
 }
 
@@ -217,7 +248,7 @@ func (n *Network) Notifications(client string) []Notification {
 		if m.Kind != broker.MsgNotify {
 			continue
 		}
-		out = append(out, Notification{SubID: m.SubID, Pub: m.Pub})
+		out = append(out, Notification{SubID: m.SubID, PubID: m.PubID, Pub: m.Pub})
 	}
 	return out
 }

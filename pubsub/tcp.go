@@ -1,0 +1,778 @@
+package pubsub
+
+// TCP transport: brokers over real sockets using newline-delimited
+// JSON frames — the deployable stack, promoted out of the former
+// internal/wire package and rebuilt around a concurrent pipeline.
+//
+// # Wire protocol
+//
+// The first frame on any connection is a hello identifying the sender
+// (and whether it is a client or a peer broker); every later frame
+// carries one broker.Message. Peer brokers hold one outbound
+// connection per direction (A dials B and B dials A), so no
+// multiplexing is needed; clients hold a single duplex connection on
+// which notifications are pushed back.
+//
+// # Concurrency model
+//
+// The old wire server serialized every message behind one mutex. The
+// pipeline here has three stages, and the serialization boundary is
+// exactly the broker's own locking discipline (see internal/broker):
+//
+//   - one READER goroutine per inbound connection decodes frames and
+//     feeds them, in connection order, into broker.Handle. Publishes
+//     run under the broker's shared lock — matching proceeds
+//     CONCURRENTLY across connections — while subscribes and
+//     unsubscribes take the exclusive lock, keeping coverage-table
+//     admission ordered (per port by the reader's sequencing, across
+//     ports by the lock).
+//   - one WRITER goroutine per outbound port encodes frames from a
+//     buffered queue, so a slow or stalled peer never blocks matching
+//     and concurrent publishes never interleave JSON output.
+//   - Shutdown stops readers at a frame boundary, waits for in-flight
+//     handling, then closes the writer queues so every already-queued
+//     frame drains before the connections close.
+//
+// Per-destination delivery order is preserved end to end: a reader
+// enqueues each frame's output before decoding the next, and a single
+// writer drains each queue in FIFO order.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"probsum/internal/broker"
+)
+
+// Frame is the on-the-wire envelope of the TCP transport.
+type Frame struct {
+	// Hello identifies the sender on the first frame of a connection.
+	Hello string `json:"hello,omitempty"`
+	// Client marks a hello as coming from a client (not a broker).
+	Client bool `json:"client,omitempty"`
+	// Addr carries a dialing broker's own listen address so the
+	// accepting side can dial back and complete the bidirectional
+	// link without being configured with the peer itself (best-effort:
+	// useful when the address is reachable from the acceptor).
+	Addr string `json:"addr,omitempty"`
+	// Msg carries one protocol message on subsequent frames.
+	Msg *broker.Message `json:"msg,omitempty"`
+}
+
+// TCPOption tunes the TCP transport.
+type TCPOption func(*tcpConfig)
+
+type tcpConfig struct {
+	serialized bool
+	queueLen   int
+}
+
+// WithSerializedDispatch restores the pre-pipeline behavior of
+// handling every inbound message — broker state machine AND outbound
+// frame encoding — under one global mutex. It exists as the ablation
+// baseline for the concurrency model (see BenchmarkTCPPublish);
+// production code should never set it.
+func WithSerializedDispatch() TCPOption {
+	return func(c *tcpConfig) { c.serialized = true }
+}
+
+// WithSendQueue sets the per-port outbound queue length (default 256
+// frames). A full queue applies backpressure to the readers that are
+// producing for it.
+func WithSendQueue(n int) TCPOption {
+	return func(c *tcpConfig) { c.queueLen = n }
+}
+
+// tcpPort is one outbound destination: a connection, its writer
+// goroutine's queue, and a kill switch.
+type tcpPort struct {
+	name string
+	conn net.Conn
+	enc  *json.Encoder
+	ch   chan broker.Message
+	dead chan struct{} // closed when the port is torn down mid-stream
+	once sync.Once
+}
+
+// kill marks the port dead: senders stop enqueueing and the writer
+// exits without draining.
+func (p *tcpPort) kill() { p.once.Do(func() { close(p.dead) }) }
+
+// tcpServer hosts one broker behind a TCP listener.
+type tcpServer struct {
+	b   *broker.Broker
+	ln  net.Listener
+	cfg tcpConfig
+
+	// smu is the serialized-dispatch ablation mutex (see
+	// WithSerializedDispatch); unused in the concurrent mode.
+	smu sync.Mutex
+
+	mu      sync.Mutex
+	ports   map[string]*tcpPort
+	readers map[net.Conn]struct{}
+
+	stopping chan struct{} // Shutdown began: stop accepting/registering
+	closed   chan struct{} // hard close: abandon queued frames
+
+	readerWg sync.WaitGroup // accept loop + per-connection readers
+	writerWg sync.WaitGroup // per-port writers
+	shutOnce sync.Once
+	shutErr  error
+}
+
+// newTCPServer starts a server for the given broker on addr.
+func newTCPServer(b *broker.Broker, addr string, cfg tcpConfig) (*tcpServer, error) {
+	if cfg.queueLen <= 0 {
+		cfg.queueLen = 256
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pubsub: listen %s: %w", addr, err)
+	}
+	s := &tcpServer{
+		b:        b,
+		ln:       ln,
+		cfg:      cfg,
+		ports:    make(map[string]*tcpPort),
+		readers:  make(map[net.Conn]struct{}),
+		stopping: make(chan struct{}),
+		closed:   make(chan struct{}),
+	}
+	s.readerWg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// addr returns the bound listener address.
+func (s *tcpServer) addr() string { return s.ln.Addr().String() }
+
+func (s *tcpServer) metrics() Metrics { return s.b.Metrics() }
+
+// errPortExists reports that a live port already serves the name.
+var errPortExists = errors.New("pubsub: port already connected")
+
+// addPort registers an outbound port and starts its writer. With
+// replace=true (clients: a redial takes over the stream) any previous
+// port is killed; with replace=false (peers: concurrent dials from
+// ConnectPeer and the hello dial-back converge on one link) a live
+// existing port wins and errPortExists is returned.
+func (s *tcpServer) addPort(name string, conn net.Conn, replace bool) (*tcpPort, error) {
+	p := &tcpPort{
+		name: name,
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		ch:   make(chan broker.Message, s.cfg.queueLen),
+		dead: make(chan struct{}),
+	}
+	s.mu.Lock()
+	select {
+	case <-s.stopping:
+		s.mu.Unlock()
+		return nil, fmt.Errorf("pubsub: broker %s is shutting down", s.b.ID())
+	default:
+	}
+	if old, ok := s.ports[name]; ok {
+		if !replace {
+			select {
+			case <-old.dead:
+				// The previous link broke; take over.
+			default:
+				s.mu.Unlock()
+				return nil, errPortExists
+			}
+		}
+		old.kill()
+	}
+	s.ports[name] = p
+	// Count the writer before releasing the lock: shutdown closes the
+	// registered ports' queues under the same lock, so a port is never
+	// registered without its writer being awaited.
+	s.writerWg.Add(1)
+	s.mu.Unlock()
+	go s.runWriter(p)
+	return p, nil
+}
+
+// runWriter drains one port's queue onto its connection. A closed
+// queue (graceful shutdown) is drained to the last frame; a killed
+// port (replacement, encode error, hard close) exits immediately.
+func (s *tcpServer) runWriter(p *tcpPort) {
+	defer s.writerWg.Done()
+	defer p.conn.Close()
+	for {
+		select {
+		case <-p.dead:
+			return
+		case msg, ok := <-p.ch:
+			if !ok {
+				return
+			}
+			if err := p.enc.Encode(Frame{Msg: &msg}); err != nil {
+				// The destination vanished; message loss on broken links
+				// is the lossy-environment behavior the protocol already
+				// tolerates.
+				p.kill()
+				return
+			}
+		}
+	}
+}
+
+// send queues one outbound message. It blocks when the destination's
+// queue is full (backpressure) and drops when the destination is
+// unknown, dead, or the server is hard-closing — the same
+// transient-absence tolerance as the old implementation, minus its
+// head-of-line blocking.
+func (s *tcpServer) send(o broker.Outbound) {
+	s.mu.Lock()
+	p := s.ports[o.To]
+	s.mu.Unlock()
+	if p == nil {
+		return
+	}
+	if s.cfg.serialized {
+		// Ablation baseline: encode inline on the dispatching
+		// goroutine (which holds the global mutex), exactly as the old
+		// wire server did. The port's writer goroutine idles; only the
+		// shutdown drain uses it.
+		select {
+		case <-p.dead:
+			return
+		default:
+		}
+		if err := p.enc.Encode(Frame{Msg: &o.Msg}); err != nil {
+			p.kill()
+		}
+		return
+	}
+	select {
+	case p.ch <- o.Msg:
+	case <-p.dead:
+	case <-s.closed:
+	}
+}
+
+// dispatch runs one inbound message through the broker and fans the
+// results out to the per-port queues.
+func (s *tcpServer) dispatch(from string, msg broker.Message) error {
+	if s.cfg.serialized {
+		s.smu.Lock()
+		defer s.smu.Unlock()
+	}
+	outs, err := s.b.Handle(from, msg)
+	if err != nil {
+		return err
+	}
+	for _, o := range outs {
+		s.send(o)
+	}
+	return nil
+}
+
+// acceptLoop admits connections until the listener closes.
+func (s *tcpServer) acceptLoop() {
+	defer s.readerWg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stopping:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.readerWg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// trackReader registers an inbound connection so Shutdown can stop its
+// decoder at a frame boundary. Returns false when the server is
+// already stopping.
+func (s *tcpServer) trackReader(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.stopping:
+		return false
+	default:
+	}
+	s.readers[conn] = struct{}{}
+	return true
+}
+
+func (s *tcpServer) untrackReader(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.readers, conn)
+	s.mu.Unlock()
+}
+
+// serveConn reads the hello, registers the port, then feeds messages
+// into the dispatch pipeline.
+func (s *tcpServer) serveConn(conn net.Conn) {
+	defer s.readerWg.Done()
+	dec := json.NewDecoder(conn)
+	var hello Frame
+	if err := dec.Decode(&hello); err != nil || hello.Hello == "" {
+		conn.Close()
+		return
+	}
+	from := hello.Hello
+
+	var port *tcpPort
+	if hello.Client {
+		s.b.AttachClient(from)
+		p, err := s.addPort(from, conn, true)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		port = p
+	} else {
+		// Inbound peer link: the neighbor dialed us; frames flow only
+		// inward on this connection (we reply over our own dial).
+		if err := s.b.ConnectNeighbor(from); err != nil {
+			conn.Close()
+			return
+		}
+		// If we have no outbound channel to this neighbor yet and it
+		// told us where it listens, dial back so the link becomes
+		// bidirectional without explicit two-sided configuration.
+		if hello.Addr != "" {
+			s.mu.Lock()
+			_, have := s.ports[from]
+			s.mu.Unlock()
+			if !have {
+				go s.connectPeer(from, hello.Addr)
+			}
+		}
+	}
+	if !s.trackReader(conn) {
+		if port == nil {
+			conn.Close()
+		}
+		return
+	}
+	defer s.untrackReader(conn)
+	if port == nil {
+		// We own the close for read-only peer connections; client
+		// connections are closed by their port's writer.
+		defer conn.Close()
+	}
+
+	for {
+		var fr Frame
+		if err := dec.Decode(&fr); err != nil {
+			if port != nil {
+				port.kill()
+			}
+			return
+		}
+		if fr.Msg == nil {
+			continue
+		}
+		if err := s.dispatch(from, *fr.Msg); err != nil {
+			if port != nil {
+				port.kill()
+			}
+			return
+		}
+	}
+}
+
+// connectPeer dials a neighbor broker at addr, registers the overlay
+// link, and starts the outbound writer.
+func (s *tcpServer) connectPeer(id, addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pubsub: dial peer %s at %s: %w", id, addr, err)
+	}
+	if err := json.NewEncoder(conn).Encode(Frame{Hello: s.b.ID(), Addr: s.advertiseAddr()}); err != nil {
+		conn.Close()
+		return fmt.Errorf("pubsub: hello to %s: %w", id, err)
+	}
+	if err := s.b.ConnectNeighbor(id); err != nil {
+		conn.Close()
+		return err
+	}
+	if _, err := s.addPort(id, conn, false); err != nil {
+		conn.Close()
+		if errors.Is(err, errPortExists) {
+			// A concurrent dial (ours or the peer's dial-back) already
+			// established the link; connecting twice is success.
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// advertiseAddr returns the listen address to offer peers for
+// dial-back, or "" when the listener is bound to an unspecified host
+// ("[::]:7001", "0.0.0.0:7001") — advertising that would make a
+// remote peer dial itself. Overlays listening on wildcard addresses
+// need two-sided peer configuration, exactly as before dial-back
+// existed.
+func (s *tcpServer) advertiseAddr() string {
+	addr := s.addr()
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return ""
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		return ""
+	}
+	return addr
+}
+
+// closeRead shuts the read side of a connection so its decoder stops
+// at the next frame boundary while queued writes still flush.
+func closeRead(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseRead()
+		return
+	}
+	conn.Close()
+}
+
+// shutdown gracefully stops the server: no new connections, readers
+// stopped at a frame boundary, in-flight messages handled, writer
+// queues drained, then all connections closed. The context bounds the
+// drain; on expiry remaining frames are abandoned and connections
+// closed hard.
+func (s *tcpServer) shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() {
+		close(s.stopping)
+		s.ln.Close()
+		s.mu.Lock()
+		for conn := range s.readers {
+			closeRead(conn)
+		}
+		s.mu.Unlock()
+
+		done := make(chan struct{})
+		go func() {
+			s.readerWg.Wait()
+			// Readers are gone: nobody enqueues anymore, so closing the
+			// queues lets each writer drain to the last frame and exit.
+			s.mu.Lock()
+			for _, p := range s.ports {
+				close(p.ch)
+			}
+			s.mu.Unlock()
+			s.writerWg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			s.shutErr = ctx.Err()
+			close(s.closed) // unblock senders stuck on full queues
+			s.mu.Lock()
+			for _, p := range s.ports {
+				p.kill()
+				p.conn.Close()
+			}
+			for conn := range s.readers {
+				conn.Close()
+			}
+			s.mu.Unlock()
+			<-done
+		}
+	})
+	return s.shutErr
+}
+
+// ListenBroker starts one broker listening on addr (e.g.
+// "127.0.0.1:0" or ":7001") — the standalone daemon form used by
+// cmd/brokerd. Peer links are added with Broker.ConnectPeer; clients
+// connect with Dial. Stop it with Broker.Shutdown.
+func ListenBroker(id, addr string, policy Policy, cfg Config, opts ...TCPOption) (*Broker, error) {
+	sp, err := policy.toStore()
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	b, err := broker.New(id, sp,
+		broker.WithSeed(cfg.Seed),
+		broker.WithTableOptions(cfg.TableOptions()...))
+	if err != nil {
+		return nil, err
+	}
+	var tc tcpConfig
+	for _, opt := range opts {
+		opt(&tc)
+	}
+	srv, err := newTCPServer(b, addr, tc)
+	if err != nil {
+		return nil, err
+	}
+	return &Broker{id: id, impl: srv}, nil
+}
+
+// tcpServer implements brokerImpl directly.
+var _ brokerImpl = (*tcpServer)(nil)
+
+// TCPTransport hosts the overlay on real sockets within one process:
+// every broker gets its own loopback listener, Connect dials both
+// directions, and Open dials a real client connection. It exists so
+// the same program (and the same tests) can run against the
+// deployable stack; multi-process deployments use ListenBroker and
+// Dial directly.
+type TCPTransport struct {
+	policy Policy
+	cfg    Config
+	opts   []TCPOption
+
+	mu       sync.Mutex
+	brokers  map[string]*Broker
+	clients  []*Client
+	shutdown bool
+}
+
+// NewTCPTransport creates an empty TCP overlay with the given coverage
+// policy and tuning. Brokers listen on ephemeral loopback ports.
+// Config.DropRate/DupRate are a simulator-only feature and rejected
+// here: TCP links get their loss from the real network.
+func NewTCPTransport(policy Policy, cfg Config, opts ...TCPOption) (*TCPTransport, error) {
+	if _, err := policy.toStore(); err != nil {
+		return nil, err
+	}
+	if cfg.DropRate > 0 || cfg.DupRate > 0 {
+		return nil, fmt.Errorf("pubsub: failure injection is simulator-only; TCP transports take real losses")
+	}
+	return &TCPTransport{
+		policy:  policy,
+		cfg:     cfg,
+		opts:    opts,
+		brokers: make(map[string]*Broker),
+	}, nil
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// AddBroker creates a broker node listening on an ephemeral loopback
+// port.
+func (t *TCPTransport) AddBroker(id string) (*Broker, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.shutdown {
+		return nil, fmt.Errorf("pubsub: transport is shut down")
+	}
+	if _, dup := t.brokers[id]; dup {
+		return nil, fmt.Errorf("pubsub: duplicate broker %s", id)
+	}
+	b, err := ListenBroker(id, "127.0.0.1:0", t.policy, t.cfg, t.opts...)
+	if err != nil {
+		return nil, err
+	}
+	t.brokers[id] = b
+	return b, nil
+}
+
+// Broker returns a previously added broker.
+func (t *TCPTransport) Broker(id string) (*Broker, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.brokers[id]
+	return b, ok
+}
+
+// Brokers lists broker IDs, sorted.
+func (t *TCPTransport) Brokers() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.brokers))
+	for id := range t.brokers {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Connect links two brokers bidirectionally: each side dials the
+// other.
+func (t *TCPTransport) Connect(a, b string) error {
+	t.mu.Lock()
+	ba, oka := t.brokers[a]
+	bb, okb := t.brokers[b]
+	t.mu.Unlock()
+	if !oka {
+		return fmt.Errorf("pubsub: unknown broker %s", a)
+	}
+	if !okb {
+		return fmt.Errorf("pubsub: unknown broker %s", b)
+	}
+	if err := ba.ConnectPeer(b, bb.Addr()); err != nil {
+		return err
+	}
+	return bb.ConnectPeer(a, ba.Addr())
+}
+
+// Open dials a client connection to the given broker.
+func (t *TCPTransport) Open(ctx context.Context, clientName, brokerID string) (*Client, error) {
+	t.mu.Lock()
+	b, ok := t.brokers[brokerID]
+	down := t.shutdown
+	t.mu.Unlock()
+	if down {
+		return nil, fmt.Errorf("pubsub: transport is shut down")
+	}
+	if !ok {
+		return nil, fmt.Errorf("pubsub: unknown broker %s", brokerID)
+	}
+	c, err := Dial(ctx, b.Addr(), clientName)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	if t.shutdown {
+		// Shutdown began while we were dialing and has already
+		// snapshotted t.clients; close the latecomer instead of
+		// leaking its connection and pump goroutine.
+		t.mu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("pubsub: transport is shut down")
+	}
+	t.clients = append(t.clients, c)
+	t.mu.Unlock()
+	return c, nil
+}
+
+// Settle polls the summed broker metrics until they are unchanged over
+// a few consecutive polls — the TCP stand-in for the simulator's
+// run-to-quiescence. It only observes this transport's brokers, so it
+// cannot vouch for overlays spanning processes.
+func (t *TCPTransport) Settle(ctx context.Context) error {
+	const (
+		interval = 10 * time.Millisecond
+		stable   = 5 // consecutive unchanged polls to declare quiescence
+	)
+	var last Metrics
+	streak := 0
+	for first := true; ; first = false {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var sum Metrics
+		t.mu.Lock()
+		for _, b := range t.brokers {
+			sum.Add(b.Metrics())
+		}
+		t.mu.Unlock()
+		if !first && sum == last {
+			streak++
+			if streak >= stable {
+				return nil
+			}
+		} else {
+			streak = 0
+		}
+		last = sum
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Shutdown closes every client and gracefully stops every broker
+// within the context's deadline.
+func (t *TCPTransport) Shutdown(ctx context.Context) error {
+	t.mu.Lock()
+	t.shutdown = true
+	clients := t.clients
+	brokers := make([]*Broker, 0, len(t.brokers))
+	for _, b := range t.brokers {
+		brokers = append(brokers, b)
+	}
+	t.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+	var firstErr error
+	for _, b := range brokers {
+		if err := b.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// tcpClient is the socket side of a Client.
+type tcpClient struct {
+	conn net.Conn
+	mu   sync.Mutex // serializes writes
+	enc  *json.Encoder
+}
+
+// Dial connects a client to a broker's listen address — the
+// cross-process form of Transport.Open, used by cmd/psclient. The
+// name identifies the client on its broker; redialing with the same
+// name replaces the previous connection and resumes its
+// subscriptions.
+func Dial(ctx context.Context, addr, name string) (*Client, error) {
+	if name == "" {
+		return nil, fmt.Errorf("pubsub: empty client name")
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pubsub: dial %s: %w", addr, err)
+	}
+	tc := &tcpClient{conn: conn, enc: json.NewEncoder(conn)}
+	if err := tc.enc.Encode(Frame{Hello: name, Client: true}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("pubsub: hello: %w", err)
+	}
+	c := &Client{name: name, impl: tc, q: newNotifyQueue()}
+	go tc.readLoop(c.q)
+	return c, nil
+}
+
+// send encodes one message, honoring the context's deadline.
+func (c *tcpClient) send(ctx context.Context, msg broker.Message) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d, ok := ctx.Deadline(); ok {
+		c.conn.SetWriteDeadline(d)
+		defer c.conn.SetWriteDeadline(time.Time{})
+	}
+	if err := c.enc.Encode(Frame{Msg: &msg}); err != nil {
+		return fmt.Errorf("pubsub: send: %w", err)
+	}
+	return nil
+}
+
+// readLoop feeds pushed notifications into the queue until the
+// connection closes.
+func (c *tcpClient) readLoop(q *notifyQueue) {
+	dec := json.NewDecoder(c.conn)
+	for {
+		var fr Frame
+		if err := dec.Decode(&fr); err != nil {
+			q.finish()
+			return
+		}
+		if fr.Msg != nil && fr.Msg.Kind == broker.MsgNotify {
+			q.push(Notification{SubID: fr.Msg.SubID, PubID: fr.Msg.PubID, Pub: fr.Msg.Pub})
+		}
+	}
+}
+
+func (c *tcpClient) close() error { return c.conn.Close() }

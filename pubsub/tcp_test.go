@@ -1,0 +1,330 @@
+package pubsub
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"probsum/internal/interval"
+	"probsum/internal/subscription"
+)
+
+func box(lo1, hi1, lo2, hi2 int64) Subscription {
+	return subscription.New(interval.New(lo1, hi1), interval.New(lo2, hi2))
+}
+
+// testCtx returns a context that fails the test run long before the go
+// test timeout would.
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func listenTestBroker(t *testing.T, id string, policy Policy, opts ...TCPOption) *Broker {
+	t.Helper()
+	b, err := ListenBroker(id, "127.0.0.1:0", policy, Config{
+		ErrorProbability: 1e-9,
+		MaxTrials:        10_000,
+		Seed:             3,
+	}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		b.Shutdown(ctx)
+	})
+	return b
+}
+
+func dialTest(t *testing.T, addr, name string) *Client {
+	t.Helper()
+	c, err := Dial(testCtx(t), addr, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// recvOne reads one notification with a deadline.
+func recvOne(t *testing.T, c *Client, d time.Duration) (Notification, bool) {
+	t.Helper()
+	select {
+	case n, ok := <-c.Notifications():
+		if !ok {
+			t.Fatal("notification channel closed")
+		}
+		return n, true
+	case <-time.After(d):
+		return Notification{}, false
+	}
+}
+
+// waitMetric polls until cond on the broker metrics holds.
+func waitMetric(t *testing.T, b *Broker, d time.Duration, cond func(Metrics) bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond(b.Metrics()) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("metrics condition not reached: %+v", b.Metrics())
+}
+
+func TestTCPSingleBrokerLoopback(t *testing.T) {
+	b := listenTestBroker(t, "B1", Pairwise)
+	ctx := testCtx(t)
+	sub := dialTest(t, b.Addr(), "alice")
+	pub := dialTest(t, b.Addr(), "bob")
+
+	if err := sub.Subscribe(ctx, "s1", box(0, 50, 0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	waitMetric(t, b, 2*time.Second, func(m Metrics) bool { return m.SubsReceived == 1 })
+	if err := pub.Publish(ctx, "p1", subscription.NewPublication(25, 25)); err != nil {
+		t.Fatal(err)
+	}
+	n, ok := recvOne(t, sub, 2*time.Second)
+	if !ok {
+		t.Fatal("notification did not arrive")
+	}
+	if n.SubID != "s1" || n.PubID != "p1" {
+		t.Fatalf("notification = %+v", n)
+	}
+}
+
+func TestTCPTwoBrokerOverlay(t *testing.T) {
+	b1 := listenTestBroker(t, "B1", Pairwise)
+	b2 := listenTestBroker(t, "B2", Pairwise)
+	// Bidirectional overlay link: each side dials the other.
+	if err := b1.ConnectPeer("B2", b2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.ConnectPeer("B1", b1.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(t)
+	sub := dialTest(t, b1.Addr(), "alice")
+	pub := dialTest(t, b2.Addr(), "bob")
+
+	if err := sub.Subscribe(ctx, "s1", box(10, 20, 10, 20)); err != nil {
+		t.Fatal(err)
+	}
+	waitMetric(t, b2, 2*time.Second, func(m Metrics) bool { return m.SubsReceived == 1 })
+	if err := pub.Publish(ctx, "p1", subscription.NewPublication(15, 15)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvOne(t, sub, 2*time.Second); !ok {
+		t.Fatal("cross-broker notification did not arrive")
+	}
+
+	// Unsubscribe and verify silence.
+	if err := sub.Unsubscribe(ctx, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	waitMetric(t, b1, 2*time.Second, func(m Metrics) bool { return m.UnsubsForwarded == 1 })
+	if err := pub.Publish(ctx, "p2", subscription.NewPublication(15, 15)); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := recvOne(t, sub, 300*time.Millisecond); ok {
+		t.Fatalf("unexpected delivery after unsubscribe: %+v", n)
+	}
+}
+
+func TestTCPCoverageSuppression(t *testing.T) {
+	b1 := listenTestBroker(t, "B1", Pairwise)
+	b2 := listenTestBroker(t, "B2", Pairwise)
+	if err := b1.ConnectPeer("B2", b2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.ConnectPeer("B1", b1.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(t)
+	sub := dialTest(t, b1.Addr(), "alice")
+
+	if err := sub.Subscribe(ctx, "big", box(0, 100, 0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Subscribe(ctx, "small", box(40, 60, 40, 60)); err != nil {
+		t.Fatal(err)
+	}
+	waitMetric(t, b1, 2*time.Second, func(m Metrics) bool {
+		return m.SubsSuppressed >= 1 && m.SubsForwarded == 1
+	})
+}
+
+func TestTCPDialErrors(t *testing.T) {
+	if _, err := Dial(testCtx(t), "127.0.0.1:1", "x"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+	b := listenTestBroker(t, "B1", Flood)
+	if err := b.ConnectPeer("ghost", "127.0.0.1:1"); err == nil {
+		t.Error("peer dial to closed port succeeded")
+	}
+}
+
+// TestTCPPeerDisconnectMidPublish drives publications through an
+// overlay while the downstream peer dies mid-stream: the surviving
+// broker must keep serving its local subscriber, dropping frames for
+// the vanished peer without stalling or erroring the publisher path.
+func TestTCPPeerDisconnectMidPublish(t *testing.T) {
+	b1 := listenTestBroker(t, "B1", Pairwise)
+	b2 := listenTestBroker(t, "B2", Pairwise)
+	if err := b1.ConnectPeer("B2", b2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.ConnectPeer("B1", b1.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(t)
+	local := dialTest(t, b1.Addr(), "local")   // subscriber at B1
+	remote := dialTest(t, b2.Addr(), "remote") // subscriber at B2
+	pub := dialTest(t, b1.Addr(), "pub")       // publisher at B1
+
+	s := box(0, 100, 0, 100)
+	if err := local.Subscribe(ctx, "sl", s); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Subscribe(ctx, "sr", s); err != nil {
+		t.Fatal(err)
+	}
+	waitMetric(t, b1, 2*time.Second, func(m Metrics) bool { return m.SubsReceived == 2 })
+
+	const total = 50
+	for i := 0; i < total; i++ {
+		if i == total/2 {
+			// Kill B2 abruptly mid-burst (expired context = hard close).
+			done, cancel := context.WithCancel(context.Background())
+			cancel()
+			b2.Shutdown(done)
+		}
+		if err := pub.Publish(ctx, fmt.Sprintf("p%d", i), subscription.NewPublication(50, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The local subscriber receives every publication despite the dead
+	// peer link.
+	for i := 0; i < total; i++ {
+		if _, ok := recvOne(t, local, 2*time.Second); !ok {
+			t.Fatalf("local notification %d did not arrive after peer death", i)
+		}
+	}
+	waitMetric(t, b1, 2*time.Second, func(m Metrics) bool { return m.PubsReceived == total })
+}
+
+// TestTCPClientReconnect closes a subscriber's connection and redials
+// under the same name: the broker keeps the subscription state, the
+// new connection takes over the delivery stream.
+func TestTCPClientReconnect(t *testing.T) {
+	b := listenTestBroker(t, "B1", Pairwise)
+	ctx := testCtx(t)
+	sub := dialTest(t, b.Addr(), "alice")
+	pub := dialTest(t, b.Addr(), "bob")
+
+	if err := sub.Subscribe(ctx, "s1", box(0, 50, 0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	waitMetric(t, b, 2*time.Second, func(m Metrics) bool { return m.SubsReceived == 1 })
+	if err := pub.Publish(ctx, "p1", subscription.NewPublication(10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvOne(t, sub, 2*time.Second); !ok {
+		t.Fatal("pre-reconnect notification did not arrive")
+	}
+
+	// Drop the connection; the broker-side port dies, the subscription
+	// survives.
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sub2 := dialTest(t, b.Addr(), "alice")
+	// Wait for the server to have registered the replacement port: a
+	// publish delivered to the new connection proves it.
+	deadline := time.Now().Add(5 * time.Second)
+	got := false
+	for i := 0; !got; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("no delivery on reconnected client")
+		}
+		if err := pub.Publish(ctx, fmt.Sprintf("r%d", i), subscription.NewPublication(20, 20)); err != nil {
+			t.Fatal(err)
+		}
+		_, got = recvOne(t, sub2, 500*time.Millisecond)
+	}
+}
+
+// TestTCPShutdownDrainsInFlight queues a burst of matched
+// notifications and shuts the broker down: every notification the
+// broker accepted (counted in its metrics) must still reach the
+// subscriber before its channel closes.
+func TestTCPShutdownDrainsInFlight(t *testing.T) {
+	b := listenTestBroker(t, "B1", Pairwise)
+	ctx := testCtx(t)
+	sub := dialTest(t, b.Addr(), "alice")
+	pub := dialTest(t, b.Addr(), "bob")
+
+	if err := sub.Subscribe(ctx, "s1", box(0, 100, 0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	waitMetric(t, b, 2*time.Second, func(m Metrics) bool { return m.SubsReceived == 1 })
+
+	const total = 100
+	for i := 0; i < total; i++ {
+		if err := pub.Publish(ctx, fmt.Sprintf("p%d", i), subscription.NewPublication(50, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait until the broker has matched the whole burst, then shut
+	// down while (some of) the notifications are still queued on the
+	// subscriber's writer.
+	waitMetric(t, b, 5*time.Second, func(m Metrics) bool { return m.Notifications == total })
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := b.Shutdown(sctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	// The channel must deliver all 100 and then close (connection gone).
+	got := 0
+	for range sub.Notifications() {
+		got++
+	}
+	if got != total {
+		t.Fatalf("drained %d notifications, want %d", got, total)
+	}
+}
+
+// TestTCPServeHardShutdown exercises the drain-timeout path: a
+// subscriber that never reads eventually fills its queue; shutdown
+// with an expired context must still terminate promptly.
+func TestTCPServeHardShutdown(t *testing.T) {
+	b := listenTestBroker(t, "B1", Pairwise, WithSendQueue(4))
+	ctx := testCtx(t)
+	sub := dialTest(t, b.Addr(), "alice")
+	pub := dialTest(t, b.Addr(), "bob")
+	_ = sub
+
+	if err := sub.Subscribe(ctx, "s1", box(0, 100, 0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	waitMetric(t, b, 2*time.Second, func(m Metrics) bool { return m.SubsReceived == 1 })
+	for i := 0; i < 64; i++ {
+		if err := pub.Publish(ctx, fmt.Sprintf("p%d", i), subscription.NewPublication(50, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	b.Shutdown(done) // returns ctx error; termination is what matters
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hard shutdown took %v", elapsed)
+	}
+}

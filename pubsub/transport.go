@@ -1,0 +1,244 @@
+package pubsub
+
+// Transport abstraction: one public surface over the deterministic
+// in-process simulator and the concurrent TCP broker stack, so the
+// same program runs in-process (tests, examples, experiments) or over
+// real sockets (deployment) by swapping the constructor.
+//
+//	tr, _ := pubsub.NewSimTransport(pubsub.Pairwise, pubsub.Config{})
+//	// or: tr, _ = pubsub.NewTCPTransport(pubsub.Pairwise, pubsub.Config{})
+//	tr.AddBroker("B1")
+//	tr.AddBroker("B2")
+//	tr.Connect("B1", "B2")
+//	sub, _ := tr.Open(ctx, "alice", "B1")
+//	pub, _ := tr.Open(ctx, "bob", "B2")
+//	sub.Subscribe(ctx, "s1", s)
+//	tr.Settle(ctx)
+//	pub.Publish(ctx, "p1", p)
+//	n := <-sub.Notifications()
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"probsum/internal/broker"
+)
+
+// Transport hosts a broker overlay and connects clients to it. The two
+// implementations are SimTransport (deterministic, in-process, the
+// paper's evaluation harness) and TCPTransport (real sockets, one
+// listener per broker, concurrent message handling). Both guarantee
+// the same protocol semantics; they differ in timing: simnet runs
+// every operation to quiescence before returning, TCP is asynchronous
+// and needs Settle (or application-level acknowledgment) between
+// causally dependent operations.
+type Transport interface {
+	// AddBroker creates a broker node under the transport's policy and
+	// config.
+	AddBroker(id string) (*Broker, error)
+	// Broker returns a previously added broker.
+	Broker(id string) (*Broker, bool)
+	// Brokers lists broker IDs, sorted.
+	Brokers() []string
+	// Connect links two brokers bidirectionally.
+	Connect(a, b string) error
+	// Open attaches a client endpoint (unique name per transport) to a
+	// broker and returns its handle.
+	Open(ctx context.Context, clientName, brokerID string) (*Client, error)
+	// Settle blocks until the overlay is quiescent: queued messages
+	// processed and broker counters stable. On the simulator this is
+	// immediate (operations already run to quiescence); on TCP it polls
+	// the local brokers' metrics until they stop changing.
+	Settle(ctx context.Context) error
+	// Shutdown stops every broker and client. On TCP the context bounds
+	// the graceful drain of in-flight frames.
+	Shutdown(ctx context.Context) error
+}
+
+// Broker is a broker handle, transport-independent. TCP brokers
+// additionally listen on a real address and can peer with brokers in
+// other processes via ConnectPeer.
+type Broker struct {
+	id   string
+	impl brokerImpl
+}
+
+// brokerImpl is the transport-specific side of a Broker.
+type brokerImpl interface {
+	addr() string
+	metrics() Metrics
+	connectPeer(id, addr string) error
+	shutdown(ctx context.Context) error
+}
+
+// ID returns the broker identifier.
+func (b *Broker) ID() string { return b.id }
+
+// Addr returns the broker's listen address ("host:port"); empty for
+// in-process transports.
+func (b *Broker) Addr() string { return b.impl.addr() }
+
+// Metrics returns the broker's activity counters.
+func (b *Broker) Metrics() Metrics { return b.impl.metrics() }
+
+// ConnectPeer dials a neighbor broker at a real address and registers
+// the overlay link — the cross-process form of Transport.Connect. For
+// a bidirectional overlay the remote side must dial back (its own
+// ConnectPeer); an inbound hello auto-registers the reverse link for
+// routing, but only an outbound dial gives this side a channel to
+// forward on. In-process brokers return an error: their links are
+// wired through Transport.Connect.
+func (b *Broker) ConnectPeer(id, addr string) error { return b.impl.connectPeer(id, addr) }
+
+// Shutdown stops the broker, draining in-flight work within the
+// context's deadline. In-process brokers stop with their transport and
+// treat this as a no-op.
+func (b *Broker) Shutdown(ctx context.Context) error { return b.impl.shutdown(ctx) }
+
+// Client is a subscriber/publisher endpoint, transport-independent.
+// Operations are context-aware; notifications stream on a channel.
+// A Client is safe for concurrent use.
+type Client struct {
+	name string
+	impl clientImpl
+	q    *notifyQueue
+}
+
+// clientImpl is the transport-specific side of a Client.
+type clientImpl interface {
+	send(ctx context.Context, msg broker.Message) error
+	close() error
+}
+
+// Name returns the client's endpoint name.
+func (c *Client) Name() string { return c.name }
+
+// Subscribe announces a subscription under a globally unique ID.
+func (c *Client) Subscribe(ctx context.Context, subID string, s Subscription) error {
+	if subID == "" {
+		return fmt.Errorf("pubsub: empty subscription id")
+	}
+	return c.impl.send(ctx, broker.Message{Kind: broker.MsgSubscribe, SubID: subID, Sub: s})
+}
+
+// Unsubscribe cancels a previously announced subscription.
+func (c *Client) Unsubscribe(ctx context.Context, subID string) error {
+	if subID == "" {
+		return fmt.Errorf("pubsub: empty subscription id")
+	}
+	return c.impl.send(ctx, broker.Message{Kind: broker.MsgUnsubscribe, SubID: subID})
+}
+
+// Publish sends a publication under a globally unique ID (the overlay
+// deduplicates on it).
+func (c *Client) Publish(ctx context.Context, pubID string, p Publication) error {
+	if pubID == "" {
+		return fmt.Errorf("pubsub: empty publication id")
+	}
+	return c.impl.send(ctx, broker.Message{Kind: broker.MsgPublish, PubID: pubID, Pub: p})
+}
+
+// Notifications returns the client's delivery stream. The channel is
+// fed in delivery order and closed after the last delivery once the
+// client's connection ends; notifications already delivered to the
+// client are never dropped as long as the channel is being read.
+// Calling Close discards anything still unread.
+func (c *Client) Notifications() <-chan Notification { return c.q.ch }
+
+// Close detaches the client and discards unread notifications. On TCP
+// this closes the connection; the broker keeps the client's
+// subscriptions (a later Open/Dial with the same name resumes them).
+func (c *Client) Close() error {
+	err := c.impl.close()
+	c.q.abandon()
+	return err
+}
+
+// notifyQueue decouples notification producers (transport goroutines,
+// or the simulator's synchronous delivery) from the consumer-facing
+// channel: pushes never block, ordering is preserved, and buffering is
+// unbounded so a slow reader cannot stall the overlay.
+//
+// Teardown has two flavors matching its two sides: finish (producer
+// gone — drain what is buffered to the reader, then close the
+// channel) and abandon (consumer gone — drop everything now). A
+// client whose connection ended still delivers its tail; a client
+// that was Closed stops immediately.
+type notifyQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      []Notification
+	finished bool
+
+	ch  chan Notification
+	die chan struct{}
+}
+
+func newNotifyQueue() *notifyQueue {
+	q := &notifyQueue{ch: make(chan Notification, 16), die: make(chan struct{})}
+	q.cond = sync.NewCond(&q.mu)
+	go q.pump()
+	return q
+}
+
+// push appends one notification; a finished queue drops it.
+func (q *notifyQueue) push(n Notification) {
+	q.mu.Lock()
+	if !q.finished {
+		q.buf = append(q.buf, n)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// pump moves notifications from the buffer to the channel, closing the
+// channel once the queue is finished and drained, or abandoned.
+func (q *notifyQueue) pump() {
+	for {
+		q.mu.Lock()
+		for len(q.buf) == 0 && !q.finished {
+			q.cond.Wait()
+		}
+		if len(q.buf) == 0 {
+			q.mu.Unlock()
+			close(q.ch)
+			return
+		}
+		n := q.buf[0]
+		q.buf = q.buf[1:]
+		q.mu.Unlock()
+		select {
+		case q.ch <- n:
+		case <-q.die:
+			close(q.ch)
+			return
+		}
+	}
+}
+
+// finish marks the producer side done: no more pushes are accepted,
+// buffered notifications still flow to the reader, and the channel
+// closes after the last one.
+func (q *notifyQueue) finish() {
+	q.mu.Lock()
+	q.finished = true
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// abandon marks the consumer side gone: buffered notifications are
+// dropped and the channel closes immediately.
+func (q *notifyQueue) abandon() {
+	q.mu.Lock()
+	if !q.finished {
+		q.finished = true
+	}
+	select {
+	case <-q.die:
+	default:
+		close(q.die)
+	}
+	q.cond.Signal()
+	q.mu.Unlock()
+}

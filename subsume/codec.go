@@ -1,0 +1,38 @@
+package subsume
+
+// JSON codecs for schemas, subscriptions, and publications — the
+// formats the CLI tools (cmd/psclient) and any external tooling
+// exchange. They are thin re-exports of the internal codec so
+// programs built on the public API alone can parse user input:
+//
+//	schema:       [{"name":"x1","lo":0,"hi":10000}, ...]
+//	subscription: {"x1":[100,500],"x2":[0,50]}   (omitted attrs = full domain)
+//	publication:  {"x1":42,"x2":7}               (omitted attrs = domain low end)
+
+import "probsum/internal/subscription"
+
+// MarshalSchema encodes a schema as JSON.
+func MarshalSchema(s *Schema) ([]byte, error) { return subscription.MarshalSchema(s) }
+
+// UnmarshalSchema decodes a JSON schema declaration.
+func UnmarshalSchema(data []byte) (*Schema, error) { return subscription.UnmarshalSchema(data) }
+
+// MarshalSubscription encodes a subscription against its schema.
+func MarshalSubscription(s Subscription, schema *Schema) ([]byte, error) {
+	return subscription.MarshalSubscription(s, schema)
+}
+
+// UnmarshalSubscription decodes a JSON subscription against a schema.
+func UnmarshalSubscription(data []byte, schema *Schema) (Subscription, error) {
+	return subscription.UnmarshalSubscription(data, schema)
+}
+
+// MarshalPublication encodes a publication against its schema.
+func MarshalPublication(p Publication, schema *Schema) ([]byte, error) {
+	return subscription.MarshalPublication(p, schema)
+}
+
+// UnmarshalPublication decodes a JSON publication against a schema.
+func UnmarshalPublication(data []byte, schema *Schema) (Publication, error) {
+	return subscription.UnmarshalPublication(data, schema)
+}

@@ -177,6 +177,23 @@ func TestTableConcurrent(t *testing.T) {
 						return
 					}
 					mine = slices.Delete(mine, j, j+1)
+				case op == 7 && len(mine) > 3:
+					// Cancellation burst through the shared-frontier path.
+					n := 2 + rng.IntN(2)
+					burst := make([]subsume.ID, n)
+					for j := range burst {
+						burst[j] = mine[len(mine)-1-j]
+					}
+					res, err := tbl.UnsubscribeBatch(burst)
+					if err != nil {
+						t.Errorf("g%d unsubscribe batch: %v", g, err)
+						return
+					}
+					if res.Removed != n {
+						t.Errorf("g%d unsubscribe batch removed %d, want %d", g, res.Removed, n)
+						return
+					}
+					mine = mine[:len(mine)-n]
 				case op < 9:
 					tbl.Match(subsume.NewPublication(rng.Int64N(1000), rng.Int64N(1000)))
 				default:
