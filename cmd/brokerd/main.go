@@ -14,6 +14,12 @@
 // wildcard address (-listen :7001) cannot advertise a reachable
 // address, so there each side must list the other as a -peer.
 //
+// Frames travel the length-prefixed binary codec wherever both ends
+// negotiated it in the hello/ack handshake and newline-delimited JSON
+// otherwise; -codec json pins a daemon to the old format (it still
+// DECODES binary-capable peers' JSON — old and new daemons mix
+// freely in one overlay).
+//
 // On SIGINT/SIGTERM the broker shuts down gracefully, draining
 // in-flight frames for up to -drain.
 package main
@@ -62,6 +68,7 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "group policy random seed")
 		retries  = flag.Int("peer-retries", 10, "dial attempts per peer (1s apart)")
 		drain    = flag.Duration("drain", 5*time.Second, "graceful shutdown drain budget")
+		codecIn  = flag.String("codec", "binary", "wire codec cap: binary (negotiated per peer) | json (PR-3 compatible)")
 	)
 	flag.Var(peers, "peer", "neighbor broker as NAME=ADDR (repeatable)")
 	flag.Parse()
@@ -74,14 +81,19 @@ func run() error {
 		return err
 	}
 
-	b, err := pubsub.ListenBroker(*id, *listen, policy, pubsub.Config{
-		ErrorProbability: *delta,
-		Seed:             *seed,
-	})
+	codec, err := pubsub.ParseWireCodec(*codecIn)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("brokerd %s listening on %s (policy %s)\n", *id, b.Addr(), policy)
+
+	b, err := pubsub.ListenBroker(*id, *listen, policy, pubsub.Config{
+		ErrorProbability: *delta,
+		Seed:             *seed,
+	}, pubsub.WithWireCodec(codec))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("brokerd %s listening on %s (policy %s, codec %s)\n", *id, b.Addr(), policy, codec)
 
 	for name, addr := range peers {
 		if err := dialWithRetry(b, name, addr, *retries); err != nil {

@@ -19,6 +19,7 @@ import (
 	"probsum/internal/conflict"
 	"probsum/internal/core"
 	"probsum/internal/store"
+	"probsum/pubsub"
 )
 
 // BenchResult is one benchmark measurement.
@@ -102,14 +103,47 @@ func microBenchmarks() []struct {
 		{"TableUnsubscribeBatch/batch", func(b *testing.B) {
 			benchcases.TableUnsubscribeBatch(b, true, 1)
 		}},
+		{"WireCodec/pub-encode/json", func(b *testing.B) {
+			benchcases.WireCodecEncode(b, pubsub.CodecJSON, "pub")
+		}},
+		{"WireCodec/pub-encode/binary", func(b *testing.B) {
+			benchcases.WireCodecEncode(b, pubsub.CodecBinary, "pub")
+		}},
+		{"WireCodec/pub-decode/json", func(b *testing.B) {
+			benchcases.WireCodecDecode(b, pubsub.CodecJSON, "pub")
+		}},
+		{"WireCodec/pub-decode/binary", func(b *testing.B) {
+			benchcases.WireCodecDecode(b, pubsub.CodecBinary, "pub")
+		}},
+		{"WireCodec/subbatch-encode/binary", func(b *testing.B) {
+			benchcases.WireCodecEncode(b, pubsub.CodecBinary, "subbatch")
+		}},
+		{"WireCodec/subbatch-decode/binary", func(b *testing.B) {
+			benchcases.WireCodecDecode(b, pubsub.CodecBinary, "subbatch")
+		}},
+		// End-to-end wire benchmarks over real loopback sockets: json
+		// is the PR-3 codec baseline the binary path must beat (the
+		// ISSUE 4 acceptance bar); they are recorded in the snapshot
+		// but stay outside the regression gate because wall clock over
+		// sockets absorbs scheduler noise the 30% margin is not meant
+		// to cover.
+		{"TCPPublish/json", benchcases.TCPPublishJSON},
+		{"TCPPublish/binary", benchcases.TCPPublishBinary},
+		{"TCPSubscribeBurst/peritem", func(b *testing.B) {
+			benchcases.TCPSubscribeBurst(b, false)
+		}},
+		{"TCPSubscribeBurst/batch", func(b *testing.B) {
+			benchcases.TCPSubscribeBurst(b, true)
+		}},
 	}
 }
 
 // regressionGated lists the benchmark-name prefixes the CI regression
-// gate compares: the covered-path checker and the subscribe paths
-// (store and Table), per the perf-trajectory roadmap item. Figure
-// benchmarks and ablations stay informational.
-var regressionGated = []string{"CoveredInto/", "StoreSubscribe/", "TableSubscribeBatch/", "TableUnsubscribeBatch/"}
+// gate compares: the covered-path checker, the subscribe paths (store
+// and Table), and the wire codec, per the perf-trajectory roadmap
+// item. Figure benchmarks, ablations, and the socket-level TCP
+// benchmarks stay informational.
+var regressionGated = []string{"CoveredInto/", "StoreSubscribe/", "TableSubscribeBatch/", "TableUnsubscribeBatch/", "WireCodec/"}
 
 // checkRegressions compares a fresh report against a committed
 // baseline file and errors when any gated benchmark's ns/op regressed

@@ -8,9 +8,17 @@
 //	         -subscribe '{"x1":[0,500]}' \
 //	         -schema '[{"name":"x1","lo":0,"hi":10000},{"name":"x2","lo":0,"hi":10000}]'
 //
+//	# a burst: repeated -subscribe flags travel as ONE SUBBATCH frame
+//	# and are admitted by the broker as one batch
+//	psclient -broker localhost:7001 -name alice \
+//	         -subscribe '{"x1":[0,500]}' -subscribe '{"x1":[100,200]}' -schema '...'
+//
 //	# publish one event
 //	psclient -broker localhost:7002 -name bob \
 //	         -publish '{"x1":42,"x2":7}' -schema '...'
+//
+// Frames use the binary wire codec once the broker's ack advertises
+// it; -codec json pins the client to the PR-3 JSON format.
 package main
 
 import (
@@ -26,6 +34,16 @@ import (
 	"probsum/subsume"
 )
 
+// jsonList collects repeated -subscribe flags.
+type jsonList []string
+
+func (l *jsonList) String() string { return fmt.Sprint([]string(*l)) }
+
+func (l *jsonList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintf(os.Stderr, "psclient: %v\n", err)
@@ -34,16 +52,18 @@ func main() {
 }
 
 func run() error {
+	var subsIn jsonList
 	var (
 		brokerAddr = flag.String("broker", "127.0.0.1:7001", "broker address")
 		name       = flag.String("name", "", "client name (required, unique per broker)")
 		schemaIn   = flag.String("schema", "", "schema JSON (required)")
-		subIn      = flag.String("subscribe", "", "subscription JSON: stream notifications until interrupted")
 		pubIn      = flag.String("publish", "", "publication JSON: publish once and exit")
-		subID      = flag.String("sub-id", "", "subscription id (default <name>/1)")
+		subID      = flag.String("sub-id", "", "subscription id prefix (default <name>/1..N)")
 		pubID      = flag.String("pub-id", "", "publication id (default <name>/p1)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-operation deadline")
+		codecIn    = flag.String("codec", "binary", "wire codec cap: binary (negotiated) | json (PR-3 compatible)")
 	)
+	flag.Var(&subsIn, "subscribe", "subscription JSON: stream notifications until interrupted (repeatable; several travel as one batch frame)")
 	flag.Parse()
 
 	if *name == "" {
@@ -56,9 +76,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	codec, err := pubsub.ParseWireCodec(*codecIn)
+	if err != nil {
+		return err
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-	client, err := pubsub.Dial(ctx, *brokerAddr, *name)
+	client, err := pubsub.Dial(ctx, *brokerAddr, *name, pubsub.WithDialCodec(codec))
 	cancel()
 	if err != nil {
 		return err
@@ -70,22 +94,38 @@ func run() error {
 	}
 
 	switch {
-	case *subIn != "":
-		sub, err := subsume.UnmarshalSubscription([]byte(*subIn), schema)
-		if err != nil {
-			return err
-		}
-		id := *subID
-		if id == "" {
-			id = *name + "/1"
+	case len(subsIn) > 0:
+		batch := make([]pubsub.BatchSub, len(subsIn))
+		for i, in := range subsIn {
+			sub, err := subsume.UnmarshalSubscription([]byte(in), schema)
+			if err != nil {
+				return fmt.Errorf("subscription %d: %w", i+1, err)
+			}
+			id := fmt.Sprintf("%s/%d", *name, i+1)
+			if *subID != "" {
+				if len(subsIn) == 1 {
+					id = *subID
+				} else {
+					id = fmt.Sprintf("%s/%d", *subID, i+1)
+				}
+			}
+			batch[i] = pubsub.BatchSub{SubID: id, Sub: sub}
 		}
 		ctx, cancel := opCtx()
-		err = client.Subscribe(ctx, id, sub)
+		if len(batch) == 1 {
+			err = client.Subscribe(ctx, batch[0].SubID, batch[0].Sub)
+		} else {
+			// A burst travels as one SUBBATCH frame and is admitted by
+			// the broker's coverage tables as one batch.
+			err = client.SubscribeBatch(ctx, batch)
+		}
 		cancel()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("subscribed as %s: %v\n", id, sub)
+		for _, it := range batch {
+			fmt.Printf("subscribed as %s: %v\n", it.SubID, it.Sub)
+		}
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 		for {

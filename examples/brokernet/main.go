@@ -14,6 +14,12 @@
 //	go run ./examples/brokernet -transport sim   # simulator only
 //	go run ./examples/brokernet -transport tcp   # real sockets only
 //	go run ./examples/brokernet -policy group    # probabilistic coverage
+//	go run ./examples/brokernet -codec json      # pin TCP to the PR-3 JSON codec
+//
+// The scenario ends with a subscription burst sent as ONE batch frame
+// (SUBBATCH): the brokers admit it into each coverage table as a
+// single batch call, so the broad member suppresses the narrow ones
+// before anything extra crosses a link.
 package main
 
 import (
@@ -31,9 +37,14 @@ import (
 func main() {
 	transport := flag.String("transport", "both", "sim | tcp | both")
 	policyIn := flag.String("policy", "pairwise", "coverage policy: flood | pairwise | group")
+	codecIn := flag.String("codec", "binary", "TCP wire codec cap: binary | json")
 	flag.Parse()
 
 	policy, err := pubsub.ParsePolicy(*policyIn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	codec, err := pubsub.ParseWireCodec(*codecIn)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +59,8 @@ func main() {
 			}
 			return tr
 		case "tcp":
-			tr, err := pubsub.NewTCPTransport(policy, cfg)
+			tr, err := pubsub.NewTCPTransport(policy, cfg,
+				pubsub.WithWireCodec(codec), pubsub.WithDialWireCodec(codec))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -133,13 +145,40 @@ func run(tr pubsub.Transport) map[string][]string {
 	must(tr.Settle(ctx))
 	printTree(tr, "n2 (from P2@B5, matches s1 only)")
 
-	// Collect the deliveries: S1 expects both publications, S2 only n1.
+	// Batch phase: S2 announces a burst as ONE SUBBATCH frame. The
+	// brokers admit it with a single batch call per coverage table, so
+	// the broad member (b-wide) suppresses the narrow ones within the
+	// burst and only it crosses further links.
+	preBatch := totalMetrics(tr)
+	must(s2c.SubscribeBatch(ctx, []pubsub.BatchSub{
+		{SubID: "b-narrow1", Sub: subsume.NewSubscription(schema).Range("x1", 10, 20).Range("x2", 10, 20).Build()},
+		{SubID: "b-wide", Sub: subsume.NewSubscription(schema).Range("x1", 0, 30).Range("x2", 0, 30).Build()},
+		{SubID: "b-narrow2", Sub: subsume.NewSubscription(schema).Range("x1", 12, 18).Range("x2", 12, 18).Build()},
+	}))
+	must(tr.Settle(ctx))
+	postBatch := totalMetrics(tr)
+	fmt.Printf("\nbatch of 3: %d forwards, %d suppressed (within-burst coverage)\n",
+		postBatch.SubsForwarded-preBatch.SubsForwarded,
+		postBatch.SubsSuppressed-preBatch.SubsSuppressed)
+
+	// n3 lands inside all three burst members (and s1).
+	must(p1c.Publish(ctx, "n3", subsume.NewPublication(15, 15)))
+	must(tr.Settle(ctx))
+
+	// Cancel the whole burst as one UNSUBBATCH frame, then prove it.
+	must(s2c.UnsubscribeBatch(ctx, []string{"b-narrow1", "b-wide", "b-narrow2"}))
+	must(tr.Settle(ctx))
+	must(p2c.Publish(ctx, "n4", subsume.NewPublication(15, 15)))
+	must(tr.Settle(ctx))
+
+	// Collect the deliveries: S1 sees every publication; S2 sees n1
+	// (s2) and n3 three times (each burst member matches).
 	out := map[string][]string{
-		"S1": collect(s1c, 2),
-		"S2": collect(s2c, 1),
+		"S1": collect(s1c, 4),
+		"S2": collect(s2c, 4),
 	}
-	fmt.Printf("\nS1 notifications: %d (expected 2)\n", len(out["S1"]))
-	fmt.Printf("S2 notifications: %d (expected 1)\n", len(out["S2"]))
+	fmt.Printf("\nS1 notifications: %d (expected 4)\n", len(out["S1"]))
+	fmt.Printf("S2 notifications: %d (expected 4)\n", len(out["S2"]))
 
 	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer scancel()

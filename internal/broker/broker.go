@@ -39,6 +39,14 @@ const (
 	MsgPublish
 	// MsgNotify delivers a matched publication to a local client.
 	MsgNotify
+	// MsgSubscribeBatch announces an ordered burst of subscriptions
+	// admitted into each per-neighbor coverage table as ONE batch call,
+	// so within-burst coverage is found immediately (broad
+	// subscriptions suppress the narrow ones arriving alongside them).
+	MsgSubscribeBatch
+	// MsgUnsubscribeBatch cancels a burst of subscriptions with one
+	// shared promotion-cascade frontier per neighbor table.
+	MsgUnsubscribeBatch
 )
 
 // String returns the message kind name.
@@ -52,9 +60,20 @@ func (k MsgKind) String() string {
 		return "publish"
 	case MsgNotify:
 		return "notify"
+	case MsgSubscribeBatch:
+		return "subscribe-batch"
+	case MsgUnsubscribeBatch:
+		return "unsubscribe-batch"
 	default:
 		return "unknown"
 	}
+}
+
+// BatchSub pairs a subscription with its globally unique identifier
+// inside a MsgSubscribeBatch burst.
+type BatchSub struct {
+	SubID string                    `json:"sub_id"`
+	Sub   subscription.Subscription `json:"sub"`
 }
 
 // Message is the single wire format exchanged between ports (neighbor
@@ -71,6 +90,10 @@ type Message struct {
 	PubID string `json:"pub_id,omitempty"`
 	// Pub is the publication payload for MsgPublish / MsgNotify.
 	Pub subscription.Publication `json:"pub,omitempty"`
+	// Subs is the MsgSubscribeBatch payload, in arrival order.
+	Subs []BatchSub `json:"subs,omitempty"`
+	// SubIDs is the MsgUnsubscribeBatch payload.
+	SubIDs []string `json:"sub_ids,omitempty"`
 }
 
 // Outbound pairs a message with its destination port.
@@ -160,6 +183,21 @@ func WithSeed(seed uint64) Option {
 	return func(b *Broker) { b.seed = seed }
 }
 
+// WithDedupLimit bounds the publication-deduplication memory: the
+// broker remembers at least the last n distinct publication IDs (and
+// at most ~2n, see pubDedup). The default is 65536. Publications
+// re-arriving after more than the horizon of newer distinct
+// publications may be processed again — the same at-least-once
+// tolerance the protocol already has for lossy links, traded here for
+// a memory bound on long-running brokers.
+func WithDedupLimit(n int) Option {
+	return func(b *Broker) {
+		if n > 0 {
+			b.dedupLimit = n
+		}
+	}
+}
+
 // WithTableOptions appends subsume table options applied to every
 // per-neighbor coverage table — error probability, trial cap,
 // candidate-pruning ablation, and so on (pubsub.Config converts to
@@ -176,7 +214,8 @@ func WithTableOptions(opts ...subsume.TableOption) Option {
 // and unsubscribe take an exclusive lock) but lets publications run
 // concurrently — handlePublish only reads the routing state, matching
 // through the concurrency-safe per-port ITreeIndex, deduplicating
-// through an atomic map and counting through atomic metrics. Driven
+// through a bounded atomic generation ring and counting through
+// atomic metrics. Driven
 // from a single goroutine (the simulator) the broker behaves exactly
 // as before: all locks are uncontended and every decision sequence is
 // deterministic. Driven from the TCP transport's per-connection
@@ -214,11 +253,83 @@ type Broker struct {
 	// source records the first-arrival port of each known subscription.
 	source map[string]string
 
-	// seenPubs deduplicates publications on cyclic overlays; a sync.Map
-	// so concurrent publishes race on LoadOrStore instead of b.mu.
-	seenPubs sync.Map
+	// seenPubs deduplicates publications on cyclic overlays. It is a
+	// bounded generation ring (see pubDedup) so long-running brokers
+	// do not grow memory without limit; lookups and inserts run under
+	// the shared lock, racing on atomics instead of b.mu.
+	dedupLimit int
+	seenPubs   pubDedup
 
 	metrics counters
+}
+
+// pubDedup is a bounded duplicate-suppression set: two sync.Map
+// generations of at most limit entries each. Inserts go to the
+// current generation; when it fills, the previous generation is
+// dropped and the current one takes its place. An ID is a duplicate
+// when either generation holds it, so the horizon — the number of
+// newer distinct IDs after which a repeat can slip through — is at
+// least limit and the memory bound is ~2·limit entries. Concurrent
+// inserts during a rotation can land in the generation that just
+// became previous; they stay findable, and the one-rotation-at-a-time
+// mutex keeps the bound intact.
+type pubDedup struct {
+	limit int64
+	mu    sync.Mutex // serializes rotation, not lookups
+	gens  atomic.Pointer[dedupGens]
+}
+
+type dedupGens struct {
+	cur  *dedupGen
+	prev *dedupGen
+}
+
+type dedupGen struct {
+	m sync.Map
+	n atomic.Int64
+}
+
+func (d *pubDedup) init(limit int) {
+	d.limit = int64(limit)
+	d.gens.Store(&dedupGens{cur: &dedupGen{}, prev: &dedupGen{}})
+}
+
+// seen records id and reports whether it was already known.
+func (d *pubDedup) seen(id string) bool {
+	g := d.gens.Load()
+	if _, ok := g.prev.m.Load(id); ok {
+		return true
+	}
+	if _, loaded := g.cur.m.LoadOrStore(id, struct{}{}); loaded {
+		return true
+	}
+	if g.cur.n.Add(1) >= d.limit {
+		d.rotate(g)
+	}
+	return false
+}
+
+// rotate retires the previous generation. Only the first caller that
+// observed the full generation rotates; latecomers see the new
+// pointer and return.
+func (d *pubDedup) rotate(old *dedupGens) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.gens.Load() != old {
+		return
+	}
+	d.gens.Store(&dedupGens{cur: &dedupGen{}, prev: old.cur})
+}
+
+// size counts the tracked IDs across both generations (test hook for
+// the memory bound).
+func (d *pubDedup) size() int {
+	g := d.gens.Load()
+	n := 0
+	for _, gen := range []*dedupGen{g.cur, g.prev} {
+		gen.m.Range(func(any, any) bool { n++; return true })
+	}
+	return n
 }
 
 // New creates a broker. Policy selects subscription-forwarding
@@ -228,21 +339,23 @@ func New(id string, policy store.Policy, opts ...Option) (*Broker, error) {
 		return nil, fmt.Errorf("broker: empty id")
 	}
 	b := &Broker{
-		id:        id,
-		policy:    policy,
-		seed:      1,
-		neighbors: make(map[string]bool),
-		clients:   make(map[string]bool),
-		out:       make(map[string]*subsume.Table),
-		outIDs:    make(map[string]subsume.ID),
-		idToSub:   make(map[subsume.ID]string),
-		in:        make(map[string]map[string]subscription.Subscription),
-		matchers:  make(map[string]*match.ITreeIndex),
-		source:    make(map[string]string),
+		id:         id,
+		policy:     policy,
+		seed:       1,
+		dedupLimit: 65536,
+		neighbors:  make(map[string]bool),
+		clients:    make(map[string]bool),
+		out:        make(map[string]*subsume.Table),
+		outIDs:     make(map[string]subsume.ID),
+		idToSub:    make(map[subsume.ID]string),
+		in:         make(map[string]map[string]subscription.Subscription),
+		matchers:   make(map[string]*match.ITreeIndex),
+		source:     make(map[string]string),
 	}
 	for _, opt := range opts {
 		opt(b)
 	}
+	b.seenPubs.init(b.dedupLimit)
 	return b, nil
 }
 
@@ -265,6 +378,25 @@ func (b *Broker) ID() string { return b.id }
 
 // Metrics returns a copy of the activity counters.
 func (b *Broker) Metrics() Metrics { return b.metrics.snapshot() }
+
+// NeighborTableMetrics returns the coverage-table operation counters
+// for one neighbor port — how the subscriptions forwarded to that
+// neighbor were admitted (per-item vs batch, suppressed, promoted).
+// Tests use it to assert that wire bursts reach batch admission as
+// single calls; operators can read it to size per-link routing state.
+func (b *Broker) NeighborTableMetrics(id string) (subsume.TableMetrics, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t, ok := b.out[id]
+	if !ok {
+		return subsume.TableMetrics{}, false
+	}
+	return t.Metrics(), true
+}
+
+// dedupSize reports the tracked publication-ID count (test hook for
+// the WithDedupLimit memory bound).
+func (b *Broker) dedupSize() int { return b.seenPubs.size() }
 
 // Neighbors returns the connected neighbor ports, sorted.
 func (b *Broker) Neighbors() []string {
@@ -371,9 +503,41 @@ func (b *Broker) Handle(from string, msg Message) ([]Outbound, error) {
 		b.mu.RLock()
 		defer b.mu.RUnlock()
 		return b.handlePublish(from, msg)
+	case MsgSubscribeBatch:
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return b.handleSubscribeBatch(from, msg)
+	case MsgUnsubscribeBatch:
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return b.handleUnsubscribeBatch(from, msg)
 	default:
 		return nil, fmt.Errorf("broker %s: unexpected message kind %v from %s", b.id, msg.Kind, from)
 	}
+}
+
+// HandlePublishBatch processes a run of MsgPublish messages arriving
+// back-to-back on one port under a SINGLE shared-lock acquisition —
+// the wire readers coalesce queued publish frames into one call so a
+// high-rate connection pays the RWMutex once per run instead of once
+// per frame. Outputs are the concatenation of the per-message outputs
+// in input order, so per-destination delivery order is exactly what a
+// per-message loop would produce.
+func (b *Broker) HandlePublishBatch(from string, msgs []Message) ([]Outbound, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []Outbound
+	for i := range msgs {
+		if msgs[i].Kind != MsgPublish {
+			return out, fmt.Errorf("broker %s: non-publish kind %v in publish batch from %s", b.id, msgs[i].Kind, from)
+		}
+		o, err := b.handlePublish(from, msgs[i])
+		if err != nil {
+			return out, err
+		}
+		out = append(out, o...)
+	}
+	return out, nil
 }
 
 // storeID returns (allocating if needed) the numeric per-broker ID for
@@ -495,6 +659,151 @@ func (b *Broker) handleUnsubscribe(from string, msg Message) ([]Outbound, error)
 	return out, nil
 }
 
+// handleSubscribeBatch admits a subscription burst. Per neighbor the
+// whole burst goes through ONE Table.SubscribeBatch call — within-
+// burst coverage is found immediately, so a broad subscription
+// suppresses the narrow ones arriving alongside it — and the items
+// admitted active for that neighbor are forwarded as ONE
+// MsgSubscribeBatch, keeping the burst batched end to end across the
+// overlay. Duplicate arrivals (cycle copies, or repeats within the
+// burst) are dropped exactly as on the per-item path.
+func (b *Broker) handleSubscribeBatch(from string, msg Message) ([]Outbound, error) {
+	// Validate before mutating anything: the wire is untrusted, and a
+	// mid-loop abort would leave earlier items registered in the
+	// reverse-path state but never admitted or forwarded. (The
+	// coverage tables also reject unsatisfiable boxes, but only after
+	// this handler has touched state — catch them here first.)
+	for _, it := range msg.Subs {
+		if it.SubID == "" {
+			return nil, fmt.Errorf("broker %s: subscribe batch item without SubID", b.id)
+		}
+		if !it.Sub.IsSatisfiable() {
+			return nil, fmt.Errorf("broker %s: subscribe batch item %s is unsatisfiable", b.id, it.SubID)
+		}
+	}
+	fresh := make([]BatchSub, 0, len(msg.Subs))
+	for _, it := range msg.Subs {
+		if _, seen := b.source[it.SubID]; seen {
+			b.metrics.dupSubsDropped.Add(1)
+			continue
+		}
+		b.metrics.subsReceived.Add(1)
+		b.source[it.SubID] = from
+		if b.in[from] == nil {
+			b.in[from] = make(map[string]subscription.Subscription)
+		}
+		b.in[from][it.SubID] = it.Sub
+		b.matcher(from).Add(match.ID(b.storeID(it.SubID)), it.Sub)
+		fresh = append(fresh, it)
+	}
+	if len(fresh) == 0 {
+		return nil, nil
+	}
+	ids := make([]subsume.ID, len(fresh))
+	subs := make([]subscription.Subscription, len(fresh))
+	for i, it := range fresh {
+		ids[i] = b.outIDs[it.SubID]
+		subs[i] = it.Sub
+	}
+	var out []Outbound
+	for _, n := range sortedKeys(b.neighbors) {
+		if n == from {
+			continue
+		}
+		results, err := b.out[n].SubscribeBatch(ids, subs)
+		if err != nil {
+			return nil, fmt.Errorf("broker %s: neighbor %s: %w", b.id, n, err)
+		}
+		fwd := make([]BatchSub, 0, len(fresh))
+		for i, res := range results {
+			if res.Status == store.StatusActive {
+				fwd = append(fwd, fresh[i])
+			}
+		}
+		b.metrics.subsForwarded.Add(int64(len(fwd)))
+		b.metrics.subsSuppressed.Add(int64(len(fresh) - len(fwd)))
+		if len(fwd) > 0 {
+			out = append(out, Outbound{To: n, Msg: Message{Kind: MsgSubscribeBatch, Subs: fwd}})
+		}
+	}
+	return out, nil
+}
+
+// handleUnsubscribeBatch cancels a burst. Per neighbor the removal
+// runs through ONE Table.UnsubscribeBatch call (one shared
+// promotion-cascade frontier), the subscriptions that neighbor knew
+// are forwarded as ONE MsgUnsubscribeBatch, and the promotions the
+// burst caused are late-forwarded as ONE MsgSubscribeBatch.
+func (b *Broker) handleUnsubscribeBatch(from string, msg Message) ([]Outbound, error) {
+	subIDs := make([]string, 0, len(msg.SubIDs))
+	ids := make([]subsume.ID, 0, len(msg.SubIDs))
+	for _, subID := range msg.SubIDs {
+		src, known := b.source[subID]
+		if !known || src != from {
+			// Unknown cancellations and copies arriving over other
+			// links are dropped, as on the per-item path.
+			continue
+		}
+		id, ok := b.outIDs[subID]
+		if !ok {
+			continue
+		}
+		delete(b.source, subID)
+		delete(b.in[from], subID)
+		b.matcher(from).Remove(match.ID(id))
+		delete(b.outIDs, subID)
+		delete(b.idToSub, id)
+		subIDs = append(subIDs, subID)
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	var out []Outbound
+	for _, n := range sortedKeys(b.neighbors) {
+		if n == from {
+			continue
+		}
+		tbl := b.out[n]
+		// The neighbor must see the cancellation of exactly the
+		// subscriptions it was sent — the ones active in its table
+		// before the removal.
+		fwd := make([]string, 0, len(ids))
+		for i, id := range ids {
+			if _, status, ok := tbl.Get(id); ok && status == store.StatusActive {
+				fwd = append(fwd, subIDs[i])
+			}
+		}
+		res, err := tbl.UnsubscribeBatch(ids)
+		if err != nil {
+			return nil, fmt.Errorf("broker %s: neighbor %s: %w", b.id, n, err)
+		}
+		if len(fwd) > 0 {
+			b.metrics.unsubsForwarded.Add(int64(len(fwd)))
+			out = append(out, Outbound{To: n, Msg: Message{Kind: MsgUnsubscribeBatch, SubIDs: fwd}})
+		}
+		// Late-forward promoted subscriptions (Section 5), batched.
+		promoted := make([]BatchSub, 0, len(res.Promoted))
+		for _, pid := range res.Promoted {
+			sub, _, found := tbl.Get(pid)
+			if !found {
+				continue
+			}
+			subID := b.idToSub[pid]
+			if subID == "" {
+				continue
+			}
+			b.metrics.promotions.Add(1)
+			b.metrics.subsForwarded.Add(1)
+			promoted = append(promoted, BatchSub{SubID: subID, Sub: sub})
+		}
+		if len(promoted) > 0 {
+			out = append(out, Outbound{To: n, Msg: Message{Kind: MsgSubscribeBatch, Subs: promoted}})
+		}
+	}
+	return out, nil
+}
+
 // handlePublish runs under the SHARED lock: everything it touches is
 // either read-only routing state (maps mutated only under the
 // exclusive lock), the concurrency-safe matchers, or atomics.
@@ -502,7 +811,7 @@ func (b *Broker) handlePublish(from string, msg Message) ([]Outbound, error) {
 	if msg.PubID == "" {
 		return nil, fmt.Errorf("broker %s: publish without PubID", b.id)
 	}
-	if _, dup := b.seenPubs.LoadOrStore(msg.PubID, struct{}{}); dup {
+	if b.seenPubs.seen(msg.PubID) {
 		b.metrics.dupPubsDropped.Add(1)
 		return nil, nil
 	}

@@ -155,6 +155,18 @@ func (n *Network) ClientUnsubscribe(client, subID string) error {
 	return n.enqueueFromClient(client, broker.Message{Kind: broker.MsgUnsubscribe, SubID: subID})
 }
 
+// ClientSubscribeBatch issues a subscription burst from a client as a
+// single batch message (one batch admission per broker table).
+func (n *Network) ClientSubscribeBatch(client string, subs []broker.BatchSub) error {
+	return n.enqueueFromClient(client, broker.Message{Kind: broker.MsgSubscribeBatch, Subs: subs})
+}
+
+// ClientUnsubscribeBatch cancels a burst of subscriptions from a
+// client as a single batch message.
+func (n *Network) ClientUnsubscribeBatch(client string, subIDs []string) error {
+	return n.enqueueFromClient(client, broker.Message{Kind: broker.MsgUnsubscribeBatch, SubIDs: subIDs})
+}
+
 // ClientPublish issues a publication from a client.
 func (n *Network) ClientPublish(client, pubID string, pub subscription.Publication) error {
 	return n.enqueueFromClient(client, broker.Message{Kind: broker.MsgPublish, PubID: pubID, Pub: pub})

@@ -1,135 +1,53 @@
-package pubsub
+package pubsub_test
 
-// Wire-path benchmark: publish throughput through one TCP broker with
-// multiple concurrent client connections, comparing the concurrent
-// dispatch pipeline against the serialized baseline (the pre-redesign
-// one-mutex server, preserved behind WithSerializedDispatch). With 4
-// publisher connections the concurrent mode should beat the
-// serialized one — publish matching runs under the broker's shared
-// lock and JSON encoding is pushed to per-port writers, so the
-// pipeline scales with connections while the baseline funnels every
-// frame through one critical section.
-//
-// Run with:
+// Wire-path benchmarks, bodies shared with cmd/paperbench through
+// internal/benchcases so the BENCH_*.json trajectory lines up with
+// `go test -bench` output. (External test package: benchcases imports
+// pubsub, so an in-package test file could not import it back.)
 //
 //	go test -run '^$' -bench BenchmarkTCPPublish -benchtime 2000x ./pubsub
+//	go test -run '^$' -bench BenchmarkWireCodec ./pubsub
 
 import (
-	"context"
 	"fmt"
-	"math/rand/v2"
-	"sync"
 	"testing"
-	"time"
 
-	"probsum/internal/interval"
-	"probsum/internal/subscription"
+	"probsum/internal/benchcases"
+	"probsum/pubsub"
 )
 
-const benchPublishers = 4 // concurrent publisher connections
-
-func benchTCPPublish(b *testing.B, opts ...TCPOption) {
-	ctx := context.Background()
-	hub, err := ListenBroker("HUB", "127.0.0.1:0", Pairwise, Config{}, opts...)
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer func() {
-		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		hub.Shutdown(sctx)
-	}()
-
-	// 4 subscriber connections, each holding 256 random boxes; every
-	// publication lands in a handful of them, so each publish pays for
-	// matching plus notification fan-out.
-	rng := rand.New(rand.NewPCG(11, 12))
-	const (
-		subClients    = 4
-		subsPerClient = 256
-	)
-	var drainers sync.WaitGroup
-	for i := 0; i < subClients; i++ {
-		sub, err := Dial(ctx, hub.Addr(), fmt.Sprintf("sub%d", i))
-		if err != nil {
-			b.Fatal(err)
-		}
-		defer sub.Close()
-		for j := 0; j < subsPerClient; j++ {
-			lo1, lo2 := rng.Int64N(90), rng.Int64N(90)
-			s := subscription.New(interval.New(lo1, lo1+10), interval.New(lo2, lo2+10))
-			if err := sub.Subscribe(ctx, fmt.Sprintf("s%d-%d", i, j), s); err != nil {
-				b.Fatal(err)
-			}
-		}
-		drainers.Add(1)
-		go func(c *Client) {
-			defer drainers.Done()
-			for range c.Notifications() {
-			}
-		}(sub)
-	}
-	want := subClients * subsPerClient
-	waitFor(b, 10*time.Second, func() bool { return hub.Metrics().SubsReceived == want })
-
-	pubs := make([]*Client, benchPublishers)
-	for i := range pubs {
-		c, err := Dial(ctx, hub.Addr(), fmt.Sprintf("pub%d", i))
-		if err != nil {
-			b.Fatal(err)
-		}
-		defer c.Close()
-		pubs[i] = c
-	}
-
-	before := hub.Metrics().PubsReceived
-	b.ResetTimer()
-	var wg sync.WaitGroup
-	for i, c := range pubs {
-		wg.Add(1)
-		go func(i int, c *Client) {
-			defer wg.Done()
-			prng := rand.New(rand.NewPCG(uint64(i), 99))
-			for n := i; n < b.N; n += benchPublishers {
-				p := subscription.NewPublication(prng.Int64N(101), prng.Int64N(101))
-				if err := c.Publish(ctx, fmt.Sprintf("b%d-%d", i, n), p); err != nil {
-					b.Error(err)
-					return
-				}
-			}
-		}(i, c)
-	}
-	wg.Wait()
-	// The op ends when the broker has processed the publication, not
-	// merely when the frame left the client.
-	waitFor(b, 60*time.Second, func() bool { return hub.Metrics().PubsReceived >= before+b.N })
-	b.StopTimer()
-}
-
-func waitFor(b *testing.B, d time.Duration, cond func() bool) {
-	b.Helper()
-	deadline := time.Now().Add(d)
-	for !cond() {
-		if time.Now().After(deadline) {
-			b.Fatal("benchmark condition not reached")
-		}
-		time.Sleep(200 * time.Microsecond)
-	}
-}
-
-// BenchmarkTCPPublish measures end-to-end publish throughput over
-// real sockets with 4 concurrent publisher connections:
-// serialized is the pre-redesign baseline (one global dispatch
-// mutex); concurrent is the pipeline (readers dispatch in parallel
-// under the broker's shared lock, per-port writers encode).
+// BenchmarkTCPPublish dimensions: serialized is the pre-redesign
+// one-mutex ablation; json is the concurrent pipeline on the PR-3
+// JSON codec (the committed baseline the binary codec must beat);
+// binary is the negotiated length-prefixed codec with publish
+// coalescing — the production path.
 func BenchmarkTCPPublish(b *testing.B) {
-	for _, mode := range []struct {
-		name string
-		opts []TCPOption
-	}{
-		{"serialized", []TCPOption{WithSerializedDispatch()}},
-		{"concurrent", nil},
-	} {
-		b.Run(mode.name, func(b *testing.B) { benchTCPPublish(b, mode.opts...) })
+	b.Run("serialized", benchcases.TCPPublishSerialized)
+	b.Run("json", benchcases.TCPPublishJSON)
+	b.Run("binary", benchcases.TCPPublishBinary)
+}
+
+// BenchmarkWireCodec measures frame marshal/unmarshal for both codecs
+// on the wire-dominant shapes: single publish frames and 64-item
+// subscription-batch frames.
+func BenchmarkWireCodec(b *testing.B) {
+	for _, shape := range []string{"pub", "subbatch"} {
+		for _, codec := range []pubsub.WireCodec{pubsub.CodecJSON, pubsub.CodecBinary} {
+			b.Run(fmt.Sprintf("%s-encode/%s", shape, codec), func(b *testing.B) {
+				benchcases.WireCodecEncode(b, codec, shape)
+			})
+			b.Run(fmt.Sprintf("%s-decode/%s", shape, codec), func(b *testing.B) {
+				benchcases.WireCodecDecode(b, codec, shape)
+			})
+		}
 	}
+}
+
+// BenchmarkTCPSubscribeBurst measures a 256-subscription burst plus
+// its cancellation through a two-broker overlay: one frame per
+// subscription versus one SUBBATCH/UNSUBBATCH pair feeding batch
+// admission.
+func BenchmarkTCPSubscribeBurst(b *testing.B) {
+	b.Run("peritem", func(b *testing.B) { benchcases.TCPSubscribeBurst(b, false) })
+	b.Run("batch", func(b *testing.B) { benchcases.TCPSubscribeBurst(b, true) })
 }

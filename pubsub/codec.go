@@ -1,0 +1,447 @@
+package pubsub
+
+// Wire codecs: how a Frame becomes bytes on a TCP connection.
+//
+// Two codecs share the stream:
+//
+//   - CodecJSON is the PR-3 format — one JSON object per line, as
+//     written by encoding/json. It remains the format of the
+//     handshake (hello and ack frames are ALWAYS JSON, so version
+//     negotiation itself never depends on the negotiated version) and
+//     the fallback for peers that never advertised anything newer.
+//   - CodecBinary is the length-prefixed binary format: a 6-byte
+//     header (magic 0xBF, version, uint32 little-endian payload
+//     length) followed by a varint-encoded payload. 0xBF is a UTF-8
+//     continuation byte, so no JSON value can start with it — every
+//     frame on the wire is self-describing and a decoder handles
+//     mixed streams without per-connection state.
+//
+// A sender may emit binary frames only after the remote end said it
+// decodes them (the `codec` field of its hello or ack); see tcp.go
+// for the negotiation. Decoding is therefore strictly more liberal
+// than encoding, which is what keeps old JSON-only peers working
+// against new brokers in both directions.
+//
+// # Binary frame layout (version 1)
+//
+//	offset 0      magic 0xBF
+//	offset 1      version (0x01)
+//	offset 2..5   payload length, uint32 little-endian (≤ 16 MiB)
+//	offset 6..    payload
+//
+//	payload       kind byte (broker.MsgKind), then kind-specific:
+//	  subscribe          subID, subscription
+//	  unsubscribe        subID
+//	  publish            pubID, publication
+//	  notify             subID, pubID, publication
+//	  subscribe-batch    uvarint n, then n × (subID, subscription)
+//	  unsubscribe-batch  uvarint n, then n × subID
+//
+//	string        uvarint byte length, raw bytes
+//	subscription  uvarint bound count, then per bound varint lo, hi
+//	publication   uvarint value count, then varint values
+//
+// Encoding appends into pooled buffers and writes each frame with one
+// Write call; decoding parses in place from the connection's read
+// buffer — the payload is never copied into an intermediate frame,
+// only the fields that outlive it (strings, bounds, values) are
+// materialized.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"unicode/utf8"
+
+	"probsum/internal/broker"
+	"probsum/internal/interval"
+	"probsum/internal/subscription"
+)
+
+// WireCodec identifies a frame encoding on the TCP transport.
+type WireCodec uint8
+
+// Wire codecs. The numeric value doubles as the version advertised in
+// hello/ack frames: 0 means "JSON only" (what PR-3 peers implicitly
+// advertise by omitting the field), 1 means "binary v1 decoded here".
+const (
+	// CodecJSON is newline-delimited JSON — the PR-3 wire format.
+	CodecJSON WireCodec = 0
+	// CodecBinary is the length-prefixed binary format, version 1.
+	CodecBinary WireCodec = 1
+)
+
+// String returns the codec name.
+func (c WireCodec) String() string {
+	switch c {
+	case CodecJSON:
+		return "json"
+	case CodecBinary:
+		return "binary"
+	default:
+		return fmt.Sprintf("codec(%d)", uint8(c))
+	}
+}
+
+// ParseWireCodec parses a codec name as accepted by the CLI tools:
+// "json" and "binary".
+func ParseWireCodec(s string) (WireCodec, error) {
+	switch s {
+	case "json":
+		return CodecJSON, nil
+	case "binary":
+		return CodecBinary, nil
+	default:
+		return 0, fmt.Errorf("pubsub: unknown wire codec %q (want json | binary)", s)
+	}
+}
+
+// negotiate returns the codec to write with, given our own cap and
+// what the remote advertised it decodes.
+func (c WireCodec) negotiate(remote WireCodec) WireCodec {
+	if c == CodecBinary && remote >= CodecBinary {
+		return CodecBinary
+	}
+	return CodecJSON
+}
+
+const (
+	binMagic   = 0xBF
+	binVersion = 1
+	binHeader  = 6
+	// maxBinaryPayload bounds a decoded frame; hostile length fields
+	// cannot force large allocations past it.
+	maxBinaryPayload = 16 << 20
+)
+
+// encBufPool pools encode scratch buffers across writers, readers'
+// replies, and client sends.
+var encBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+func getEncBuf() *[]byte  { return encBufPool.Get().(*[]byte) }
+func putEncBuf(b *[]byte) { *b = (*b)[:0]; encBufPool.Put(b) }
+
+// MarshalFrame appends the wire encoding of fr under the given codec
+// to buf and returns the extended slice. JSON frames are terminated
+// by a newline, binary frames by their length prefix. Handshake
+// frames (hello and ack) are JSON-only by protocol; marshaling one as
+// binary is an error.
+func MarshalFrame(codec WireCodec, buf []byte, fr *Frame) ([]byte, error) {
+	switch codec {
+	case CodecJSON:
+		data, err := json.Marshal(fr)
+		if err != nil {
+			return buf, err
+		}
+		buf = append(buf, data...)
+		return append(buf, '\n'), nil
+	case CodecBinary:
+		return appendBinaryFrame(buf, fr)
+	default:
+		return buf, fmt.Errorf("pubsub: cannot marshal under codec %d", codec)
+	}
+}
+
+// UnmarshalFrame decodes the first frame in data — either codec,
+// sniffed from the first byte — returning the frame and the number of
+// bytes consumed. A JSON frame without a trailing newline consumes
+// the whole input; a binary frame needs its full length-prefixed
+// extent present or an error is returned.
+func UnmarshalFrame(data []byte) (Frame, int, error) {
+	var fr Frame
+	if len(data) == 0 {
+		return fr, 0, fmt.Errorf("pubsub: empty frame")
+	}
+	if data[0] == binMagic {
+		n, err := decodeBinaryFrame(data, &fr)
+		return fr, n, err
+	}
+	end := len(data)
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		end = i + 1
+	}
+	if err := json.Unmarshal(data[:end], &fr); err != nil {
+		return Frame{}, 0, fmt.Errorf("pubsub: json frame: %w", err)
+	}
+	return fr, end, nil
+}
+
+// appendBinaryFrame appends the binary encoding of fr to buf.
+func appendBinaryFrame(buf []byte, fr *Frame) ([]byte, error) {
+	if fr.Msg == nil {
+		return buf, fmt.Errorf("pubsub: binary codec carries only message frames (handshake stays JSON)")
+	}
+	start := len(buf)
+	buf = append(buf, binMagic, binVersion, 0, 0, 0, 0)
+	var err error
+	if buf, err = appendBinaryMessage(buf, fr.Msg); err != nil {
+		return buf[:start], err
+	}
+	payload := len(buf) - start - binHeader
+	if payload > maxBinaryPayload {
+		return buf[:start], fmt.Errorf("pubsub: frame payload %d exceeds %d bytes", payload, maxBinaryPayload)
+	}
+	binary.LittleEndian.PutUint32(buf[start+2:start+binHeader], uint32(payload))
+	return buf, nil
+}
+
+func appendBinaryMessage(buf []byte, m *broker.Message) ([]byte, error) {
+	buf = append(buf, byte(m.Kind))
+	switch m.Kind {
+	case broker.MsgSubscribe:
+		buf = appendString(buf, m.SubID)
+		buf = appendSubscription(buf, m.Sub)
+	case broker.MsgUnsubscribe:
+		buf = appendString(buf, m.SubID)
+	case broker.MsgPublish:
+		buf = appendString(buf, m.PubID)
+		buf = appendPublication(buf, m.Pub)
+	case broker.MsgNotify:
+		buf = appendString(buf, m.SubID)
+		buf = appendString(buf, m.PubID)
+		buf = appendPublication(buf, m.Pub)
+	case broker.MsgSubscribeBatch:
+		buf = binary.AppendUvarint(buf, uint64(len(m.Subs)))
+		for _, it := range m.Subs {
+			buf = appendString(buf, it.SubID)
+			buf = appendSubscription(buf, it.Sub)
+		}
+	case broker.MsgUnsubscribeBatch:
+		buf = binary.AppendUvarint(buf, uint64(len(m.SubIDs)))
+		for _, id := range m.SubIDs {
+			buf = appendString(buf, id)
+		}
+	default:
+		return buf, fmt.Errorf("pubsub: cannot encode message kind %v", m.Kind)
+	}
+	return buf, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendSubscription(buf []byte, s subscription.Subscription) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s.Bounds)))
+	for _, b := range s.Bounds {
+		buf = binary.AppendVarint(buf, b.Lo)
+		buf = binary.AppendVarint(buf, b.Hi)
+	}
+	return buf
+}
+
+func appendPublication(buf []byte, p subscription.Publication) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(p.Values)))
+	for _, v := range p.Values {
+		buf = binary.AppendVarint(buf, v)
+	}
+	return buf
+}
+
+// parseBinaryHeader validates a complete 6-byte binary frame header
+// (hdr[0] is known to be the magic byte) and returns the payload
+// length — the single copy of the header contract shared by
+// UnmarshalFrame and the stream reader's blocking and buffered paths.
+func parseBinaryHeader(hdr []byte) (int, error) {
+	if hdr[1] != binVersion {
+		return 0, fmt.Errorf("pubsub: unsupported binary frame version %d", hdr[1])
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[2:binHeader]))
+	if n > maxBinaryPayload {
+		return 0, fmt.Errorf("pubsub: frame payload %d exceeds %d bytes", n, maxBinaryPayload)
+	}
+	return n, nil
+}
+
+// decodeBinaryFrame decodes one header-prefixed binary frame from
+// data, returning the bytes consumed. data[0] is known to be the
+// magic byte.
+func decodeBinaryFrame(data []byte, fr *Frame) (int, error) {
+	if len(data) < binHeader {
+		return 0, fmt.Errorf("pubsub: truncated binary header (%d bytes)", len(data))
+	}
+	n, err := parseBinaryHeader(data)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) < binHeader+n {
+		return 0, fmt.Errorf("pubsub: truncated binary frame (%d of %d payload bytes)", len(data)-binHeader, n)
+	}
+	msg, err := decodeBinaryMessage(data[binHeader : binHeader+n])
+	if err != nil {
+		return 0, err
+	}
+	*fr = Frame{Msg: msg}
+	return binHeader + n, nil
+}
+
+// decodeBinaryMessage parses a payload in place: the input slice is
+// only borrowed (callers reuse their read buffers); every field that
+// outlives the call is materialized.
+func decodeBinaryMessage(payload []byte) (*broker.Message, error) {
+	d := binDecoder{buf: payload}
+	kind := broker.MsgKind(d.byte())
+	msg := &broker.Message{Kind: kind}
+	switch kind {
+	case broker.MsgSubscribe:
+		msg.SubID = d.string()
+		msg.Sub = d.subscription()
+	case broker.MsgUnsubscribe:
+		msg.SubID = d.string()
+	case broker.MsgPublish:
+		msg.PubID = d.string()
+		msg.Pub = d.publication()
+	case broker.MsgNotify:
+		msg.SubID = d.string()
+		msg.PubID = d.string()
+		msg.Pub = d.publication()
+	case broker.MsgSubscribeBatch:
+		// Every item needs at least 2 bytes, bounding the count by the
+		// remaining payload before allocating.
+		n := d.count(2)
+		if d.err == nil {
+			msg.Subs = make([]broker.BatchSub, n)
+			for i := range msg.Subs {
+				msg.Subs[i].SubID = d.string()
+				msg.Subs[i].Sub = d.subscription()
+			}
+		}
+	case broker.MsgUnsubscribeBatch:
+		n := d.count(1)
+		if d.err == nil {
+			msg.SubIDs = make([]string, n)
+			for i := range msg.SubIDs {
+				msg.SubIDs[i] = d.string()
+			}
+		}
+	default:
+		return nil, fmt.Errorf("pubsub: unknown binary message kind %d", kind)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("pubsub: %d trailing bytes after %v payload", len(d.buf), kind)
+	}
+	return msg, nil
+}
+
+// binDecoder is a cursor over a binary payload with sticky errors, so
+// decode call sites read like the frame layout.
+type binDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *binDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("pubsub: "+format, args...)
+	}
+}
+
+func (d *binDecoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) == 0 {
+		d.fail("truncated payload")
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *binDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *binDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// count reads an element count and validates it against the bytes
+// actually remaining (each element occupies at least minBytes), so a
+// hostile count cannot force a large allocation.
+func (d *binDecoder) count(minBytes int) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(len(d.buf)/minBytes) {
+		d.fail("count %d exceeds remaining payload", v)
+		return 0
+	}
+	return int(v)
+}
+
+// string reads a length-prefixed identifier. IDs are UTF-8 text by
+// protocol (the JSON codec could not represent anything else
+// faithfully), so invalid bytes are a decode error.
+func (d *binDecoder) string() string {
+	n := d.count(1)
+	if d.err != nil {
+		return ""
+	}
+	if !utf8.Valid(d.buf[:n]) {
+		d.fail("identifier is not valid UTF-8")
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *binDecoder) subscription() subscription.Subscription {
+	n := d.count(2)
+	if d.err != nil || n == 0 {
+		return subscription.Subscription{}
+	}
+	bounds := make([]interval.Interval, n)
+	for i := range bounds {
+		bounds[i].Lo = d.varint()
+		bounds[i].Hi = d.varint()
+	}
+	if d.err != nil {
+		return subscription.Subscription{}
+	}
+	return subscription.Subscription{Bounds: bounds}
+}
+
+func (d *binDecoder) publication() subscription.Publication {
+	n := d.count(1)
+	if d.err != nil || n == 0 {
+		return subscription.Publication{}
+	}
+	values := make([]int64, n)
+	for i := range values {
+		values[i] = d.varint()
+	}
+	if d.err != nil {
+		return subscription.Publication{}
+	}
+	return subscription.Publication{Values: values}
+}

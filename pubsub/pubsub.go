@@ -101,6 +101,10 @@ type (
 	Publication  = subscription.Publication
 )
 
+// BatchSub pairs a subscription with its globally unique ID inside a
+// Client.SubscribeBatch burst.
+type BatchSub = broker.BatchSub
+
 // Notification is a delivered publication together with the matched
 // subscription ID.
 type Notification struct {

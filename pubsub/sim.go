@@ -178,6 +178,10 @@ func (sc *simClient) send(ctx context.Context, msg broker.Message) error {
 		err = t.net.ClientUnsubscribe(sc.name, msg.SubID)
 	case broker.MsgPublish:
 		err = t.net.ClientPublish(sc.name, msg.PubID, msg.Pub)
+	case broker.MsgSubscribeBatch:
+		err = t.net.ClientSubscribeBatch(sc.name, msg.Subs)
+	case broker.MsgUnsubscribeBatch:
+		err = t.net.ClientUnsubscribeBatch(sc.name, msg.SubIDs)
 	default:
 		err = fmt.Errorf("pubsub: unsupported client message kind %v", msg.Kind)
 	}

@@ -1,17 +1,30 @@
 package pubsub
 
-// TCP transport: brokers over real sockets using newline-delimited
-// JSON frames — the deployable stack, promoted out of the former
-// internal/wire package and rebuilt around a concurrent pipeline.
+// TCP transport: brokers over real sockets — the deployable stack,
+// promoted out of the former internal/wire package and rebuilt around
+// a concurrent pipeline with a negotiated binary wire codec.
 //
 // # Wire protocol
 //
 // The first frame on any connection is a hello identifying the sender
-// (and whether it is a client or a peer broker); every later frame
-// carries one broker.Message. Peer brokers hold one outbound
-// connection per direction (A dials B and B dials A), so no
-// multiplexing is needed; clients hold a single duplex connection on
-// which notifications are pushed back.
+// (and whether it is a client or a peer broker); the accepting side
+// answers with an ack naming its broker. Hello and ack are ALWAYS
+// newline-delimited JSON and both carry a `codec` field advertising
+// the highest binary wire version the sender decodes — a side may
+// switch its data frames to the length-prefixed binary codec (see
+// codec.go) only after the remote end advertised it, so PR-3 peers
+// that know neither the field nor the format keep working in both
+// directions: they never advertise (so they are sent JSON), the ack
+// reaches them as a frame with no message (which they ignore), and
+// their JSON frames decode here because every frame is sniffed by its
+// first byte.
+//
+// Every frame after the handshake carries one broker.Message —
+// including the SUBBATCH/UNSUBBATCH bursts that feed batch admission.
+// Peer brokers hold one outbound connection per direction (A dials B
+// and B dials A), so no multiplexing is needed; clients hold a single
+// duplex connection on which the ack and notifications are pushed
+// back.
 //
 // # Concurrency model
 //
@@ -25,10 +38,14 @@ package pubsub
 //     CONCURRENTLY across connections — while subscribes and
 //     unsubscribes take the exclusive lock, keeping coverage-table
 //     admission ordered (per port by the reader's sequencing, across
-//     ports by the lock).
+//     ports by the lock). A reader that finds more publish frames
+//     already buffered coalesces them (up to maxPublishCoalesce) into
+//     ONE HandlePublishBatch call, paying the RWMutex once per run
+//     instead of once per frame at high rates.
 //   - one WRITER goroutine per outbound port encodes frames from a
-//     buffered queue, so a slow or stalled peer never blocks matching
-//     and concurrent publishes never interleave JSON output.
+//     buffered queue into pooled buffers, so a slow or stalled peer
+//     never blocks matching and concurrent publishes never interleave
+//     frame bytes.
 //   - Shutdown stops readers at a frame boundary, waits for in-flight
 //     handling, then closes the writer queues so every already-queued
 //     frame drains before the connections close.
@@ -39,12 +56,12 @@ package pubsub
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"probsum/internal/broker"
@@ -61,6 +78,14 @@ type Frame struct {
 	// link without being configured with the peer itself (best-effort:
 	// useful when the address is reachable from the acceptor).
 	Addr string `json:"addr,omitempty"`
+	// Ack identifies the accepting broker on its first frame back —
+	// the handshake reply that completes codec negotiation. Peers that
+	// predate it see a frame without a message and ignore it.
+	Ack string `json:"ack,omitempty"`
+	// Codec advertises, on hello and ack frames, the highest binary
+	// wire version the sender decodes (0 = JSON only, the implicit
+	// advertisement of peers that predate the field).
+	Codec uint8 `json:"codec,omitempty"`
 	// Msg carries one protocol message on subsequent frames.
 	Msg *broker.Message `json:"msg,omitempty"`
 }
@@ -71,6 +96,29 @@ type TCPOption func(*tcpConfig)
 type tcpConfig struct {
 	serialized bool
 	queueLen   int
+	codec      WireCodec // broker-side cap: what this server advertises and may send
+	dialCodec  WireCodec // client-side cap used by Transport.Open
+}
+
+func defaultTCPConfig() tcpConfig {
+	return tcpConfig{codec: CodecBinary, dialCodec: CodecBinary}
+}
+
+// WithWireCodec caps the codec a broker advertises and sends.
+// CodecBinary (the default) negotiates the binary format with every
+// peer that also decodes it; CodecJSON pins the broker to the PR-3
+// JSON format — on the wire it behaves exactly like a pre-binary
+// build, which is how the cross-version interop tests model old
+// peers. Decoding always accepts both formats regardless.
+func WithWireCodec(c WireCodec) TCPOption {
+	return func(cfg *tcpConfig) { cfg.codec = c }
+}
+
+// WithDialWireCodec caps the codec clients opened through
+// Transport.Open advertise and send (default CodecBinary). The
+// cross-process form is Dial's WithDialCodec.
+func WithDialWireCodec(c WireCodec) TCPOption {
+	return func(cfg *tcpConfig) { cfg.dialCodec = c }
 }
 
 // WithSerializedDispatch restores the pre-pipeline behavior of
@@ -89,15 +137,64 @@ func WithSendQueue(n int) TCPOption {
 	return func(c *tcpConfig) { c.queueLen = n }
 }
 
+// wireItem is one entry of a port's outbound queue: a protocol
+// message, or a pre-built control frame (the handshake ack, always
+// JSON).
+type wireItem struct {
+	msg  broker.Message
+	ctrl *Frame
+}
+
 // tcpPort is one outbound destination: a connection, its writer
 // goroutine's queue, and a kill switch.
 type tcpPort struct {
 	name string
 	conn net.Conn
-	enc  *json.Encoder
-	ch   chan broker.Message
+	// codec is the negotiated write codec for this destination. Client
+	// ports fix it at hello time; peer ports start at JSON and upgrade
+	// when the peer's hello or ack arrives (learnPeerCodec), so it is
+	// an atomic the writer loads per frame.
+	codec atomic.Uint32
+	// remote is the codec version the destination ADVERTISED (as
+	// opposed to the negotiated minimum above). A destination that
+	// never advertised anything (0) may be a pre-batch build, so
+	// batch messages bound for it are split into per-item frames —
+	// message-kind vocabulary, unlike framing, cannot be sniffed.
+	remote atomic.Uint32
+	// wmu serializes connection writes: normally only the writer
+	// goroutine writes, but the serialized-dispatch ablation encodes
+	// inline on dispatching goroutines while the writer still owns the
+	// shutdown drain.
+	wmu  sync.Mutex
+	ch   chan wireItem
 	dead chan struct{} // closed when the port is torn down mid-stream
 	once sync.Once
+}
+
+func (p *tcpPort) writeCodec() WireCodec { return WireCodec(p.codec.Load()) }
+
+// writeFrame encodes one queue item with the port's current codec
+// into a pooled buffer and writes it in a single call.
+func (p *tcpPort) writeFrame(it wireItem) error {
+	buf := getEncBuf()
+	defer putEncBuf(buf)
+	var (
+		data []byte
+		err  error
+	)
+	if it.ctrl != nil {
+		data, err = MarshalFrame(CodecJSON, (*buf)[:0], it.ctrl)
+	} else {
+		data, err = MarshalFrame(p.writeCodec(), (*buf)[:0], &Frame{Msg: &it.msg})
+	}
+	*buf = data[:0]
+	if err != nil {
+		return err
+	}
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	_, err = p.conn.Write(data)
+	return err
 }
 
 // kill marks the port dead: senders stop enqueueing and the writer
@@ -117,6 +214,10 @@ type tcpServer struct {
 	mu      sync.Mutex
 	ports   map[string]*tcpPort
 	readers map[net.Conn]struct{}
+	// peerCodec records, per peer broker, the highest binary wire
+	// version it advertised (hello on its inbound connection, or ack
+	// on our outbound one), so the outbound port to it can upgrade.
+	peerCodec map[string]WireCodec
 
 	stopping chan struct{} // Shutdown began: stop accepting/registering
 	closed   chan struct{} // hard close: abandon queued frames
@@ -137,13 +238,14 @@ func newTCPServer(b *broker.Broker, addr string, cfg tcpConfig) (*tcpServer, err
 		return nil, fmt.Errorf("pubsub: listen %s: %w", addr, err)
 	}
 	s := &tcpServer{
-		b:        b,
-		ln:       ln,
-		cfg:      cfg,
-		ports:    make(map[string]*tcpPort),
-		readers:  make(map[net.Conn]struct{}),
-		stopping: make(chan struct{}),
-		closed:   make(chan struct{}),
+		b:         b,
+		ln:        ln,
+		cfg:       cfg,
+		ports:     make(map[string]*tcpPort),
+		readers:   make(map[net.Conn]struct{}),
+		peerCodec: make(map[string]WireCodec),
+		stopping:  make(chan struct{}),
+		closed:    make(chan struct{}),
 	}
 	s.readerWg.Add(1)
 	go s.acceptLoop()
@@ -163,13 +265,21 @@ var errPortExists = errors.New("pubsub: port already connected")
 // port is killed; with replace=false (peers: concurrent dials from
 // ConnectPeer and the hello dial-back converge on one link) a live
 // existing port wins and errPortExists is returned.
-func (s *tcpServer) addPort(name string, conn net.Conn, replace bool) (*tcpPort, error) {
+//
+// Client ports (peer=false) write with the fixed codec negotiated
+// from the client's hello; peer ports take whatever the peer has
+// advertised so far (peerCodec, possibly upgraded later). A non-nil
+// ack frame is queued ahead of any other traffic — it enters the
+// channel before the port becomes visible to senders.
+func (s *tcpServer) addPort(name string, conn net.Conn, replace, peer bool, clientCodec WireCodec, ack *Frame) (*tcpPort, error) {
 	p := &tcpPort{
 		name: name,
 		conn: conn,
-		enc:  json.NewEncoder(conn),
-		ch:   make(chan broker.Message, s.cfg.queueLen),
+		ch:   make(chan wireItem, s.cfg.queueLen),
 		dead: make(chan struct{}),
+	}
+	if ack != nil {
+		p.ch <- wireItem{ctrl: ack}
 	}
 	s.mu.Lock()
 	select {
@@ -177,6 +287,13 @@ func (s *tcpServer) addPort(name string, conn net.Conn, replace bool) (*tcpPort,
 		s.mu.Unlock()
 		return nil, fmt.Errorf("pubsub: broker %s is shutting down", s.b.ID())
 	default:
+	}
+	if peer {
+		p.codec.Store(uint32(s.cfg.codec.negotiate(s.peerCodec[name])))
+		p.remote.Store(uint32(s.peerCodec[name]))
+	} else {
+		p.codec.Store(uint32(clientCodec))
+		p.remote.Store(uint32(clientCodec))
 	}
 	if old, ok := s.ports[name]; ok {
 		if !replace {
@@ -210,11 +327,11 @@ func (s *tcpServer) runWriter(p *tcpPort) {
 		select {
 		case <-p.dead:
 			return
-		case msg, ok := <-p.ch:
+		case it, ok := <-p.ch:
 			if !ok {
 				return
 			}
-			if err := p.enc.Encode(Frame{Msg: &msg}); err != nil {
+			if err := p.writeFrame(it); err != nil {
 				// The destination vanished; message loss on broken links
 				// is the lossy-environment behavior the protocol already
 				// tolerates.
@@ -225,11 +342,36 @@ func (s *tcpServer) runWriter(p *tcpPort) {
 	}
 }
 
+// learnPeerCodec records what a peer broker advertised it decodes and
+// re-negotiates the live outbound port. The LATEST advertisement
+// wins in both directions: every hello/ack comes from a live
+// connection, so a peer redialing after a rollback to a JSON-only
+// build (advertising nothing) downgrades the port instead of being
+// sent binary frames its decoder would choke on.
+func (s *tcpServer) learnPeerCodec(id string, advertised WireCodec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peerCodec[id] = advertised
+	if p, ok := s.ports[id]; ok {
+		p.codec.Store(uint32(s.cfg.codec.negotiate(advertised)))
+		p.remote.Store(uint32(advertised))
+	}
+}
+
 // send queues one outbound message. It blocks when the destination's
 // queue is full (backpressure) and drops when the destination is
 // unknown, dead, or the server is hard-closing — the same
 // transient-absence tolerance as the old implementation, minus its
 // head-of-line blocking.
+//
+// Batch messages bound for a destination that never advertised a
+// binary codec version are split into per-item frames first: such a
+// peer may be a pre-batch build whose state machine would reject the
+// unknown kinds and kill the link. The split preserves per-
+// destination order (one goroutine enqueues the items sequentially)
+// and is merely the un-amortized form of the same protocol traffic;
+// new JSON-pinned brokers receive it too, which is exactly how they
+// promise to be indistinguishable from old ones.
 func (s *tcpServer) send(o broker.Outbound) {
 	s.mu.Lock()
 	p := s.ports[o.To]
@@ -237,6 +379,25 @@ func (s *tcpServer) send(o broker.Outbound) {
 	if p == nil {
 		return
 	}
+	if WireCodec(p.remote.Load()) == CodecJSON {
+		switch o.Msg.Kind {
+		case broker.MsgSubscribeBatch:
+			for _, it := range o.Msg.Subs {
+				s.sendTo(p, broker.Message{Kind: broker.MsgSubscribe, SubID: it.SubID, Sub: it.Sub})
+			}
+			return
+		case broker.MsgUnsubscribeBatch:
+			for _, id := range o.Msg.SubIDs {
+				s.sendTo(p, broker.Message{Kind: broker.MsgUnsubscribe, SubID: id})
+			}
+			return
+		}
+	}
+	s.sendTo(p, o.Msg)
+}
+
+// sendTo queues one message onto a resolved port.
+func (s *tcpServer) sendTo(p *tcpPort, msg broker.Message) {
 	if s.cfg.serialized {
 		// Ablation baseline: encode inline on the dispatching
 		// goroutine (which holds the global mutex), exactly as the old
@@ -247,13 +408,13 @@ func (s *tcpServer) send(o broker.Outbound) {
 			return
 		default:
 		}
-		if err := p.enc.Encode(Frame{Msg: &o.Msg}); err != nil {
+		if err := p.writeFrame(wireItem{msg: msg}); err != nil {
 			p.kill()
 		}
 		return
 	}
 	select {
-	case p.ch <- o.Msg:
+	case p.ch <- wireItem{msg: msg}:
 	case <-p.dead:
 	case <-s.closed:
 	}
@@ -274,6 +435,17 @@ func (s *tcpServer) dispatch(from string, msg broker.Message) error {
 		s.send(o)
 	}
 	return nil
+}
+
+// dispatchPublishBatch runs a coalesced run of publish frames through
+// the broker under ONE shared-lock acquisition and fans the results
+// out in order.
+func (s *tcpServer) dispatchPublishBatch(from string, msgs []broker.Message) error {
+	outs, err := s.b.HandlePublishBatch(from, msgs)
+	for _, o := range outs {
+		s.send(o)
+	}
+	return err
 }
 
 // acceptLoop admits connections until the listener closes.
@@ -318,31 +490,63 @@ func (s *tcpServer) untrackReader(conn net.Conn) {
 	s.mu.Unlock()
 }
 
-// serveConn reads the hello, registers the port, then feeds messages
-// into the dispatch pipeline.
+// writeJSONFrame encodes one handshake frame through a pooled buffer
+// and writes it in a single call.
+func writeJSONFrame(conn net.Conn, fr *Frame) error {
+	buf := getEncBuf()
+	defer putEncBuf(buf)
+	data, err := MarshalFrame(CodecJSON, (*buf)[:0], fr)
+	*buf = data[:0]
+	if err != nil {
+		return err
+	}
+	_, err = conn.Write(data)
+	return err
+}
+
+// maxPublishCoalesce caps how many already-buffered publish frames a
+// reader folds into one HandlePublishBatch call, bounding the latency
+// a coalesced run can add ahead of a queued subscribe.
+const maxPublishCoalesce = 64
+
+// serveConn reads the hello, registers the port, answers with the
+// codec-advertising ack, then feeds messages into the dispatch
+// pipeline, coalescing buffered publish runs.
 func (s *tcpServer) serveConn(conn net.Conn) {
 	defer s.readerWg.Done()
-	dec := json.NewDecoder(conn)
+	reader := newFrameReader(conn)
 	var hello Frame
-	if err := dec.Decode(&hello); err != nil || hello.Hello == "" {
+	if err := reader.read(&hello); err != nil || hello.Hello == "" {
 		conn.Close()
 		return
 	}
 	from := hello.Hello
+	ack := &Frame{Ack: s.b.ID(), Codec: uint8(s.cfg.codec)}
 
 	var port *tcpPort
 	if hello.Client {
 		s.b.AttachClient(from)
-		p, err := s.addPort(from, conn, true)
+		// The client's hello fixes what it decodes; the ack (queued
+		// ahead of any notification) tells it what we decode.
+		p, err := s.addPort(from, conn, true, false, s.cfg.codec.negotiate(WireCodec(hello.Codec)), ack)
 		if err != nil {
 			conn.Close()
 			return
 		}
 		port = p
 	} else {
-		// Inbound peer link: the neighbor dialed us; frames flow only
-		// inward on this connection (we reply over our own dial).
+		// Inbound peer link: the neighbor dialed us; data frames flow
+		// only inward on this connection (we reply over our own dial).
 		if err := s.b.ConnectNeighbor(from); err != nil {
+			conn.Close()
+			return
+		}
+		// What the peer decodes governs our outbound port to it.
+		s.learnPeerCodec(from, WireCodec(hello.Codec))
+		// Answer with the ack directly (nobody else writes on an
+		// inbound peer connection): its ack reader learns our codec.
+		// Old peers never read this side and simply leave it buffered.
+		if err := writeJSONFrame(conn, ack); err != nil {
 			conn.Close()
 			return
 		}
@@ -371,34 +575,81 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		defer conn.Close()
 	}
 
-	for {
-		var fr Frame
-		if err := dec.Decode(&fr); err != nil {
-			if port != nil {
-				port.kill()
-			}
-			return
+	fail := func() {
+		if port != nil {
+			port.kill()
 		}
+	}
+	var (
+		fr      Frame
+		pubRun  []broker.Message
+		pending bool // fr holds a frame read ahead by the coalescer
+	)
+	for {
+		if !pending {
+			if err := reader.read(&fr); err != nil {
+				fail()
+				return
+			}
+		}
+		pending = false
 		if fr.Msg == nil {
 			continue
 		}
-		if err := s.dispatch(from, *fr.Msg); err != nil {
-			if port != nil {
-				port.kill()
+		if fr.Msg.Kind != broker.MsgPublish || s.cfg.serialized {
+			if err := s.dispatch(from, *fr.Msg); err != nil {
+				fail()
+				return
 			}
+			continue
+		}
+		// Publish: fold in whatever publish frames the kernel already
+		// delivered, then pay the broker's shared lock once for the
+		// whole run. A buffered non-publish frame ends the run and is
+		// handled on the next iteration.
+		pubRun = append(pubRun[:0], *fr.Msg)
+		var runErr error
+		for len(pubRun) < maxPublishCoalesce {
+			ok, err := reader.tryRead(&fr)
+			if err != nil {
+				runErr = err
+				break
+			}
+			if !ok {
+				break
+			}
+			if fr.Msg == nil {
+				continue
+			}
+			if fr.Msg.Kind != broker.MsgPublish {
+				pending = true
+				break
+			}
+			pubRun = append(pubRun, *fr.Msg)
+		}
+		if err := s.dispatchPublishBatch(from, pubRun); err != nil {
+			fail()
+			return
+		}
+		if runErr != nil {
+			fail()
 			return
 		}
 	}
 }
 
 // connectPeer dials a neighbor broker at addr, registers the overlay
-// link, and starts the outbound writer.
+// link, and starts the outbound writer. The hello advertises what we
+// decode; a goroutine watches the (otherwise silent) connection for
+// the acceptor's ack so the port can upgrade to the binary codec once
+// the peer has advertised it.
 func (s *tcpServer) connectPeer(id, addr string) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("pubsub: dial peer %s at %s: %w", id, addr, err)
 	}
-	if err := json.NewEncoder(conn).Encode(Frame{Hello: s.b.ID(), Addr: s.advertiseAddr()}); err != nil {
+	hello := &Frame{Hello: s.b.ID(), Addr: s.advertiseAddr(), Codec: uint8(s.cfg.codec)}
+	if err := writeJSONFrame(conn, hello); err != nil {
 		conn.Close()
 		return fmt.Errorf("pubsub: hello to %s: %w", id, err)
 	}
@@ -406,7 +657,7 @@ func (s *tcpServer) connectPeer(id, addr string) error {
 		conn.Close()
 		return err
 	}
-	if _, err := s.addPort(id, conn, false); err != nil {
+	if _, err := s.addPort(id, conn, false, true, 0, nil); err != nil {
 		conn.Close()
 		if errors.Is(err, errPortExists) {
 			// A concurrent dial (ours or the peer's dial-back) already
@@ -415,6 +666,21 @@ func (s *tcpServer) connectPeer(id, addr string) error {
 		}
 		return err
 	}
+	// The acceptor's only traffic on this connection is its ack (old
+	// peers send nothing); the goroutine exits when the port's writer
+	// closes the connection.
+	go func() {
+		r := newFrameReader(conn)
+		var fr Frame
+		for {
+			if err := r.read(&fr); err != nil {
+				return
+			}
+			if fr.Ack != "" {
+				s.learnPeerCodec(id, WireCodec(fr.Codec))
+			}
+		}
+	}()
 	return nil
 }
 
@@ -510,7 +776,7 @@ func ListenBroker(id, addr string, policy Policy, cfg Config, opts ...TCPOption)
 	if err != nil {
 		return nil, err
 	}
-	var tc tcpConfig
+	tc := defaultTCPConfig()
 	for _, opt := range opts {
 		opt(&tc)
 	}
@@ -531,9 +797,10 @@ var _ brokerImpl = (*tcpServer)(nil)
 // deployable stack; multi-process deployments use ListenBroker and
 // Dial directly.
 type TCPTransport struct {
-	policy Policy
-	cfg    Config
-	opts   []TCPOption
+	policy    Policy
+	cfg       Config
+	opts      []TCPOption
+	dialCodec WireCodec // resolved client-side codec cap for Open
 
 	mu       sync.Mutex
 	brokers  map[string]*Broker
@@ -552,11 +819,16 @@ func NewTCPTransport(policy Policy, cfg Config, opts ...TCPOption) (*TCPTranspor
 	if cfg.DropRate > 0 || cfg.DupRate > 0 {
 		return nil, fmt.Errorf("pubsub: failure injection is simulator-only; TCP transports take real losses")
 	}
+	tc := defaultTCPConfig()
+	for _, opt := range opts {
+		opt(&tc)
+	}
 	return &TCPTransport{
-		policy:  policy,
-		cfg:     cfg,
-		opts:    opts,
-		brokers: make(map[string]*Broker),
+		policy:    policy,
+		cfg:       cfg,
+		opts:      opts,
+		dialCodec: tc.dialCodec,
+		brokers:   make(map[string]*Broker),
 	}, nil
 }
 
@@ -632,7 +904,7 @@ func (t *TCPTransport) Open(ctx context.Context, clientName, brokerID string) (*
 	if !ok {
 		return nil, fmt.Errorf("pubsub: unknown broker %s", brokerID)
 	}
-	c, err := Dial(ctx, b.Addr(), clientName)
+	c, err := Dial(ctx, b.Addr(), clientName, WithDialCodec(t.dialCodec))
 	if err != nil {
 		return nil, err
 	}
@@ -711,11 +983,66 @@ func (t *TCPTransport) Shutdown(ctx context.Context) error {
 	return firstErr
 }
 
+// DialOption tunes a client connection.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	codec WireCodec
+}
+
+// WithDialCodec caps the codec the client advertises and sends
+// (default CodecBinary). CodecJSON makes the client behave exactly
+// like a pre-binary build: it never advertises the binary format (so
+// the broker sends it JSON) and never upgrades its own sends.
+func WithDialCodec(c WireCodec) DialOption {
+	return func(cfg *dialConfig) { cfg.codec = c }
+}
+
 // tcpClient is the socket side of a Client.
 type tcpClient struct {
 	conn net.Conn
 	mu   sync.Mutex // serializes writes
-	enc  *json.Encoder
+	// maxCodec is what we are willing to send; wcodec is what we
+	// actually send — JSON until the broker's ack advertises that it
+	// decodes binary (readLoop stores the upgrade).
+	maxCodec WireCodec
+	wcodec   atomic.Uint32
+	// acked closes when the broker's ack arrives; remoteVer is the
+	// codec version it advertised. A broker that never acks is a
+	// pre-binary build, so batch messages are split into the per-item
+	// frames its state machine knows (see send).
+	ackOnce   sync.Once
+	acked     chan struct{}
+	remoteVer atomic.Uint32
+}
+
+// legacyAckWait bounds how long a batch send waits for the broker's
+// ack before concluding the broker predates it.
+const legacyAckWait = 3 * time.Second
+
+// supportsBatch reports whether the broker is known to understand
+// batch message kinds, waiting (bounded by the context and a fixed
+// cap) for the handshake ack on a fresh connection. Like the
+// broker-side split, a server that advertised no codec version is
+// treated as pre-batch — JSON-pinned new brokers accept the per-item
+// form by design.
+func (c *tcpClient) supportsBatch(ctx context.Context) bool {
+	timeout := legacyAckWait
+	if d, ok := ctx.Deadline(); ok {
+		// Leave at least half the caller's budget for the write that
+		// follows the verdict.
+		if until := time.Until(d) / 2; until < timeout {
+			timeout = until
+		}
+	}
+	select {
+	case <-c.acked:
+		return WireCodec(c.remoteVer.Load()) >= CodecBinary
+	case <-time.After(timeout):
+		return false
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // Dial connects a client to a broker's listen address — the
@@ -723,17 +1050,21 @@ type tcpClient struct {
 // name identifies the client on its broker; redialing with the same
 // name replaces the previous connection and resumes its
 // subscriptions.
-func Dial(ctx context.Context, addr, name string) (*Client, error) {
+func Dial(ctx context.Context, addr, name string, opts ...DialOption) (*Client, error) {
 	if name == "" {
 		return nil, fmt.Errorf("pubsub: empty client name")
+	}
+	cfg := dialConfig{codec: CodecBinary}
+	for _, opt := range opts {
+		opt(&cfg)
 	}
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("pubsub: dial %s: %w", addr, err)
 	}
-	tc := &tcpClient{conn: conn, enc: json.NewEncoder(conn)}
-	if err := tc.enc.Encode(Frame{Hello: name, Client: true}); err != nil {
+	tc := &tcpClient{conn: conn, maxCodec: cfg.codec, acked: make(chan struct{})}
+	if err := writeJSONFrame(conn, &Frame{Hello: name, Client: true, Codec: uint8(cfg.codec)}); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("pubsub: hello: %w", err)
 	}
@@ -742,10 +1073,47 @@ func Dial(ctx context.Context, addr, name string) (*Client, error) {
 	return c, nil
 }
 
-// send encodes one message, honoring the context's deadline.
+// send encodes one message with the negotiated codec into a pooled
+// buffer and writes it in one call, honoring the context's deadline.
+// A batch message bound for a broker that never advertised a codec
+// version is re-encoded as its per-item frames — in the same buffer
+// and the same write, so ordering stays atomic.
 func (c *tcpClient) send(ctx context.Context, msg broker.Message) error {
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	batch := msg.Kind == broker.MsgSubscribeBatch || msg.Kind == broker.MsgUnsubscribeBatch
+	split := batch && !c.supportsBatch(ctx) // waits for the ack, which may upgrade wcodec
+	codec := WireCodec(c.wcodec.Load())
+	buf := getEncBuf()
+	defer putEncBuf(buf)
+	var (
+		data []byte
+		err  error
+	)
+	switch {
+	case msg.Kind == broker.MsgSubscribeBatch && split:
+		data = (*buf)[:0]
+		for _, it := range msg.Subs {
+			m := broker.Message{Kind: broker.MsgSubscribe, SubID: it.SubID, Sub: it.Sub}
+			if data, err = MarshalFrame(codec, data, &Frame{Msg: &m}); err != nil {
+				break
+			}
+		}
+	case msg.Kind == broker.MsgUnsubscribeBatch && split:
+		data = (*buf)[:0]
+		for _, id := range msg.SubIDs {
+			m := broker.Message{Kind: broker.MsgUnsubscribe, SubID: id}
+			if data, err = MarshalFrame(codec, data, &Frame{Msg: &m}); err != nil {
+				break
+			}
+		}
+	default:
+		data, err = MarshalFrame(codec, (*buf)[:0], &Frame{Msg: &msg})
+	}
+	*buf = data[:0]
+	if err != nil {
+		return fmt.Errorf("pubsub: send: %w", err)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -753,21 +1121,27 @@ func (c *tcpClient) send(ctx context.Context, msg broker.Message) error {
 		c.conn.SetWriteDeadline(d)
 		defer c.conn.SetWriteDeadline(time.Time{})
 	}
-	if err := c.enc.Encode(Frame{Msg: &msg}); err != nil {
+	if _, err := c.conn.Write(data); err != nil {
 		return fmt.Errorf("pubsub: send: %w", err)
 	}
 	return nil
 }
 
-// readLoop feeds pushed notifications into the queue until the
-// connection closes.
+// readLoop handles the broker's ack (codec upgrade) and feeds pushed
+// notifications into the queue until the connection closes.
 func (c *tcpClient) readLoop(q *notifyQueue) {
-	dec := json.NewDecoder(c.conn)
+	r := newFrameReader(c.conn)
+	var fr Frame
 	for {
-		var fr Frame
-		if err := dec.Decode(&fr); err != nil {
+		if err := r.read(&fr); err != nil {
 			q.finish()
 			return
+		}
+		if fr.Ack != "" {
+			c.remoteVer.Store(uint32(fr.Codec))
+			c.wcodec.Store(uint32(c.maxCodec.negotiate(WireCodec(fr.Codec))))
+			c.ackOnce.Do(func() { close(c.acked) })
+			continue
 		}
 		if fr.Msg != nil && fr.Msg.Kind == broker.MsgNotify {
 			q.push(Notification{SubID: fr.Msg.SubID, PubID: fr.Msg.PubID, Pub: fr.Msg.Pub})

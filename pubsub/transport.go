@@ -122,12 +122,46 @@ func (c *Client) Subscribe(ctx context.Context, subID string, s Subscription) er
 	return c.impl.send(ctx, broker.Message{Kind: broker.MsgSubscribe, SubID: subID, Sub: s})
 }
 
+// SubscribeBatch announces a subscription burst as ONE protocol
+// message: each broker admits the whole burst into its per-neighbor
+// coverage tables with a single batch call (broad subscriptions
+// suppress narrow ones arriving alongside them) and forwards the
+// surviving items onward as one frame, so the burst stays batched
+// end to end across the overlay. An empty burst is a no-op.
+func (c *Client) SubscribeBatch(ctx context.Context, subs []BatchSub) error {
+	if len(subs) == 0 {
+		return nil
+	}
+	for i, it := range subs {
+		if it.SubID == "" {
+			return fmt.Errorf("pubsub: batch item %d has empty subscription id", i)
+		}
+	}
+	return c.impl.send(ctx, broker.Message{Kind: broker.MsgSubscribeBatch, Subs: subs})
+}
+
 // Unsubscribe cancels a previously announced subscription.
 func (c *Client) Unsubscribe(ctx context.Context, subID string) error {
 	if subID == "" {
 		return fmt.Errorf("pubsub: empty subscription id")
 	}
 	return c.impl.send(ctx, broker.Message{Kind: broker.MsgUnsubscribe, SubID: subID})
+}
+
+// UnsubscribeBatch cancels a burst of subscriptions as ONE protocol
+// message: each broker removes the burst from its per-neighbor tables
+// with a single batch call sharing one promotion-cascade frontier.
+// An empty burst is a no-op.
+func (c *Client) UnsubscribeBatch(ctx context.Context, subIDs []string) error {
+	if len(subIDs) == 0 {
+		return nil
+	}
+	for i, id := range subIDs {
+		if id == "" {
+			return fmt.Errorf("pubsub: batch item %d has empty subscription id", i)
+		}
+	}
+	return c.impl.send(ctx, broker.Message{Kind: broker.MsgUnsubscribeBatch, SubIDs: subIDs})
 }
 
 // Publish sends a publication under a globally unique ID (the overlay

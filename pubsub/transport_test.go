@@ -82,8 +82,43 @@ func runBrokernet(t *testing.T, tr pubsub.Transport) map[string][]string {
 		t.Fatal(err)
 	}
 
-	// s1 matches both publications, s2 only n1.
-	want := map[string]int{"S1": 2, "S2": 1}
+	// Batch phase: S2 announces a burst as one SUBBATCH frame, a
+	// publication probes it, a partial UNSUBBATCH cancels two of the
+	// three, and a final probe hits the survivor.
+	t1 := subsume.NewSubscription(schema).Range("x1", 0, 10).Range("x2", 0, 10).Build()
+	t2 := subsume.NewSubscription(schema).Range("x1", 20, 30).Range("x2", 20, 30).Build()
+	t3 := subsume.NewSubscription(schema).Range("x1", 70, 90).Range("x2", 70, 90).Build()
+	err = s2c.SubscribeBatch(ctx, []pubsub.BatchSub{
+		{SubID: "t1", Sub: t1}, {SubID: "t2", Sub: t2}, {SubID: "t3", Sub: t3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Settle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1c.Publish(ctx, "n3", subsume.NewPublication(5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Settle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2c.UnsubscribeBatch(ctx, []string{"t1", "t3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Settle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2c.Publish(ctx, "n4", subsume.NewPublication(25, 25)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Settle(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// s1 matches every publication; s2 only n1, t1 only n3 (then it is
+	// cancelled), t2 only n4.
+	want := map[string]int{"S1": 4, "S2": 3}
 	out := make(map[string][]string)
 	for name, c := range map[string]*pubsub.Client{"S1": s1c, "S2": s2c} {
 		var got []string
@@ -116,11 +151,21 @@ func runBrokernet(t *testing.T, tr pubsub.Transport) map[string][]string {
 }
 
 // TestTransportEquivalence is the acceptance check of the transport
-// redesign: the same client program produces identical notification
-// sets on the deterministic simulator and over real TCP sockets, for
-// every coverage policy.
+// redesign: the same client program — including SUBBATCH/UNSUBBATCH
+// bursts — produces identical notification sets on the deterministic
+// simulator and over real TCP sockets, for every coverage policy and
+// every codec pairing (all-binary, JSON-pinned brokers modeling old
+// peers, JSON-pinned clients modeling old clients).
 func TestTransportEquivalence(t *testing.T) {
 	cfg := pubsub.Config{ErrorProbability: 1e-9, Seed: 7}
+	tcpVariants := []struct {
+		name string
+		opts []pubsub.TCPOption
+	}{
+		{"tcp-binary", nil},
+		{"tcp-json-brokers", []pubsub.TCPOption{pubsub.WithWireCodec(pubsub.CodecJSON)}},
+		{"tcp-json-clients", []pubsub.TCPOption{pubsub.WithDialWireCodec(pubsub.CodecJSON)}},
+	}
 	for _, policy := range []pubsub.Policy{pubsub.Flood, pubsub.Pairwise, pubsub.Group} {
 		t.Run(policy.String(), func(t *testing.T) {
 			sim, err := pubsub.NewSimTransport(policy, cfg)
@@ -129,20 +174,24 @@ func TestTransportEquivalence(t *testing.T) {
 			}
 			simOut := runBrokernet(t, sim)
 
-			tcp, err := pubsub.NewTCPTransport(policy, cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			tcpOut := runBrokernet(t, tcp)
+			for _, variant := range tcpVariants {
+				t.Run(variant.name, func(t *testing.T) {
+					tcp, err := pubsub.NewTCPTransport(policy, cfg, variant.opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tcpOut := runBrokernet(t, tcp)
 
-			for client, wantSet := range simOut {
-				gotSet := tcpOut[client]
-				if fmt.Sprint(wantSet) != fmt.Sprint(gotSet) {
-					t.Errorf("%s: sim %v != tcp %v", client, wantSet, gotSet)
-				}
-			}
-			if len(tcpOut) != len(simOut) {
-				t.Errorf("client sets differ: sim %v, tcp %v", simOut, tcpOut)
+					for client, wantSet := range simOut {
+						gotSet := tcpOut[client]
+						if fmt.Sprint(wantSet) != fmt.Sprint(gotSet) {
+							t.Errorf("%s: sim %v != tcp %v", client, wantSet, gotSet)
+						}
+					}
+					if len(tcpOut) != len(simOut) {
+						t.Errorf("client sets differ: sim %v, tcp %v", simOut, tcpOut)
+					}
+				})
 			}
 		})
 	}
