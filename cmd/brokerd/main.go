@@ -1,24 +1,49 @@
 // Command brokerd runs one content-based publish/subscribe broker
-// over TCP — a thin wrapper over pubsub.ListenBroker. Brokers form an
-// overlay by dialing each other; clients connect with cmd/psclient.
+// over TCP — a thin wrapper over pubsub.ListenBroker and, when asked,
+// the pubsub/cluster membership layer. Brokers form an overlay by
+// dialing each other; clients connect with cmd/psclient.
 //
-// Usage (three-broker chain):
+// Three ways to form an overlay:
+//
+// Hand-wired (the original form — no membership, no self-healing):
 //
 //	brokerd -id B1 -listen :7001 -policy group
 //	brokerd -id B2 -listen :7002 -peer B1=localhost:7001
 //	brokerd -id B3 -listen :7003 -peer B2=localhost:7002
 //
+// Declarative topology (one JSON file shared by every daemon; see
+// pubsub/cluster.Topology). Each daemon starts the broker declared
+// under its -id; the cluster layer establishes the file's links in
+// any boot order, detects dead peers by ping, re-dials them with
+// jittered backoff, and re-announces the coverage roots as one
+// SUBBATCH when a link heals:
+//
+//	brokerd -id B1 -cluster overlay.json
+//	brokerd -id B2 -cluster overlay.json
+//	brokerd -id B3 -cluster overlay.json
+//
+// Seed-node gossip (no file: name one or more running brokers and the
+// member list — and a full-mesh overlay — assembles itself; the first
+// broker runs -mesh so it gossips even though it has nobody to seed
+// to):
+//
+//	brokerd -id B1 -listen 10.0.0.1:7001 -policy group -mesh
+//	brokerd -id B2 -listen 10.0.0.2:7001 -seed-node B1=10.0.0.1:7001
+//	brokerd -id B3 -listen 10.0.0.3:7001 -seed-node B1=10.0.0.1:7001
+//
 // Every -peer link is dialed outward; when -listen carries a concrete
 // host (as above) the hello advertises it and the remote side dials
 // the reverse direction back automatically. Daemons listening on a
 // wildcard address (-listen :7001) cannot advertise a reachable
-// address, so there each side must list the other as a -peer.
+// address, so there each side must list the other as a -peer (and
+// cluster topologies must declare concrete listen addresses).
 //
 // Frames travel the length-prefixed binary codec wherever both ends
 // negotiated it in the hello/ack handshake and newline-delimited JSON
-// otherwise; -codec json pins a daemon to the old format (it still
-// DECODES binary-capable peers' JSON — old and new daemons mix
-// freely in one overlay).
+// otherwise; -codec json pins a daemon to the PR-3 format, -codec
+// binary-v1 to the PR-4 vocabulary (no publish batches). Cluster
+// control frames are only ever sent to peers that advertised the
+// membership protocol — old daemons mix freely in the same overlay.
 //
 // On SIGINT/SIGTERM the broker shuts down gracefully, draining
 // in-flight frames for up to -drain.
@@ -35,9 +60,10 @@ import (
 	"time"
 
 	"probsum/pubsub"
+	"probsum/pubsub/cluster"
 )
 
-// peerList collects repeated -peer NAME=ADDR flags.
+// peerList collects repeated NAME=ADDR flags (-peer, -seed).
 type peerList map[string]string
 
 func (p peerList) String() string { return fmt.Sprint(map[string]string(p)) }
@@ -60,40 +86,80 @@ func main() {
 
 func run() error {
 	peers := peerList{}
+	seeds := peerList{}
 	var (
-		id       = flag.String("id", "", "broker identifier (required)")
-		listen   = flag.String("listen", "127.0.0.1:7001", "listen address")
-		policyIn = flag.String("policy", "group", "coverage policy: flood | pairwise | group")
-		delta    = flag.Float64("delta", 1e-6, "group policy error probability")
-		seed     = flag.Uint64("seed", 1, "group policy random seed")
-		retries  = flag.Int("peer-retries", 10, "dial attempts per peer (1s apart)")
-		drain    = flag.Duration("drain", 5*time.Second, "graceful shutdown drain budget")
-		codecIn  = flag.String("codec", "binary", "wire codec cap: binary (negotiated per peer) | json (PR-3 compatible)")
+		id          = flag.String("id", "", "broker identifier (required)")
+		listen      = flag.String("listen", "127.0.0.1:7001", "listen address (ignored with -cluster: the topology declares it)")
+		policyIn    = flag.String("policy", "group", "coverage policy: flood | pairwise | group (ignored with -cluster)")
+		delta       = flag.Float64("delta", 1e-6, "group policy error probability")
+		seed        = flag.Uint64("seed", 1, "group policy random seed")
+		retries     = flag.Int("peer-retries", 10, "dial attempts per -peer link (1s apart)")
+		drain       = flag.Duration("drain", 5*time.Second, "graceful shutdown drain budget")
+		codecIn     = flag.String("codec", "binary", "wire codec cap: binary | binary-v1 (PR-4 compatible) | json (PR-3 compatible)")
+		clusterFile = flag.String("cluster", "", "cluster topology file (JSON, see pubsub/cluster.Topology): membership, gossip, and self-healing links")
+		mesh        = flag.Bool("mesh", false, "run the cluster layer with no seeds — the form for the FIRST broker of a seed-node cluster (later ones point -seed-node at it)")
+		pingEvery   = flag.Duration("ping-interval", 500*time.Millisecond, "cluster failure-detector ping interval")
 	)
-	flag.Var(peers, "peer", "neighbor broker as NAME=ADDR (repeatable)")
+	flag.Var(peers, "peer", "neighbor broker as NAME=ADDR (repeatable; static link, dialed outward)")
+	flag.Var(seeds, "seed-node", "cluster seed broker as NAME=ADDR (repeatable): join by gossip, full-mesh overlay")
 	flag.Parse()
 
 	if *id == "" {
 		return fmt.Errorf("-id is required")
 	}
-	policy, err := pubsub.ParsePolicy(*policyIn)
-	if err != nil {
-		return err
+	if *clusterFile != "" && (len(seeds) > 0 || *mesh) {
+		return fmt.Errorf("-cluster and -seed-node/-mesh are mutually exclusive (a topology file already names every member)")
 	}
-
 	codec, err := pubsub.ParseWireCodec(*codecIn)
 	if err != nil {
 		return err
 	}
+	ccfg := cluster.Config{PingEvery: *pingEvery}
 
-	b, err := pubsub.ListenBroker(*id, *listen, policy, pubsub.Config{
-		ErrorProbability: *delta,
-		Seed:             *seed,
-	}, pubsub.WithWireCodec(codec))
-	if err != nil {
-		return err
+	var (
+		b    *pubsub.Broker
+		node *cluster.Node
+	)
+	switch {
+	case *clusterFile != "":
+		topo, err := cluster.LoadTopology(*clusterFile)
+		if err != nil {
+			return err
+		}
+		node, b, err = cluster.Start(topo, *id, ccfg, pubsub.WithWireCodec(codec))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("brokerd %s listening on %s (topology %s, %d members, codec %s)\n",
+			*id, b.Addr(), *clusterFile, len(topo.Nodes), codec)
+	case len(seeds) > 0 || *mesh:
+		policy, err := pubsub.ParsePolicy(*policyIn)
+		if err != nil {
+			return err
+		}
+		node, b, err = cluster.Join(*id, *listen, seeds, policy, pubsub.Config{
+			ErrorProbability: *delta,
+			Seed:             *seed,
+		}, ccfg, pubsub.WithWireCodec(codec))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("brokerd %s listening on %s (policy %s, codec %s, joining via %v)\n",
+			*id, b.Addr(), policy, codec, map[string]string(seeds))
+	default:
+		policy, err := pubsub.ParsePolicy(*policyIn)
+		if err != nil {
+			return err
+		}
+		b, err = pubsub.ListenBroker(*id, *listen, policy, pubsub.Config{
+			ErrorProbability: *delta,
+			Seed:             *seed,
+		}, pubsub.WithWireCodec(codec))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("brokerd %s listening on %s (policy %s, codec %s)\n", *id, b.Addr(), policy, codec)
 	}
-	fmt.Printf("brokerd %s listening on %s (policy %s, codec %s)\n", *id, b.Addr(), policy, codec)
 
 	for name, addr := range peers {
 		if err := dialWithRetry(b, name, addr, *retries); err != nil {
@@ -106,6 +172,10 @@ func run() error {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+	if node != nil {
+		fmt.Printf("membership at shutdown: %s\n", node)
+		node.Close()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	return b.Shutdown(ctx)

@@ -129,6 +129,7 @@ func microBenchmarks() []struct {
 		// to cover.
 		{"TCPPublish/json", benchcases.TCPPublishJSON},
 		{"TCPPublish/binary", benchcases.TCPPublishBinary},
+		{"TCPPublish/pubbatch", benchcases.TCPPublishBatch},
 		{"TCPSubscribeBurst/peritem", func(b *testing.B) {
 			benchcases.TCPSubscribeBurst(b, false)
 		}},

@@ -186,6 +186,100 @@ func TCPPublishSerialized(b *testing.B) {
 	TCPPublish(b, pubsub.CodecJSON, pubsub.WithWireCodec(pubsub.CodecJSON), pubsub.WithSerializedDispatch())
 }
 
+// TCPPublishBatchSize is the per-frame burst of the pubbatch variant.
+const TCPPublishBatchSize = 16
+
+// TCPPublishBatch is the deliberate producer-side batching variant of
+// TCPPublish: the same subscriber population and publisher count, but
+// each publisher sends its publications as PUBBATCH frames of
+// TCPPublishBatchSize through Client.PublishBatch — one frame encode,
+// one socket write, and one broker lock acquisition per batch instead
+// of per publication. The reported time is still per publication.
+func TCPPublishBatch(b *testing.B) {
+	ctx := context.Background()
+	hub, err := pubsub.ListenBroker("HUB", "127.0.0.1:0", pubsub.Pairwise, pubsub.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hub.Shutdown(sctx)
+	}()
+
+	rng := rand.New(rand.NewPCG(11, 12))
+	const (
+		subClients    = 4
+		subsPerClient = 256
+	)
+	var drainers sync.WaitGroup
+	for i := 0; i < subClients; i++ {
+		sub, err := pubsub.Dial(ctx, hub.Addr(), fmt.Sprintf("sub%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sub.Close()
+		for j := 0; j < subsPerClient; j++ {
+			lo1, lo2 := rng.Int64N(90), rng.Int64N(90)
+			s := subscription.New(interval.New(lo1, lo1+10), interval.New(lo2, lo2+10))
+			if err := sub.Subscribe(ctx, fmt.Sprintf("s%d-%d", i, j), s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		drainers.Add(1)
+		go func(c *pubsub.Client) {
+			defer drainers.Done()
+			for range c.Notifications() {
+			}
+		}(sub)
+	}
+	want := subClients * subsPerClient
+	waitFor(b, 10*time.Second, func() bool { return hub.Metrics().SubsReceived == want })
+
+	pubs := make([]*pubsub.Client, TCPPublishPublishers)
+	for i := range pubs {
+		c, err := pubsub.Dial(ctx, hub.Addr(), fmt.Sprintf("pub%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		pubs[i] = c
+	}
+
+	before := hub.Metrics().PubsReceived
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i, c := range pubs {
+		wg.Add(1)
+		go func(i int, c *pubsub.Client) {
+			defer wg.Done()
+			prng := rand.New(rand.NewPCG(uint64(i), 99))
+			batch := make([]pubsub.BatchPub, 0, TCPPublishBatchSize)
+			for n := i; n < b.N; n += TCPPublishPublishers {
+				batch = append(batch, pubsub.BatchPub{
+					PubID: fmt.Sprintf("b%d-%d", i, n),
+					Pub:   subscription.NewPublication(prng.Int64N(101), prng.Int64N(101)),
+				})
+				if len(batch) == TCPPublishBatchSize {
+					if err := c.PublishBatch(ctx, batch); err != nil {
+						b.Error(err)
+						return
+					}
+					batch = batch[:0]
+				}
+			}
+			if len(batch) > 0 {
+				if err := c.PublishBatch(ctx, batch); err != nil {
+					b.Error(err)
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	waitFor(b, 60*time.Second, func() bool { return hub.Metrics().PubsReceived >= before+b.N })
+	b.StopTimer()
+}
+
 // TCPSubscribeBurst measures a subscription burst (256 tiles) plus
 // its cancellation through one TCP broker: per item (512 frames per
 // op) or batched (one SUBBATCH + one UNSUBBATCH per op, admitted as

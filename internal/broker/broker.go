@@ -47,6 +47,21 @@ const (
 	// MsgUnsubscribeBatch cancels a burst of subscriptions with one
 	// shared promotion-cascade frontier per neighbor table.
 	MsgUnsubscribeBatch
+	// MsgPublishBatch carries a producer-side burst of publications in
+	// one frame; the broker processes the run under a single shared-lock
+	// acquisition (the wire-reader coalescing path, made deliberate) and
+	// re-forwards the matching publications per neighbor as one batch.
+	MsgPublishBatch
+	// MsgPing probes a neighbor's liveness (cluster failure detector).
+	// Control kinds are not routing traffic: the broker hands them to
+	// the registered ControlHandler (the cluster membership layer) and
+	// drops them silently when none is registered.
+	MsgPing
+	// MsgPong answers a ping, echoing its sequence number.
+	MsgPong
+	// MsgGossip carries an anti-entropy snapshot of the sender's member
+	// list (cluster membership).
+	MsgGossip
 )
 
 // String returns the message kind name.
@@ -64,9 +79,24 @@ func (k MsgKind) String() string {
 		return "subscribe-batch"
 	case MsgUnsubscribeBatch:
 		return "unsubscribe-batch"
+	case MsgPublishBatch:
+		return "publish-batch"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
+	case MsgGossip:
+		return "gossip"
 	default:
 		return "unknown"
 	}
+}
+
+// IsControl reports whether k is an overlay-control kind (cluster
+// ping/pong/gossip) rather than routing traffic. Control messages are
+// dispatched to the ControlHandler and never touch coverage tables.
+func (k MsgKind) IsControl() bool {
+	return k == MsgPing || k == MsgPong || k == MsgGossip
 }
 
 // BatchSub pairs a subscription with its globally unique identifier
@@ -74,6 +104,30 @@ func (k MsgKind) String() string {
 type BatchSub struct {
 	SubID string                    `json:"sub_id"`
 	Sub   subscription.Subscription `json:"sub"`
+}
+
+// BatchPub pairs a publication with its globally unique identifier
+// inside a MsgPublishBatch burst.
+type BatchPub struct {
+	PubID string                   `json:"pub_id"`
+	Pub   subscription.Publication `json:"pub"`
+}
+
+// Member states carried in gossip frames. The numeric order matters:
+// at equal incarnation the more severe state wins a merge.
+const (
+	MemberAlive   uint8 = 0
+	MemberSuspect uint8 = 1
+	MemberDead    uint8 = 2
+)
+
+// MemberInfo is one member-list entry of a MsgGossip frame: the wire
+// form of the cluster layer's membership record.
+type MemberInfo struct {
+	ID          string `json:"id"`
+	Addr        string `json:"addr,omitempty"`
+	Incarnation uint64 `json:"inc"`
+	State       uint8  `json:"state"`
 }
 
 // Message is the single wire format exchanged between ports (neighbor
@@ -94,6 +148,12 @@ type Message struct {
 	Subs []BatchSub `json:"subs,omitempty"`
 	// SubIDs is the MsgUnsubscribeBatch payload.
 	SubIDs []string `json:"sub_ids,omitempty"`
+	// Pubs is the MsgPublishBatch payload, in arrival order.
+	Pubs []BatchPub `json:"pubs,omitempty"`
+	// Seq is the MsgPing sequence number, echoed by MsgPong.
+	Seq uint64 `json:"seq,omitempty"`
+	// Members is the MsgGossip payload: the sender's member list.
+	Members []MemberInfo `json:"members,omitempty"`
 }
 
 // Outbound pairs a message with its destination port.
@@ -260,7 +320,30 @@ type Broker struct {
 	dedupLimit int
 	seenPubs   pubDedup
 
+	// control dispatches overlay-control messages (ping/pong/gossip)
+	// to the cluster membership layer, outside the routing state and
+	// its locks. Nil when no cluster layer is attached; control frames
+	// are then dropped, so a broker without membership tolerates a
+	// misdirected gossip instead of killing the link.
+	control atomic.Pointer[ControlHandler]
+
 	metrics counters
+}
+
+// ControlHandler processes one overlay-control message from a port and
+// returns the messages to emit (e.g. the pong answering a ping). It is
+// called from Handle without any broker lock held and must be safe for
+// concurrent callers.
+type ControlHandler func(from string, msg Message) []Outbound
+
+// SetControlHandler registers the cluster layer's control dispatcher.
+// Pass nil to detach; control frames are then dropped again.
+func (b *Broker) SetControlHandler(h ControlHandler) {
+	if h == nil {
+		b.control.Store(nil)
+		return
+	}
+	b.control.Store(&h)
 }
 
 // pubDedup is a bounded duplicate-suppression set: two sync.Map
@@ -468,6 +551,35 @@ func (b *Broker) ConnectNeighbor(id string) error {
 	if err != nil {
 		return fmt.Errorf("broker %s: neighbor %s: %w", b.id, id, err)
 	}
+	// Backfill: admit every subscription already known from OTHER
+	// ports, exactly as if it arrived now that the link exists. This
+	// keeps the invariant that every neighbor table holds every
+	// non-duplicate subscription (active or covered) regardless of
+	// when the link formed — a broker that gains a neighbor mid-life
+	// (cluster healing, late joins) then has a correct root set for
+	// the transport to synchronize over the new link (see
+	// NeighborRoots). One batch call, ascending-ID order, so the
+	// admission is deterministic and coverage within the backfill is
+	// found immediately.
+	ids := make([]subsume.ID, 0, len(b.source))
+	for subID, src := range b.source {
+		if src == id {
+			continue
+		}
+		if sid, ok := b.outIDs[subID]; ok {
+			ids = append(ids, sid)
+		}
+	}
+	if len(ids) > 0 {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		subs := make([]subscription.Subscription, len(ids))
+		for i, sid := range ids {
+			subs[i] = b.in[b.source[b.idToSub[sid]]][b.idToSub[sid]]
+		}
+		if _, err := tbl.SubscribeBatch(ids, subs); err != nil {
+			return fmt.Errorf("broker %s: neighbor %s backfill: %w", b.id, id, err)
+		}
+	}
 	b.neighbors[id] = true
 	b.out[id] = tbl
 	return nil
@@ -511,6 +623,15 @@ func (b *Broker) Handle(from string, msg Message) ([]Outbound, error) {
 		b.mu.Lock()
 		defer b.mu.Unlock()
 		return b.handleUnsubscribeBatch(from, msg)
+	case MsgPublishBatch:
+		b.mu.RLock()
+		defer b.mu.RUnlock()
+		return b.handlePublishBatchMsg(from, msg)
+	case MsgPing, MsgPong, MsgGossip:
+		if h := b.control.Load(); h != nil {
+			return (*h)(from, msg), nil
+		}
+		return nil, nil
 	default:
 		return nil, fmt.Errorf("broker %s: unexpected message kind %v from %s", b.id, msg.Kind, from)
 	}
@@ -802,6 +923,73 @@ func (b *Broker) handleUnsubscribeBatch(from string, msg Message) ([]Outbound, e
 		}
 	}
 	return out, nil
+}
+
+// handlePublishBatchMsg processes a deliberate producer-side
+// publication burst (MsgPublishBatch) under the SHARED lock already
+// held by Handle — one lock acquisition for the whole frame, the
+// wire-reader coalescing path made deliberate. Each item runs the
+// per-publication path (dedup, local delivery, reverse-path matching);
+// forwards are re-grouped into ONE MsgPublishBatch per neighbor,
+// preserving arrival order, so the burst stays batched end to end
+// across the overlay (the wire layer splits it again for peers that
+// predate the kind).
+func (b *Broker) handlePublishBatchMsg(from string, msg Message) ([]Outbound, error) {
+	var out []Outbound
+	var fwd map[string][]BatchPub
+	for i := range msg.Pubs {
+		it := &msg.Pubs[i]
+		o, err := b.handlePublish(from, Message{Kind: MsgPublish, PubID: it.PubID, Pub: it.Pub})
+		if err != nil {
+			return out, fmt.Errorf("broker %s: publish batch item %d: %w", b.id, i, err)
+		}
+		for _, ob := range o {
+			if ob.Msg.Kind == MsgPublish && b.neighbors[ob.To] {
+				if fwd == nil {
+					fwd = make(map[string][]BatchPub)
+				}
+				fwd[ob.To] = append(fwd[ob.To], BatchPub{PubID: it.PubID, Pub: it.Pub})
+			} else {
+				out = append(out, ob)
+			}
+		}
+	}
+	for _, n := range sortedKeys(b.neighbors) {
+		if batch := fwd[n]; len(batch) > 0 {
+			out = append(out, Outbound{To: n, Msg: Message{Kind: MsgPublishBatch, Pubs: batch}})
+		}
+	}
+	return out, nil
+}
+
+// NeighborRoots exports the ACTIVE subscriptions of the per-neighbor
+// coverage table — the forwarding roots the neighbor must know for
+// routing to work, exactly the set a healed or restarted peer is
+// re-announced as one SUBBATCH (cluster healing protocol). Covered
+// subscriptions are omitted by construction: the neighbor never saw
+// them, and their coverers are in the set. IDs are in admission order
+// of the table's active list (ascending numeric ID).
+func (b *Broker) NeighborRoots(id string) []BatchSub {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	tbl, ok := b.out[id]
+	if !ok {
+		return nil
+	}
+	ids := tbl.ActiveIDs()
+	out := make([]BatchSub, 0, len(ids))
+	for _, sid := range ids {
+		subID := b.idToSub[sid]
+		if subID == "" {
+			continue
+		}
+		sub, _, found := tbl.Get(sid)
+		if !found {
+			continue
+		}
+		out = append(out, BatchSub{SubID: subID, Sub: sub})
+	}
+	return out
 }
 
 // handlePublish runs under the SHARED lock: everything it touches is

@@ -1,0 +1,25 @@
+package simnet
+
+import "time"
+
+// Clock is a manual, deterministic clock for driving time-based
+// protocol layers (the cluster failure detector and reconnect
+// backoff) under the simulator: tests advance it explicitly, so every
+// suspect/dead transition and every backoff expiry happens at an
+// exactly reproducible instant instead of riding the wall clock.
+type Clock struct {
+	t time.Time
+}
+
+// NewClock returns a clock starting at the Unix epoch — an arbitrary
+// but fixed origin, so simulated timestamps are stable across runs.
+func NewClock() *Clock { return &Clock{t: time.Unix(0, 0)} }
+
+// Now returns the current simulated instant.
+func (c *Clock) Now() time.Time { return c.t }
+
+// Advance moves the clock forward by d and returns the new instant.
+func (c *Clock) Advance(d time.Duration) time.Time {
+	c.t = c.t.Add(d)
+	return c.t
+}

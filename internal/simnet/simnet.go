@@ -61,8 +61,14 @@ type Network struct {
 	rng      *rand.Rand
 	maxSteps int
 
-	dropped    int
-	duplicated int
+	// downLinks holds partitioned broker pairs (normalized order):
+	// every message crossing a down link is dropped, in both
+	// directions — the deterministic form of a network partition.
+	downLinks map[[2]string]bool
+
+	dropped     int
+	duplicated  int
+	partitioned int
 }
 
 // New returns an empty network.
@@ -105,7 +111,13 @@ func (n *Network) BrokerIDs() []string {
 	return out
 }
 
-// Connect links two brokers bidirectionally.
+// Connect links two brokers bidirectionally. Links made after traffic
+// has flowed are synchronized: each side's coverage roots for the new
+// neighbor (the table backfill ConnectNeighbor performs) are enqueued
+// as one SUBBATCH toward it, so a late link carries the subscriptions
+// it would have carried had it always existed. Pre-traffic wiring —
+// every static topology — synchronizes nothing, so existing runs are
+// byte-for-byte unchanged. Call Run to process the sync.
 func (n *Network) Connect(a, b string) error {
 	ba, ok := n.brokers[a]
 	if !ok {
@@ -118,7 +130,18 @@ func (n *Network) Connect(a, b string) error {
 	if err := ba.ConnectNeighbor(b); err != nil {
 		return err
 	}
-	return bb.ConnectNeighbor(a)
+	if err := bb.ConnectNeighbor(a); err != nil {
+		return err
+	}
+	for _, dir := range []struct {
+		from *broker.Broker
+		to   string
+	}{{ba, b}, {bb, a}} {
+		if roots := dir.from.NeighborRoots(dir.to); len(roots) > 0 {
+			n.route(dir.from.ID(), broker.Outbound{To: dir.to, Msg: broker.Message{Kind: broker.MsgSubscribeBatch, Subs: roots}})
+		}
+	}
+	return nil
 }
 
 // AttachClient binds a client port to a broker.
@@ -172,6 +195,12 @@ func (n *Network) ClientPublish(client, pubID string, pub subscription.Publicati
 	return n.enqueueFromClient(client, broker.Message{Kind: broker.MsgPublish, PubID: pubID, Pub: pub})
 }
 
+// ClientPublishBatch issues a publication burst from a client as a
+// single PUBBATCH message (one shared-lock acquisition per broker).
+func (n *Network) ClientPublishBatch(client string, pubs []broker.BatchPub) error {
+	return n.enqueueFromClient(client, broker.Message{Kind: broker.MsgPublishBatch, Pubs: pubs})
+}
+
 // Run processes queued messages until the network is quiescent,
 // returning the number of messages processed.
 func (n *Network) Run() (int, error) {
@@ -201,6 +230,48 @@ func (n *Network) Run() (int, error) {
 	return steps, nil
 }
 
+// linkKey normalizes a broker pair for the partition set.
+func linkKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// SetLink controls the broker-to-broker link between a and b: a down
+// link drops every message crossing it (both directions), modeling a
+// network partition deterministically. Links start up; healing a link
+// does not replay what was dropped — recovering lost routing state is
+// the cluster layer's healing protocol, which the partition tests
+// exercise.
+func (n *Network) SetLink(a, b string, up bool) {
+	if n.downLinks == nil {
+		n.downLinks = make(map[[2]string]bool)
+	}
+	if up {
+		delete(n.downLinks, linkKey(a, b))
+	} else {
+		n.downLinks[linkKey(a, b)] = true
+	}
+}
+
+// LinkUp reports whether the a–b link is currently passing messages.
+func (n *Network) LinkUp(a, b string) bool {
+	return !n.downLinks[linkKey(a, b)]
+}
+
+// PartitionDropped reports how many messages down links discarded.
+func (n *Network) PartitionDropped() int { return n.partitioned }
+
+// Inject enqueues a broker-originated message onto the overlay — the
+// entry point for layers above the routing protocol (the cluster
+// membership layer's pings and gossip). The message crosses the same
+// links, partitions, and failure injection as routed traffic; call Run
+// to process it.
+func (n *Network) Inject(fromBroker string, o broker.Outbound) {
+	n.route(fromBroker, o)
+}
+
 // route delivers one outbound message from a broker: to a client
 // mailbox or onto the link toward a neighbor broker (with optional
 // failure injection).
@@ -213,6 +284,10 @@ func (n *Network) route(fromBroker string, o broker.Outbound) {
 		// Non-notify message addressed to a client: deliver it as-is
 		// (clients may observe raw publishes in some setups).
 		n.delivered[o.To] = append(n.delivered[o.To], o.Msg)
+		return
+	}
+	if n.downLinks[linkKey(fromBroker, o.To)] {
+		n.partitioned++
 		return
 	}
 	copies := 1

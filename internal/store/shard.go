@@ -64,6 +64,7 @@ type shardedConfig struct {
 	pruning      bool
 	schema       *subscription.Schema
 	router       Router
+	rendezvous   bool
 }
 
 // WithShards sets the shard count (default 1). One shard reproduces
@@ -113,6 +114,24 @@ func WithShardRouter(r Router) ShardedOption {
 	return func(c *shardedConfig) { c.router = r }
 }
 
+// WithShardRendezvous enables balance-first placement. The router's
+// value is treated as a placement KEY (a fine sixty-four-cell
+// dominant-bound key by default) and every shard ranks it by salted
+// hash — rendezvous (highest-random-weight) hashing, so coarse-key
+// modulo clumping disappears and a shard-count change moves only ~1/n
+// of the keys. Activation then picks the LESS-OCCUPIED of the two
+// top-ranked shards (power of two choices over the lifetime placement
+// counters), which is what actually balances workloads where coverage
+// concentrates storage: covered subscriptions always live with their
+// coverer, so a broad subscription drags its whole covered population
+// into its shard and only load-aware activation can spread those
+// piles. The tradeoff is weaker placement locality — nearby boxes
+// share a shard less often, so cross-shard suppression does more of
+// the coverage work (sound: admission checks every shard).
+func WithShardRendezvous(enabled bool) ShardedOption {
+	return func(c *shardedConfig) { c.rendezvous = enabled }
+}
+
 // shardSlot is one shard: a Store and the mutex serializing it.
 type shardSlot struct {
 	mu sync.Mutex
@@ -125,6 +144,9 @@ type Sharded struct {
 	policy Policy
 	router Router
 	shards []*shardSlot
+	// salts is non-nil when rendezvous placement is enabled (see
+	// WithShardRendezvous): one placement salt per shard.
+	salts []uint64
 
 	// mu guards placement. Unsubscribe holds it across the whole
 	// promotion/migration sequence so a subscription is never observed
@@ -217,7 +239,13 @@ func NewSharded(policy Policy, opts ...ShardedOption) (*Sharded, error) {
 	}
 	router := cfg.router
 	if router == nil {
-		router = dominantBoundRouter(cfg.schema)
+		if cfg.rendezvous {
+			// Rendezvous placement wants key DIVERSITY (many fine cells
+			// spread evenly); the coarse default wants locality.
+			router = dominantBoundKey(cfg.schema, 64, 6)
+		} else {
+			router = dominantBoundRouter(cfg.schema)
+		}
 	}
 	var pool *core.CheckerPool
 	if policy == PolicyGroup && cfg.shards > 1 {
@@ -232,6 +260,12 @@ func NewSharded(policy Policy, opts ...ShardedOption) (*Sharded, error) {
 		router:    router,
 		shards:    make([]*shardSlot, cfg.shards),
 		placement: make(map[ID]int),
+	}
+	if cfg.rendezvous {
+		sh.salts = make([]uint64, cfg.shards)
+		for j := range sh.salts {
+			sh.salts[j] = mix64(uint64(j)*0x9e3779b97f4a7c15 + 0x6a09e667f3bcc909)
+		}
 	}
 	sh.metrics.placed = make([]atomic.Uint64, cfg.shards)
 	for j := range sh.shards {
@@ -266,14 +300,15 @@ func mix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// dominantBoundRouter returns the default Router: hash the most
-// selective attribute's index together with a coarse quantization of
-// its interval midpoint. With a schema, selectivity is width relative
-// to the domain, the midpoint is quantized into sixteenths of the
-// domain, and attributes bounded by their full domain are skipped;
-// without one, selectivity is absolute width and the midpoint falls on
-// a fixed coarse grid. No dominant bound (or no bounds) routes by ID.
-func dominantBoundRouter(schema *subscription.Schema) Router {
+// dominantBoundKey returns a placement-key function hashing the most
+// selective attribute's index together with a quantization of its
+// interval midpoint into the given number of cells per domain. With a
+// schema, selectivity is width relative to the domain, the midpoint is
+// quantized into cells of the domain, and attributes bounded by their
+// full domain are skipped; without one, selectivity is absolute width
+// and the midpoint falls on a fixed grid of the given shift. No
+// dominant bound (or no bounds) keys by ID.
+func dominantBoundKey(schema *subscription.Schema, cells int64, shift uint) func(ID, subscription.Subscription) uint64 {
 	return func(id ID, s subscription.Subscription) uint64 {
 		best, bestSel := -1, 0.0
 		for a, b := range s.Bounds {
@@ -296,12 +331,12 @@ func dominantBoundRouter(schema *subscription.Schema) Router {
 		}
 		b := s.Bounds[best]
 		mid := b.Lo + (b.Hi-b.Lo)/2
-		cell := mid >> 10
+		cell := mid >> shift
 		if schema != nil {
-			// Sixteenths of the domain, divide-by-width form so huge
-			// domains neither overflow the product nor (when Count
-			// itself overflows to <= 0) divide by zero.
-			if step := schema.Domain(best).Count() / 16; step > 0 {
+			// Divide-by-width form so huge domains neither overflow the
+			// product nor (when Count itself overflows to <= 0) divide
+			// by zero.
+			if step := schema.Domain(best).Count() / cells; step > 0 {
 				cell = (mid - schema.Domain(best).Lo) / step
 			}
 		}
@@ -309,12 +344,48 @@ func dominantBoundRouter(schema *subscription.Schema) Router {
 	}
 }
 
-// home returns the shard index for a subscription.
+// dominantBoundRouter returns the default Router: the dominant-bound
+// key at a COARSE sixteen-cell quantization, so boxes concentrated in
+// the same region of the same attribute tend to share a shard and
+// coverage relations stay intra-shard. The cost is clumping: sixteen
+// coarse cells modulo a small shard count can land most of a skewed
+// workload in one shard (the stockticker example used to put 245 of
+// 392 subscriptions in one of four) — WithShardRendezvous is the
+// balance-first alternative.
+func dominantBoundRouter(schema *subscription.Schema) Router {
+	return dominantBoundKey(schema, 16, 10)
+}
+
+// home returns the shard index for a subscription. Under rendezvous
+// placement the router value is a KEY: every shard ranks it by salted
+// hash and the less-placed of the two top-ranked shards wins (power
+// of two choices over the lifetime placement counters — racy reads,
+// but placement is a heuristic and single-threaded admission is
+// deterministic).
 func (sh *Sharded) home(id ID, s subscription.Subscription) int {
 	if len(sh.shards) == 1 {
 		return 0
 	}
-	return int(sh.router(id, s) % uint64(len(sh.shards)))
+	h := sh.router(id, s)
+	if sh.salts == nil {
+		return int(h % uint64(len(sh.shards)))
+	}
+	top, second := -1, -1
+	var wTop, wSecond uint64
+	for j := range sh.salts {
+		w := mix64(h ^ sh.salts[j])
+		switch {
+		case top < 0 || w > wTop:
+			second, wSecond = top, wTop
+			top, wTop = j, w
+		case second < 0 || w > wSecond:
+			second, wSecond = j, w
+		}
+	}
+	if sh.metrics.placed[second].Load() < sh.metrics.placed[top].Load() {
+		return second
+	}
+	return top
 }
 
 // reserve claims an ID for an in-flight admission.

@@ -20,11 +20,13 @@ import (
 // one-mutex ablation; json is the concurrent pipeline on the PR-3
 // JSON codec (the committed baseline the binary codec must beat);
 // binary is the negotiated length-prefixed codec with publish
-// coalescing — the production path.
+// coalescing — the production path; pubbatch batches deliberately on
+// the producer side (Client.PublishBatch, 16 per PUBBATCH frame).
 func BenchmarkTCPPublish(b *testing.B) {
 	b.Run("serialized", benchcases.TCPPublishSerialized)
 	b.Run("json", benchcases.TCPPublishJSON)
 	b.Run("binary", benchcases.TCPPublishBinary)
+	b.Run("pubbatch", benchcases.TCPPublishBatch)
 }
 
 // BenchmarkWireCodec measures frame marshal/unmarshal for both codecs

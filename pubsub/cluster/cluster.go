@@ -1,0 +1,665 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+
+	"probsum/internal/broker"
+)
+
+// Link is the cluster node's view of its broker's overlay links — the
+// only thing membership needs from a transport. pubsub TCP brokers and
+// simulator brokers both satisfy it (see Attach and NewSimNode).
+type Link interface {
+	// Self returns the local broker's identifier.
+	Self() string
+	// Send queues one protocol message toward a peer, best-effort,
+	// under the transport's wire-vocabulary negotiation. It reports
+	// whether a live (and, for control kinds, cluster-capable) link
+	// existed.
+	Send(peer string, msg broker.Message) bool
+	// Connect (re)establishes the link to a peer and reports the
+	// result through done: established says whether THIS attempt
+	// created the link (false with a nil error when a live link
+	// already existed — which proves nothing about the peer, since
+	// that connection may be stalled). The TCP implementation dials on
+	// its own goroutine (done runs there); the simulator one answers
+	// inline, which keeps simulated runs deterministic.
+	Connect(peer, addr string, done func(established bool, err error))
+	// Roots exports the coverage roots to re-announce to a recovered
+	// peer: the active set of the local coverage table for that peer.
+	Roots(peer string) []broker.BatchSub
+	// ClusterCapable reports whether the peer advertised the
+	// membership protocol — peers that did not are never pinged (their
+	// links are still reconnected on loss).
+	ClusterCapable(peer string) bool
+	// SyncOnConnect reports whether the transport itself synchronizes
+	// the coverage roots over a freshly connected link (the TCP
+	// transport sends them as one SUBBATCH after every successful peer
+	// dial). When it does, the node does not re-announce on recovery —
+	// the link layer already did; when it does not (the simulator,
+	// whose "dials" are logical), the node sends the announcement.
+	SyncOnConnect() bool
+}
+
+// Config tunes a membership node. Zero values select the defaults
+// noted on each field.
+type Config struct {
+	// PingEvery is the failure-detector probe interval (500ms).
+	PingEvery time.Duration
+	// SuspectMisses is how many unanswered pings move an alive member
+	// to suspect (2).
+	SuspectMisses int
+	// DeadAfter is how long a member stays suspect before it is
+	// declared dead (4 × PingEvery).
+	DeadAfter time.Duration
+	// GossipEvery is the anti-entropy interval: the full member list
+	// goes to every live linked peer this often (2 × PingEvery).
+	GossipEvery time.Duration
+	// ReconnectMin / ReconnectMax bound the re-dial backoff for down
+	// links: attempts double from Min to Max with seeded jitter
+	// (PingEvery/2 and 16 × ReconnectMin).
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+	// TickEvery is the background tick period of TCP-attached nodes
+	// (PingEvery / 4); simulator nodes are ticked manually instead.
+	TickEvery time.Duration
+	// Incarnation is the node's own starting incarnation (1).
+	Incarnation uint64
+	// Seed feeds the backoff-jitter stream, mixed with the node ID so
+	// cluster members never thunder in lockstep (1).
+	Seed uint64
+	// Clock supplies the node's time (time.Now). Simulator tests
+	// inject a simnet.Clock for fully deterministic schedules.
+	Clock func() time.Time
+	// Mesh links every member discovered through gossip (seed-node
+	// operation: the overlay converges to a full mesh). Without it
+	// only explicitly added peers are linked (topology operation).
+	Mesh bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.PingEvery <= 0 {
+		c.PingEvery = 500 * time.Millisecond
+	}
+	if c.SuspectMisses <= 0 {
+		c.SuspectMisses = 2
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 4 * c.PingEvery
+	}
+	if c.GossipEvery <= 0 {
+		c.GossipEvery = 2 * c.PingEvery
+	}
+	if c.ReconnectMin <= 0 {
+		c.ReconnectMin = c.PingEvery / 2
+	}
+	if c.ReconnectMax <= 0 {
+		c.ReconnectMax = 16 * c.ReconnectMin
+	}
+	if c.TickEvery <= 0 {
+		c.TickEvery = max(c.PingEvery/4, time.Millisecond)
+	}
+	if c.Incarnation == 0 {
+		c.Incarnation = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// NodeMetrics counts a membership node's activity.
+type NodeMetrics struct {
+	PingsSent     uint64
+	PongsReceived uint64
+	// Suspects / Deaths / Recoveries count state transitions of
+	// tracked members as seen by this node.
+	Suspects   uint64
+	Deaths     uint64
+	Recoveries uint64
+	// ReannounceBatches counts root re-announcements sent (one
+	// SUBBATCH each); ReannouncedSubs the subscriptions they carried.
+	ReannounceBatches uint64
+	ReannouncedSubs   uint64
+	GossipSent        uint64
+	GossipMerged      uint64 // remote claims adopted (or members learned)
+	Dials             uint64
+	DialFailures      uint64
+}
+
+// Node is the membership side of one broker: member list, failure
+// detector, gossip, and the reconnect/heal loop. All methods are safe
+// for concurrent use; time advances only through Tick (which TCP
+// nodes run on a background ticker and simulator tests call
+// manually).
+type Node struct {
+	link Link
+	cfg  Config
+	rng  *rand.Rand // jitter; guarded by mu
+
+	mu         sync.Mutex
+	self       Member
+	members    map[string]*memberState
+	lastGossip time.Time
+	metrics    NodeMetrics
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewNode builds a membership node around a link. The node is
+// passive until Tick is called (or a background ticker is started by
+// Attach); self's state is forced alive and its incarnation defaults
+// from the config when zero.
+func NewNode(self Member, link Link, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	self.State = StateAlive
+	if self.Incarnation == 0 {
+		self.Incarnation = cfg.Incarnation
+	}
+	return &Node{
+		link:    link,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewPCG(cfg.Seed^fnv1a(self.ID), fnv1a(self.ID)|1)),
+		self:    self,
+		members: make(map[string]*memberState),
+		stop:    make(chan struct{}),
+	}
+}
+
+// fnv1a hashes a string into a 64-bit seed component.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// AddMember registers a member to track. Linked members get the full
+// treatment — the reconnect loop establishes and maintains their
+// overlay link, the failure detector pings them — while unlinked ones
+// are only carried in gossip. Members start suspect-until-contacted:
+// the first successful connect (or inbound frame) makes them alive,
+// and a member that never answers goes dead on the normal timeout.
+// Adding an already-tracked member only widens its linkage and fills
+// a missing address.
+func (n *Node) AddMember(m Member, linked bool) {
+	if m.ID == n.link.Self() {
+		return
+	}
+	now := n.cfg.Clock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.members[m.ID]
+	if st == nil {
+		m.State = StateSuspect
+		st = &memberState{Member: m, suspectSince: now}
+		n.members[m.ID] = st
+	} else if st.Addr == "" && m.Addr != "" {
+		st.Addr = m.Addr
+	}
+	st.linked = st.linked || linked
+}
+
+// Members returns the current member list — the local node first,
+// then the tracked members sorted by ID.
+func (n *Node) Members() []Member {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Member, 0, len(n.members)+1)
+	out = append(out, n.self)
+	for _, id := range n.sortedIDsLocked() {
+		out = append(out, n.members[id].Member)
+	}
+	return out
+}
+
+// Member returns the tracked record for id (the local node included).
+func (n *Node) Member(id string) (Member, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if id == n.self.ID {
+		return n.self, true
+	}
+	st, ok := n.members[id]
+	if !ok {
+		return Member{}, false
+	}
+	return st.Member, true
+}
+
+// Metrics returns a snapshot of the activity counters.
+func (n *Node) Metrics() NodeMetrics {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.metrics
+}
+
+func (n *Node) sortedIDsLocked() []string {
+	ids := make([]string, 0, len(n.members))
+	for id := range n.members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// wireMembersLocked snapshots the member list (self first) in gossip
+// form.
+func (n *Node) wireMembersLocked() []broker.MemberInfo {
+	out := make([]broker.MemberInfo, 0, len(n.members)+1)
+	out = append(out, n.self.wire())
+	for _, id := range n.sortedIDsLocked() {
+		out = append(out, n.members[id].Member.wire())
+	}
+	return out
+}
+
+// Tick runs one round of the time-driven machinery at the injected
+// clock's current instant: pings due on live links, suspect→dead
+// timeouts, gossip fan-out, and reconnect attempts for down links.
+// TCP-attached nodes call it from a background ticker; simulator
+// tests call it between clock advances (then run the network).
+func (n *Node) Tick() {
+	now := n.cfg.Clock()
+	type sendOp struct {
+		to  string
+		msg broker.Message
+	}
+	type dialOp struct {
+		id, addr string
+	}
+	var sends []sendOp
+	var dials []dialOp
+
+	n.mu.Lock()
+	gossipDue := now.Sub(n.lastGossip) >= n.cfg.GossipEvery
+	var snapshot []broker.MemberInfo
+	if gossipDue {
+		snapshot = n.wireMembersLocked()
+		n.lastGossip = now
+	}
+	for _, id := range n.sortedIDsLocked() {
+		st := n.members[id]
+		if !st.linked {
+			continue
+		}
+		if st.linkUp && n.link.ClusterCapable(id) {
+			// Failure detector: probe, then judge the silence.
+			if now.Sub(st.lastPing) >= n.cfg.PingEvery {
+				st.seq++
+				st.awaiting++
+				st.lastPing = now
+				n.metrics.PingsSent++
+				sends = append(sends, sendOp{id, broker.Message{Kind: broker.MsgPing, Seq: st.seq}})
+			}
+			if st.State == StateAlive && st.awaiting > n.cfg.SuspectMisses {
+				st.State = StateSuspect
+				st.suspectSince = now
+				n.metrics.Suspects++
+			}
+			if gossipDue && st.State == StateAlive {
+				n.metrics.GossipSent++
+				sends = append(sends, sendOp{id, broker.Message{Kind: broker.MsgGossip, Members: snapshot}})
+			}
+		}
+		if st.State == StateSuspect && now.Sub(st.suspectSince) >= n.cfg.DeadAfter {
+			st.State = StateDead
+			st.lossy = true
+			st.linkUp = false
+			n.metrics.Deaths++
+		}
+		// Reconnect loop: any down link with a known address is
+		// re-dialed on a doubling, jittered backoff.
+		if !st.linkUp && !st.dialing && st.Addr != "" &&
+			(st.nextDial.IsZero() || !now.Before(st.nextDial)) {
+			if st.backoff == 0 {
+				st.backoff = n.cfg.ReconnectMin
+			} else {
+				st.backoff = min(2*st.backoff, n.cfg.ReconnectMax)
+			}
+			jitter := time.Duration(n.rng.Int64N(int64(st.backoff/2) + 1))
+			st.nextDial = now.Add(st.backoff + jitter)
+			st.dialing = true
+			n.metrics.Dials++
+			dials = append(dials, dialOp{id, st.Addr})
+		}
+	}
+	n.mu.Unlock()
+
+	for _, s := range sends {
+		n.link.Send(s.to, s.msg)
+	}
+	for _, d := range dials {
+		id := d.id
+		n.link.Connect(id, d.addr, func(established bool, err error) { n.dialDone(id, established, err) })
+	}
+}
+
+// dialDone finishes one reconnect attempt.
+func (n *Node) dialDone(id string, established bool, err error) {
+	if err != nil {
+		n.mu.Lock()
+		if st := n.members[id]; st != nil {
+			st.dialing = false
+		}
+		n.metrics.DialFailures++
+		n.mu.Unlock()
+		return
+	}
+	if !established {
+		// A live link already exists (a concurrent dial-back won the
+		// race, or the detector gave up on a connection that never
+		// actually broke). The dial made no contact with the peer, so
+		// it must NOT count as a recovery — forcing alive here would
+		// let a hung-but-connected peer flap dead→alive forever.
+		// Resume probing over the existing link instead: a pong marks
+		// the member alive (observe), and if the connection is truly
+		// dead its writer will fail and reopen the reconnect path.
+		n.mu.Lock()
+		if st := n.members[id]; st != nil {
+			st.dialing = false
+			st.linkUp = true
+			st.backoff = 0
+			st.nextDial = time.Time{}
+		}
+		n.mu.Unlock()
+		return
+	}
+	n.markUp(id)
+}
+
+// PeerUp is the transport's link-established hook (outbound connect
+// completed). It is also the dial-success path, so both converge on
+// the same recovery/announce logic.
+func (n *Node) PeerUp(id string) { n.markUp(id) }
+
+// PeerDown is the transport's link-lost hook: the member turns
+// suspect immediately (faster than waiting out the ping misses) and
+// is flagged lossy so the next successful contact re-announces roots.
+func (n *Node) PeerDown(id string) {
+	now := n.cfg.Clock()
+	n.mu.Lock()
+	st := n.members[id]
+	if st != nil {
+		st.linkUp = false
+		st.lossy = true
+		if st.State == StateAlive {
+			st.State = StateSuspect
+			st.suspectSince = now
+			n.metrics.Suspects++
+		}
+	}
+	n.mu.Unlock()
+}
+
+// markUp records that the OUTBOUND link to id works again (a dial
+// completed, or the transport's link-up hook fired) and, when the
+// contact is a RECOVERY (the member was dead, or frames toward it may
+// have been lost), runs the healing protocol: the local coverage
+// roots for that peer go out as one SUBBATCH, so the peer relearns
+// every forwarded subscription it may have missed — duplicates are
+// dropped on its side, gaps are filled, and routing state converges
+// again.
+//
+// Only outbound-path events come here. Inbound frames (observe) prove
+// the peer can reach us, not that we can reach it, so they neither
+// set linkUp nor clear lossy — otherwise a half-broken link would
+// silence the reconnect loop and the re-announcement would be queued
+// onto a dead connection.
+func (n *Node) markUp(id string) {
+	if id == n.link.Self() {
+		return
+	}
+	n.mu.Lock()
+	st := n.members[id]
+	if st == nil {
+		// A peer we were not configured with connected to us (its side
+		// was configured, or mesh gossip got there first). Track it;
+		// the address arrives by gossip.
+		st = &memberState{Member: Member{ID: id}, linked: true}
+		n.members[id] = st
+	}
+	wasDown := !st.linkUp
+	st.dialing = false
+	st.linkUp = true
+	st.awaiting = 0
+	st.backoff = 0
+	st.nextDial = time.Time{}
+	recovered := st.lossy || st.State == StateDead
+	if st.State != StateAlive {
+		// Observer-assisted refutation: propagate the recovery at a
+		// fresh incarnation so gossip overrides the standing suspect
+		// or dead rumor (which would otherwise win every same-
+		// incarnation merge by severity).
+		st.Incarnation++
+	}
+	st.State = StateAlive
+	st.lossy = false
+	if recovered {
+		n.metrics.Recoveries++
+	}
+	n.mu.Unlock()
+	// Transports that synchronize roots on connect already healed the
+	// link before this hook fired; announcing again would only send a
+	// duplicate batch.
+	if n.link.SyncOnConnect() {
+		return
+	}
+	// Announce on every down→up transition, not only on tracked
+	// losses: while a link is down the broker admits-and-drops
+	// forwards toward it (a freshly restarted neighbor's other links
+	// race its own heal traffic this way), and the coverage table is
+	// always updated before a forward can be dropped, so the root set
+	// read here covers every gap. Redundant announcements cost one
+	// SUBBATCH of duplicates, which the receiver drops.
+	if (recovered || wasDown) && !n.announce(id) {
+		// The roots did not go out; keep the member marked lossy so
+		// the next successful contact retries the heal.
+		n.mu.Lock()
+		if st := n.members[id]; st != nil {
+			st.lossy = true
+		}
+		n.mu.Unlock()
+	}
+}
+
+// announce sends the coverage roots for peer as one SUBBATCH,
+// reporting whether they went out (an empty root set is a trivial
+// success).
+func (n *Node) announce(id string) bool {
+	roots := n.link.Roots(id)
+	if len(roots) == 0 {
+		return true
+	}
+	if !n.link.Send(id, broker.Message{Kind: broker.MsgSubscribeBatch, Subs: roots}) {
+		return false
+	}
+	n.mu.Lock()
+	n.metrics.ReannounceBatches++
+	n.metrics.ReannouncedSubs += uint64(len(roots))
+	n.mu.Unlock()
+	return true
+}
+
+// HandleControl is the broker.ControlHandler: it dispatches inbound
+// ping/pong/gossip frames and returns the replies (pong, refutation
+// gossip, recovery re-announcements) for the transport to deliver.
+func (n *Node) HandleControl(from string, msg broker.Message) []broker.Outbound {
+	now := n.cfg.Clock()
+	switch msg.Kind {
+	case broker.MsgPing:
+		n.observe(from, now, false)
+		return []broker.Outbound{{To: from, Msg: broker.Message{Kind: broker.MsgPong, Seq: msg.Seq}}}
+	case broker.MsgPong:
+		n.observe(from, now, true)
+		return nil
+	case broker.MsgGossip:
+		return n.mergeGossip(from, msg.Members, now)
+	default:
+		return nil
+	}
+}
+
+// observe processes direct INBOUND evidence of life from a member
+// (any control frame it sent us). Inbound evidence marks the member
+// alive — the process is clearly running — but deliberately leaves
+// linkUp and lossy alone: whether WE can reach IT is decided by the
+// outbound path (pongs to our own pings, dial results, link hooks),
+// and the healing re-announcement must ride a restored outbound link,
+// not an inference from inbound traffic.
+func (n *Node) observe(from string, now time.Time, pong bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.members[from]
+	if st == nil {
+		st = &memberState{Member: Member{ID: from}, linked: true}
+		n.members[from] = st
+	}
+	if pong {
+		n.metrics.PongsReceived++
+		// Only a pong proves the round trip, so only a pong clears the
+		// outstanding-ping count.
+		st.awaiting = 0
+	}
+	if st.State != StateAlive {
+		// Observer-assisted refutation, as in markUp.
+		st.Incarnation++
+	}
+	st.State = StateAlive
+}
+
+// mergeGossip folds a remote member list into the local one under the
+// (incarnation, severity) order, treats the sender itself as directly
+// observed, learns new members (linking them in mesh mode), and
+// refutes rumors of the local node's own death by bumping its
+// incarnation and gossiping straight back.
+func (n *Node) mergeGossip(from string, infos []broker.MemberInfo, now time.Time) []broker.Outbound {
+	n.observe(from, now, false)
+
+	var refute bool
+	n.mu.Lock()
+	for _, mi := range infos {
+		m := memberFromWire(mi)
+		if m.ID == n.self.ID {
+			if m.State != StateAlive && m.Incarnation >= n.self.Incarnation {
+				n.self.Incarnation = m.Incarnation + 1
+				refute = true
+			} else if m.Incarnation > n.self.Incarnation {
+				n.self.Incarnation = m.Incarnation
+			}
+			continue
+		}
+		if m.ID == from {
+			// Direct contact already processed the sender; its
+			// self-claim still teaches us its incarnation and — for
+			// members first met over an inbound connection — its
+			// dialable address, which mesh discovery passes on.
+			if st := n.members[from]; st != nil {
+				if st.Addr == "" && m.Addr != "" {
+					st.Addr = m.Addr
+				}
+				if m.Incarnation > st.Incarnation {
+					st.Incarnation = m.Incarnation
+				}
+			}
+			continue
+		}
+		st := n.members[m.ID]
+		if st == nil {
+			st = &memberState{Member: m, linked: n.cfg.Mesh}
+			if st.State == StateSuspect || st.State == StateDead {
+				st.suspectSince = now
+				st.lossy = true
+			}
+			n.members[m.ID] = st
+			n.metrics.GossipMerged++
+			continue
+		}
+		if st.Addr == "" && m.Addr != "" {
+			st.Addr = m.Addr
+		}
+		if n.cfg.Mesh {
+			st.linked = true
+		}
+		// Fresh direct evidence outranks rumor: a member answering our
+		// own pings is not dead, whatever the gossip says — it will
+		// refute the rumor itself.
+		if st.linkUp && st.awaiting == 0 && m.State != StateAlive {
+			continue
+		}
+		if supersedes(m, st.Member) {
+			if m.State == StateDead && st.State != StateDead {
+				st.lossy = true
+				st.linkUp = false
+			}
+			if m.State == StateSuspect && st.State == StateAlive {
+				st.suspectSince = now
+			}
+			st.Incarnation = m.Incarnation
+			st.State = m.State
+			n.metrics.GossipMerged++
+		}
+	}
+	var snapshot []broker.MemberInfo
+	if refute {
+		n.metrics.GossipSent++
+		snapshot = n.wireMembersLocked()
+	}
+	n.mu.Unlock()
+
+	if !refute {
+		return nil
+	}
+	return []broker.Outbound{{To: from, Msg: broker.Message{Kind: broker.MsgGossip, Members: snapshot}}}
+}
+
+// run is the TCP-attached background loop: Tick on a real ticker.
+func (n *Node) run() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.TickEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.Tick()
+		}
+	}
+}
+
+// Close stops the background ticker (if any). It does not shut down
+// the underlying broker; membership can be detached and re-attached
+// around a broker's lifetime.
+func (n *Node) Close() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
+}
+
+// String renders the member list compactly (diagnostics, examples).
+func (n *Node) String() string {
+	ms := n.Members()
+	out := ""
+	for i, m := range ms {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%s@%d", m.ID, m.State, m.Incarnation)
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package cluster
+
+// Declarative topology: a cluster described in one JSON file that
+// every broker is started from, instead of hand-wiring -peer flags
+// per daemon. Start launches the local broker named in the file,
+// attaches membership, and lets the reconnect loop establish the
+// file's links in any boot order; Join is the seed-node alternative
+// where the member list (and a full-mesh overlay) assembles itself
+// through gossip.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"slices"
+
+	"probsum/pubsub"
+)
+
+// TopologyNode declares one broker of the cluster.
+type TopologyNode struct {
+	ID string `json:"id"`
+	// Listen is the broker's listen address. It doubles as the address
+	// peers dial, so it must be concrete ("10.0.0.7:7001", not
+	// ":7001") for cross-host clusters.
+	Listen string `json:"listen"`
+}
+
+// Topology is the declarative cluster description.
+//
+//	{
+//	  "policy": "group",
+//	  "nodes": [
+//	    {"id": "B1", "listen": "127.0.0.1:7001"},
+//	    {"id": "B2", "listen": "127.0.0.1:7002"},
+//	    {"id": "B3", "listen": "127.0.0.1:7003"}
+//	  ],
+//	  "links": [["B1", "B2"], ["B2", "B3"]]
+//	}
+type Topology struct {
+	// Policy is the coverage policy name (flood | pairwise | group);
+	// empty selects group, the paper's algorithm.
+	Policy string `json:"policy,omitempty"`
+	// Delta is the group-policy error probability (pubsub default when
+	// zero), Seed the checker seed (likewise).
+	Delta float64 `json:"delta,omitempty"`
+	Seed  uint64  `json:"seed,omitempty"`
+	// Nodes declares the brokers; Links the bidirectional overlay
+	// edges between them.
+	Nodes []TopologyNode `json:"nodes"`
+	Links [][2]string    `json:"links"`
+}
+
+// ParseTopology decodes and validates a topology document.
+func ParseTopology(data []byte) (*Topology, error) {
+	var t Topology
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("cluster: topology: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// LoadTopology reads and validates a topology file.
+func LoadTopology(path string) (*Topology, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: topology: %w", err)
+	}
+	return ParseTopology(data)
+}
+
+// Validate checks structural soundness: at least one node, unique
+// non-empty IDs, listen addresses present, and links that reference
+// declared nodes without self-loops.
+func (t *Topology) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("cluster: topology has no nodes")
+	}
+	seen := make(map[string]bool, len(t.Nodes))
+	for i, n := range t.Nodes {
+		if n.ID == "" {
+			return fmt.Errorf("cluster: topology node %d has no id", i)
+		}
+		if n.Listen == "" {
+			return fmt.Errorf("cluster: topology node %s has no listen address", n.ID)
+		}
+		if seen[n.ID] {
+			return fmt.Errorf("cluster: duplicate topology node %s", n.ID)
+		}
+		seen[n.ID] = true
+	}
+	if t.Policy != "" {
+		if _, err := pubsub.ParsePolicy(t.Policy); err != nil {
+			return err
+		}
+	}
+	for i, l := range t.Links {
+		if l[0] == l[1] {
+			return fmt.Errorf("cluster: link %d connects %s to itself", i, l[0])
+		}
+		for _, id := range l {
+			if !seen[id] {
+				return fmt.Errorf("cluster: link %d references unknown node %s", i, id)
+			}
+		}
+	}
+	return nil
+}
+
+// NodeByID returns the declaration for one broker.
+func (t *Topology) NodeByID(id string) (TopologyNode, bool) {
+	for _, n := range t.Nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return TopologyNode{}, false
+}
+
+// PeersOf returns the IDs linked to id, sorted and deduplicated.
+func (t *Topology) PeersOf(id string) []string {
+	var out []string
+	for _, l := range t.Links {
+		switch id {
+		case l[0]:
+			out = append(out, l[1])
+		case l[1]:
+			out = append(out, l[0])
+		}
+	}
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+// policy resolves the topology's coverage policy and broker tuning.
+func (t *Topology) policy() (pubsub.Policy, pubsub.Config, error) {
+	name := t.Policy
+	if name == "" {
+		name = "group"
+	}
+	p, err := pubsub.ParsePolicy(name)
+	if err != nil {
+		return 0, pubsub.Config{}, err
+	}
+	return p, pubsub.Config{ErrorProbability: t.Delta, Seed: t.Seed}, nil
+}
+
+// Start launches the topology's broker named selfID on its declared
+// listen address, attaches a membership node, and registers every
+// other declared broker as a member — the file's link partners as
+// LINKED members, whose connections the reconnect loop establishes
+// and maintains (so the cluster assembles regardless of boot order
+// and re-assembles after crashes), the rest as gossip-tracked only.
+// Shut down with Node.Close then Broker.Shutdown.
+func Start(topo *Topology, selfID string, cfg Config, opts ...pubsub.TCPOption) (*Node, *pubsub.Broker, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, nil, err
+	}
+	self, ok := topo.NodeByID(selfID)
+	if !ok {
+		return nil, nil, fmt.Errorf("cluster: broker %s is not in the topology", selfID)
+	}
+	policy, pcfg, err := topo.policy()
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := pubsub.ListenBroker(selfID, self.Listen, policy, pcfg, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := Attach(b, cfg)
+	peers := topo.PeersOf(selfID)
+	for _, tn := range topo.Nodes {
+		if tn.ID == selfID {
+			continue
+		}
+		n.AddMember(Member{ID: tn.ID, Addr: tn.Listen}, slices.Contains(peers, tn.ID))
+	}
+	return n, b, nil
+}
+
+// Join is the seed-node alternative to a topology file: the broker
+// starts on listen, links to the given seed brokers (NAME=ADDR form,
+// as a map), and discovers the rest of the cluster through gossip —
+// every discovered member is linked (mesh mode), so the overlay
+// converges to a full mesh without any file describing it. An empty
+// seed map is valid and makes this broker a pure seed: the FIRST
+// broker of a cluster has nobody to join, but must still run the
+// membership layer so later joiners' gossip can introduce members to
+// each other through it.
+func Join(selfID, listen string, seeds map[string]string, policy pubsub.Policy, pcfg pubsub.Config, cfg Config, opts ...pubsub.TCPOption) (*Node, *pubsub.Broker, error) {
+	cfg.Mesh = true
+	b, err := pubsub.ListenBroker(selfID, listen, policy, pcfg, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := Attach(b, cfg)
+	for id, addr := range seeds {
+		n.AddMember(Member{ID: id, Addr: addr}, true)
+	}
+	return n, b, nil
+}

@@ -65,12 +65,21 @@ type WireCodec uint8
 
 // Wire codecs. The numeric value doubles as the version advertised in
 // hello/ack frames: 0 means "JSON only" (what PR-3 peers implicitly
-// advertise by omitting the field), 1 means "binary v1 decoded here".
+// advertise by omitting the field), 1 means "binary v1 decoded here"
+// (PR-4 builds), 2 means "binary v2": the same framing and payload
+// grammar as v1 extended with the PUBBATCH and cluster-control
+// (ping/pong/gossip) message kinds. The version a peer advertises
+// therefore caps both the FRAMING it is sent and the VOCABULARY:
+// senders split publish batches (and never send control kinds) toward
+// peers that advertised less than 2, exactly as PR-4 already split
+// SUBBATCH toward peers that advertised nothing.
 const (
 	// CodecJSON is newline-delimited JSON — the PR-3 wire format.
 	CodecJSON WireCodec = 0
 	// CodecBinary is the length-prefixed binary format, version 1.
 	CodecBinary WireCodec = 1
+	// CodecBinary2 adds the publish-batch and cluster-control kinds.
+	CodecBinary2 WireCodec = 2
 )
 
 // String returns the codec name.
@@ -79,6 +88,8 @@ func (c WireCodec) String() string {
 	case CodecJSON:
 		return "json"
 	case CodecBinary:
+		return "binary-v1"
+	case CodecBinary2:
 		return "binary"
 	default:
 		return fmt.Sprintf("codec(%d)", uint8(c))
@@ -86,35 +97,54 @@ func (c WireCodec) String() string {
 }
 
 // ParseWireCodec parses a codec name as accepted by the CLI tools:
-// "json" and "binary".
+// "json", "binary" (the latest binary version), and "binary-v1" (the
+// PR-4 vocabulary, for pinning interop tests and staged rollouts).
 func ParseWireCodec(s string) (WireCodec, error) {
 	switch s {
 	case "json":
 		return CodecJSON, nil
 	case "binary":
+		return CodecBinary2, nil
+	case "binary-v1":
 		return CodecBinary, nil
 	default:
-		return 0, fmt.Errorf("pubsub: unknown wire codec %q (want json | binary)", s)
+		return 0, fmt.Errorf("pubsub: unknown wire codec %q (want json | binary | binary-v1)", s)
 	}
 }
 
 // negotiate returns the codec to write with, given our own cap and
-// what the remote advertised it decodes.
+// what the remote advertised it decodes: the smaller of the two binary
+// versions when both sides decode binary, JSON otherwise.
 func (c WireCodec) negotiate(remote WireCodec) WireCodec {
-	if c == CodecBinary && remote >= CodecBinary {
-		return CodecBinary
+	if c >= CodecBinary && remote >= CodecBinary {
+		return min(c, remote)
 	}
 	return CodecJSON
 }
 
 const (
-	binMagic   = 0xBF
-	binVersion = 1
-	binHeader  = 6
+	binMagic = 0xBF
+	// binVersion and binVersion2 are the header version bytes. The
+	// byte is tied to the MESSAGE KIND, not the negotiated codec: the
+	// PR-4 kinds keep emitting byte-identical v1 frames (so v1 decoders
+	// and the committed fuzz corpus are untouched), while the kinds v1
+	// decoders do not know travel under the v2 byte — a v1 peer that is
+	// accidentally sent one fails at the header, the cheapest place.
+	binVersion  = 1
+	binVersion2 = 2
+	binHeader   = 6
 	// maxBinaryPayload bounds a decoded frame; hostile length fields
 	// cannot force large allocations past it.
 	maxBinaryPayload = 16 << 20
 )
+
+// wireVersionOf returns the header version byte for a message kind.
+func wireVersionOf(k broker.MsgKind) byte {
+	if k >= broker.MsgPublishBatch {
+		return binVersion2
+	}
+	return binVersion
+}
 
 // encBufPool pools encode scratch buffers across writers, readers'
 // replies, and client sends.
@@ -139,7 +169,7 @@ func MarshalFrame(codec WireCodec, buf []byte, fr *Frame) ([]byte, error) {
 		}
 		buf = append(buf, data...)
 		return append(buf, '\n'), nil
-	case CodecBinary:
+	case CodecBinary, CodecBinary2:
 		return appendBinaryFrame(buf, fr)
 	default:
 		return buf, fmt.Errorf("pubsub: cannot marshal under codec %d", codec)
@@ -176,7 +206,7 @@ func appendBinaryFrame(buf []byte, fr *Frame) ([]byte, error) {
 		return buf, fmt.Errorf("pubsub: binary codec carries only message frames (handshake stays JSON)")
 	}
 	start := len(buf)
-	buf = append(buf, binMagic, binVersion, 0, 0, 0, 0)
+	buf = append(buf, binMagic, wireVersionOf(fr.Msg.Kind), 0, 0, 0, 0)
 	var err error
 	if buf, err = appendBinaryMessage(buf, fr.Msg); err != nil {
 		return buf[:start], err
@@ -215,6 +245,22 @@ func appendBinaryMessage(buf []byte, m *broker.Message) ([]byte, error) {
 		for _, id := range m.SubIDs {
 			buf = appendString(buf, id)
 		}
+	case broker.MsgPublishBatch:
+		buf = binary.AppendUvarint(buf, uint64(len(m.Pubs)))
+		for _, it := range m.Pubs {
+			buf = appendString(buf, it.PubID)
+			buf = appendPublication(buf, it.Pub)
+		}
+	case broker.MsgPing, broker.MsgPong:
+		buf = binary.AppendUvarint(buf, m.Seq)
+	case broker.MsgGossip:
+		buf = binary.AppendUvarint(buf, uint64(len(m.Members)))
+		for _, mb := range m.Members {
+			buf = appendString(buf, mb.ID)
+			buf = appendString(buf, mb.Addr)
+			buf = binary.AppendUvarint(buf, mb.Incarnation)
+			buf = append(buf, mb.State)
+		}
 	default:
 		return buf, fmt.Errorf("pubsub: cannot encode message kind %v", m.Kind)
 	}
@@ -248,7 +294,7 @@ func appendPublication(buf []byte, p subscription.Publication) []byte {
 // length — the single copy of the header contract shared by
 // UnmarshalFrame and the stream reader's blocking and buffered paths.
 func parseBinaryHeader(hdr []byte) (int, error) {
-	if hdr[1] != binVersion {
+	if hdr[1] != binVersion && hdr[1] != binVersion2 {
 		return 0, fmt.Errorf("pubsub: unsupported binary frame version %d", hdr[1])
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[2:binHeader]))
@@ -317,6 +363,30 @@ func decodeBinaryMessage(payload []byte) (*broker.Message, error) {
 			msg.SubIDs = make([]string, n)
 			for i := range msg.SubIDs {
 				msg.SubIDs[i] = d.string()
+			}
+		}
+	case broker.MsgPublishBatch:
+		n := d.count(2)
+		if d.err == nil {
+			msg.Pubs = make([]broker.BatchPub, n)
+			for i := range msg.Pubs {
+				msg.Pubs[i].PubID = d.string()
+				msg.Pubs[i].Pub = d.publication()
+			}
+		}
+	case broker.MsgPing, broker.MsgPong:
+		msg.Seq = d.uvarint()
+	case broker.MsgGossip:
+		// Every member record needs at least 4 bytes (two empty
+		// strings, an incarnation, a state byte).
+		n := d.count(4)
+		if d.err == nil {
+			msg.Members = make([]broker.MemberInfo, n)
+			for i := range msg.Members {
+				msg.Members[i].ID = d.string()
+				msg.Members[i].Addr = d.string()
+				msg.Members[i].Incarnation = d.uvarint()
+				msg.Members[i].State = d.byte()
 			}
 		}
 	default:

@@ -27,9 +27,24 @@ func codecTestFrames() []Frame {
 			{SubID: "b/2", Sub: sub2},
 		}}},
 		{Msg: &broker.Message{Kind: broker.MsgUnsubscribeBatch, SubIDs: []string{"b/1", "b/2"}}},
+		// The v2 vocabulary: producer-side publish batches and the
+		// cluster membership control frames.
+		{Msg: &broker.Message{Kind: broker.MsgPublishBatch, Pubs: []broker.BatchPub{
+			{PubID: "p-1", Pub: pub},
+			{PubID: "p-2", Pub: subscription.NewPublication(3)},
+		}}},
+		{Msg: &broker.Message{Kind: broker.MsgPing, Seq: 42}},
+		{Msg: &broker.Message{Kind: broker.MsgPong, Seq: 42}},
+		{Msg: &broker.Message{Kind: broker.MsgGossip, Members: []broker.MemberInfo{
+			{ID: "B1", Addr: "10.0.0.7:7001", Incarnation: 3, State: broker.MemberAlive},
+			{ID: "B2", Incarnation: 1, State: broker.MemberDead},
+		}}},
 		// Degenerate payloads the codec must carry faithfully.
 		{Msg: &broker.Message{Kind: broker.MsgPublish, PubID: ""}},
 		{Msg: &broker.Message{Kind: broker.MsgSubscribeBatch}},
+		{Msg: &broker.Message{Kind: broker.MsgPublishBatch}},
+		{Msg: &broker.Message{Kind: broker.MsgGossip}},
+		{Msg: &broker.Message{Kind: broker.MsgPing}},
 	}
 }
 

@@ -22,9 +22,10 @@ import (
 )
 
 // wireKind reports whether k is a protocol message kind both codecs
-// express.
+// express — through MsgGossip since the v2 vocabulary (publish
+// batches and cluster control frames).
 func wireKind(k broker.MsgKind) bool {
-	return k >= broker.MsgSubscribe && k <= broker.MsgUnsubscribeBatch
+	return k >= broker.MsgSubscribe && k <= broker.MsgGossip
 }
 
 // wireClean reports whether every identifier in the message is valid
@@ -44,6 +45,16 @@ func wireClean(m *broker.Message) bool {
 	}
 	for _, id := range m.SubIDs {
 		if !utf8.ValidString(id) {
+			return false
+		}
+	}
+	for _, it := range m.Pubs {
+		if !utf8.ValidString(it.PubID) {
+			return false
+		}
+	}
+	for _, mb := range m.Members {
+		if !utf8.ValidString(mb.ID) || !utf8.ValidString(mb.Addr) {
 			return false
 		}
 	}
@@ -80,6 +91,11 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 		[]byte{binMagic},
 		[]byte{binMagic, binVersion, 0xFF, 0xFF, 0xFF, 0x00},
 		[]byte{binMagic, binVersion, 2, 0, 0, 0, 0x05, 0xFF},
+		// v2-header malformed variants: truncated gossip member count,
+		// and a v2 frame carrying a v1 kind (legal — version bytes cap
+		// the vocabulary, not the payload grammar).
+		[]byte{binMagic, binVersion2, 2, 0, 0, 0, 0x0a, 0xFF},
+		[]byte{binMagic, binVersion2, 0xFF, 0xFF, 0xFF, 0x7F},
 	)
 	return seeds
 }

@@ -105,6 +105,10 @@ type (
 // Client.SubscribeBatch burst.
 type BatchSub = broker.BatchSub
 
+// BatchPub pairs a publication with its globally unique ID inside a
+// Client.PublishBatch burst.
+type BatchPub = broker.BatchPub
+
 // Notification is a delivered publication together with the matched
 // subscription ID.
 type Notification struct {

@@ -147,7 +147,17 @@ func (s simBroker) metrics() Metrics { return s.b.Metrics() }
 func (s simBroker) connectPeer(id, addr string) error {
 	return fmt.Errorf("pubsub: sim brokers peer via Transport.Connect, not ConnectPeer")
 }
-func (s simBroker) shutdown(ctx context.Context) error { return ctx.Err() }
+func (s simBroker) dialPeer(id, addr string) (bool, error) { return false, s.connectPeer(id, addr) }
+func (s simBroker) shutdown(ctx context.Context) error     { return ctx.Err() }
+func (s simBroker) core() *broker.Broker                   { return s.b }
+
+// Simulated brokers have no wire ports: the cluster layer drives
+// simulated overlays through its own simnet adapter (see
+// pubsub/cluster), not through these hooks.
+func (s simBroker) sendPeer(id string, msg broker.Message) bool { return false }
+func (s simBroker) setPeerHooks(up, down func(peer string))     {}
+func (s simBroker) setControlHandler(h broker.ControlHandler)   { s.b.SetControlHandler(h) }
+func (s simBroker) peerCluster(id string) uint8                 { return 0 }
 
 // simClient adapts a simulator client port to clientImpl.
 type simClient struct {
@@ -182,6 +192,8 @@ func (sc *simClient) send(ctx context.Context, msg broker.Message) error {
 		err = t.net.ClientSubscribeBatch(sc.name, msg.Subs)
 	case broker.MsgUnsubscribeBatch:
 		err = t.net.ClientUnsubscribeBatch(sc.name, msg.SubIDs)
+	case broker.MsgPublishBatch:
+		err = t.net.ClientPublishBatch(sc.name, msg.Pubs)
 	default:
 		err = fmt.Errorf("pubsub: unsupported client message kind %v", msg.Kind)
 	}

@@ -86,9 +86,19 @@ type Frame struct {
 	// wire version the sender decodes (0 = JSON only, the implicit
 	// advertisement of peers that predate the field).
 	Codec uint8 `json:"codec,omitempty"`
+	// Cluster advertises, on hello and ack frames, the cluster
+	// membership protocol version the sender speaks (0 = none, the
+	// implicit advertisement of peers without a cluster layer — such
+	// peers are never sent ping/pong/gossip frames).
+	Cluster uint8 `json:"cluster,omitempty"`
 	// Msg carries one protocol message on subsequent frames.
 	Msg *broker.Message `json:"msg,omitempty"`
 }
+
+// clusterProtoVersion is the membership protocol spoken by this build's
+// cluster layer and advertised in hello/ack frames once a control
+// handler is attached.
+const clusterProtoVersion = 1
 
 // TCPOption tunes the TCP transport.
 type TCPOption func(*tcpConfig)
@@ -101,21 +111,23 @@ type tcpConfig struct {
 }
 
 func defaultTCPConfig() tcpConfig {
-	return tcpConfig{codec: CodecBinary, dialCodec: CodecBinary}
+	return tcpConfig{codec: CodecBinary2, dialCodec: CodecBinary2}
 }
 
 // WithWireCodec caps the codec a broker advertises and sends.
-// CodecBinary (the default) negotiates the binary format with every
-// peer that also decodes it; CodecJSON pins the broker to the PR-3
-// JSON format — on the wire it behaves exactly like a pre-binary
-// build, which is how the cross-version interop tests model old
-// peers. Decoding always accepts both formats regardless.
+// CodecBinary2 (the default) negotiates the binary format and the
+// full message vocabulary with every peer that also decodes them;
+// CodecBinary pins the PR-4 vocabulary (no publish batches, no
+// cluster frames) and CodecJSON the PR-3 JSON format — on the wire
+// those behave exactly like the older builds, which is how the
+// cross-version interop tests model old peers. Decoding always
+// accepts every format regardless.
 func WithWireCodec(c WireCodec) TCPOption {
 	return func(cfg *tcpConfig) { cfg.codec = c }
 }
 
 // WithDialWireCodec caps the codec clients opened through
-// Transport.Open advertise and send (default CodecBinary). The
+// Transport.Open advertise and send (default CodecBinary2). The
 // cross-process form is Dial's WithDialCodec.
 func WithDialWireCodec(c WireCodec) TCPOption {
 	return func(cfg *tcpConfig) { cfg.dialCodec = c }
@@ -149,6 +161,7 @@ type wireItem struct {
 // goroutine's queue, and a kill switch.
 type tcpPort struct {
 	name string
+	peer bool // a neighbor broker (as opposed to a client)
 	conn net.Conn
 	// codec is the negotiated write codec for this destination. Client
 	// ports fix it at hello time; peer ports start at JSON and upgrade
@@ -160,7 +173,13 @@ type tcpPort struct {
 	// never advertised anything (0) may be a pre-batch build, so
 	// batch messages bound for it are split into per-item frames —
 	// message-kind vocabulary, unlike framing, cannot be sniffed.
+	// Destinations below CodecBinary2 additionally get publish
+	// batches split (they predate the PUBBATCH kind).
 	remote atomic.Uint32
+	// cluster is the membership protocol version the destination
+	// advertised; control frames (ping/pong/gossip) are dropped when
+	// it is 0 — peers without a cluster layer must never see them.
+	cluster atomic.Uint32
 	// wmu serializes connection writes: normally only the writer
 	// goroutine writes, but the serialized-dispatch ablation encodes
 	// inline on dispatching goroutines while the writer still owns the
@@ -218,6 +237,21 @@ type tcpServer struct {
 	// version it advertised (hello on its inbound connection, or ack
 	// on our outbound one), so the outbound port to it can upgrade.
 	peerCodec map[string]WireCodec
+	// peerClu records, per peer broker, the cluster protocol version
+	// it advertised alongside the codec.
+	peerClu map[string]uint8
+	// hooks are the cluster layer's peer-link callbacks (up on an
+	// established outbound link, down on a lost one). Invoked on their
+	// own goroutines so a callback may dial or send without deadlocking
+	// against s.mu. Events are at-least-once: a replaced connection or
+	// a redial can surface spurious down/up pairs, and the membership
+	// layer is expected to treat them idempotently.
+	hooks struct {
+		up, down func(peer string)
+	}
+	// clusterOn flips when a control handler attaches; hellos and acks
+	// advertise the cluster protocol version only while it is set.
+	clusterOn atomic.Bool
 
 	stopping chan struct{} // Shutdown began: stop accepting/registering
 	closed   chan struct{} // hard close: abandon queued frames
@@ -244,6 +278,7 @@ func newTCPServer(b *broker.Broker, addr string, cfg tcpConfig) (*tcpServer, err
 		ports:     make(map[string]*tcpPort),
 		readers:   make(map[net.Conn]struct{}),
 		peerCodec: make(map[string]WireCodec),
+		peerClu:   make(map[string]uint8),
 		stopping:  make(chan struct{}),
 		closed:    make(chan struct{}),
 	}
@@ -256,6 +291,8 @@ func newTCPServer(b *broker.Broker, addr string, cfg tcpConfig) (*tcpServer, err
 func (s *tcpServer) addr() string { return s.ln.Addr().String() }
 
 func (s *tcpServer) metrics() Metrics { return s.b.Metrics() }
+
+func (s *tcpServer) core() *broker.Broker { return s.b }
 
 // errPortExists reports that a live port already serves the name.
 var errPortExists = errors.New("pubsub: port already connected")
@@ -274,6 +311,7 @@ var errPortExists = errors.New("pubsub: port already connected")
 func (s *tcpServer) addPort(name string, conn net.Conn, replace, peer bool, clientCodec WireCodec, ack *Frame) (*tcpPort, error) {
 	p := &tcpPort{
 		name: name,
+		peer: peer,
 		conn: conn,
 		ch:   make(chan wireItem, s.cfg.queueLen),
 		dead: make(chan struct{}),
@@ -291,6 +329,7 @@ func (s *tcpServer) addPort(name string, conn net.Conn, replace, peer bool, clie
 	if peer {
 		p.codec.Store(uint32(s.cfg.codec.negotiate(s.peerCodec[name])))
 		p.remote.Store(uint32(s.peerCodec[name]))
+		p.cluster.Store(uint32(s.peerClu[name]))
 	} else {
 		p.codec.Store(uint32(clientCodec))
 		p.remote.Store(uint32(clientCodec))
@@ -334,12 +373,93 @@ func (s *tcpServer) runWriter(p *tcpPort) {
 			if err := p.writeFrame(it); err != nil {
 				// The destination vanished; message loss on broken links
 				// is the lossy-environment behavior the protocol already
-				// tolerates.
+				// tolerates. A lost peer link is surfaced to the cluster
+				// layer so its reconnect loop can engage.
 				p.kill()
+				if p.peer {
+					s.firePeerDown(p.name)
+				}
 				return
 			}
 		}
 	}
+}
+
+// firePeerUp / firePeerDown invoke the cluster layer's link hooks on
+// their own goroutine (a hook may dial or send, which takes s.mu).
+// Nothing fires once shutdown began.
+func (s *tcpServer) firePeerUp(id string)   { s.firePeerHook(id, true) }
+func (s *tcpServer) firePeerDown(id string) { s.firePeerHook(id, false) }
+
+func (s *tcpServer) firePeerHook(id string, up bool) {
+	s.mu.Lock()
+	h := s.hooks.down
+	if up {
+		h = s.hooks.up
+	}
+	s.mu.Unlock()
+	if h == nil {
+		return
+	}
+	select {
+	case <-s.stopping:
+		return
+	default:
+	}
+	go h(id)
+}
+
+// setPeerHooks registers the cluster layer's link callbacks.
+func (s *tcpServer) setPeerHooks(up, down func(peer string)) {
+	s.mu.Lock()
+	s.hooks.up, s.hooks.down = up, down
+	s.mu.Unlock()
+}
+
+// setControlHandler attaches the cluster layer's control dispatcher to
+// the underlying broker and turns on the cluster advertisement for
+// every subsequent hello and ack.
+func (s *tcpServer) setControlHandler(h broker.ControlHandler) {
+	s.b.SetControlHandler(h)
+	s.clusterOn.Store(h != nil)
+}
+
+// clusterVer is the cluster protocol version to advertise right now.
+func (s *tcpServer) clusterVer() uint8 {
+	if s.clusterOn.Load() {
+		return clusterProtoVersion
+	}
+	return 0
+}
+
+// peerCluster reports the cluster protocol version a peer advertised.
+func (s *tcpServer) peerCluster(id string) uint8 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peerClu[id]
+}
+
+// sendPeer queues one message for a peer broker, subject to the same
+// vocabulary negotiation as broker-originated traffic (legacy splits,
+// control-frame gating). It reports whether a live link to the peer
+// existed — delivery itself stays best-effort, like all sends.
+func (s *tcpServer) sendPeer(id string, msg broker.Message) bool {
+	s.mu.Lock()
+	p := s.ports[id]
+	s.mu.Unlock()
+	if p == nil || !p.peer {
+		return false
+	}
+	select {
+	case <-p.dead:
+		return false
+	default:
+	}
+	if msg.Kind.IsControl() && p.cluster.Load() == 0 {
+		return false
+	}
+	s.send(broker.Outbound{To: id, Msg: msg})
+	return true
 }
 
 // learnPeerCodec records what a peer broker advertised it decodes and
@@ -349,12 +469,20 @@ func (s *tcpServer) runWriter(p *tcpPort) {
 // build (advertising nothing) downgrades the port instead of being
 // sent binary frames its decoder would choke on.
 func (s *tcpServer) learnPeerCodec(id string, advertised WireCodec) {
+	s.learnPeer(id, advertised, 0)
+}
+
+// learnPeer records what a peer broker advertised (codec version and
+// cluster protocol) and re-negotiates the live outbound port.
+func (s *tcpServer) learnPeer(id string, advertised WireCodec, cluster uint8) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.peerCodec[id] = advertised
+	s.peerClu[id] = cluster
 	if p, ok := s.ports[id]; ok {
 		p.codec.Store(uint32(s.cfg.codec.negotiate(advertised)))
 		p.remote.Store(uint32(advertised))
+		p.cluster.Store(uint32(cluster))
 	}
 }
 
@@ -364,14 +492,17 @@ func (s *tcpServer) learnPeerCodec(id string, advertised WireCodec) {
 // transient-absence tolerance as the old implementation, minus its
 // head-of-line blocking.
 //
-// Batch messages bound for a destination that never advertised a
-// binary codec version are split into per-item frames first: such a
-// peer may be a pre-batch build whose state machine would reject the
-// unknown kinds and kill the link. The split preserves per-
-// destination order (one goroutine enqueues the items sequentially)
-// and is merely the un-amortized form of the same protocol traffic;
-// new JSON-pinned brokers receive it too, which is exactly how they
-// promise to be indistinguishable from old ones.
+// Messages whose kind the destination never advertised it decodes are
+// split into the older frames it knows first: a peer that advertised
+// no binary codec version may be a pre-batch build whose state
+// machine would reject SUBBATCH/UNSUBBATCH, and one that advertised
+// less than v2 predates PUBBATCH. The splits preserve per-destination
+// order (one goroutine enqueues the items sequentially) and are merely
+// the un-amortized form of the same protocol traffic; new JSON-pinned
+// brokers receive them too, which is exactly how they promise to be
+// indistinguishable from old ones. Control frames (ping/pong/gossip)
+// have no older form: they are dropped toward destinations without a
+// cluster layer — membership simply does not extend to them.
 func (s *tcpServer) send(o broker.Outbound) {
 	s.mu.Lock()
 	p := s.ports[o.To]
@@ -379,17 +510,31 @@ func (s *tcpServer) send(o broker.Outbound) {
 	if p == nil {
 		return
 	}
-	if WireCodec(p.remote.Load()) == CodecJSON {
-		switch o.Msg.Kind {
-		case broker.MsgSubscribeBatch:
+	remote := WireCodec(p.remote.Load())
+	switch o.Msg.Kind {
+	case broker.MsgSubscribeBatch:
+		if remote == CodecJSON {
 			for _, it := range o.Msg.Subs {
 				s.sendTo(p, broker.Message{Kind: broker.MsgSubscribe, SubID: it.SubID, Sub: it.Sub})
 			}
 			return
-		case broker.MsgUnsubscribeBatch:
+		}
+	case broker.MsgUnsubscribeBatch:
+		if remote == CodecJSON {
 			for _, id := range o.Msg.SubIDs {
 				s.sendTo(p, broker.Message{Kind: broker.MsgUnsubscribe, SubID: id})
 			}
+			return
+		}
+	case broker.MsgPublishBatch:
+		if remote < CodecBinary2 {
+			for _, it := range o.Msg.Pubs {
+				s.sendTo(p, broker.Message{Kind: broker.MsgPublish, PubID: it.PubID, Pub: it.Pub})
+			}
+			return
+		}
+	case broker.MsgPing, broker.MsgPong, broker.MsgGossip:
+		if p.cluster.Load() == 0 {
 			return
 		}
 	}
@@ -521,7 +666,7 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		return
 	}
 	from := hello.Hello
-	ack := &Frame{Ack: s.b.ID(), Codec: uint8(s.cfg.codec)}
+	ack := &Frame{Ack: s.b.ID(), Codec: uint8(s.cfg.codec), Cluster: s.clusterVer()}
 
 	var port *tcpPort
 	if hello.Client {
@@ -542,7 +687,7 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 			return
 		}
 		// What the peer decodes governs our outbound port to it.
-		s.learnPeerCodec(from, WireCodec(hello.Codec))
+		s.learnPeer(from, WireCodec(hello.Codec), hello.Cluster)
 		// Answer with the ack directly (nobody else writes on an
 		// inbound peer connection): its ack reader learns our codec.
 		// Old peers never read this side and simply leave it buffered.
@@ -574,6 +719,13 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		// connections are closed by their port's writer.
 		defer conn.Close()
 	}
+	// Note: an inbound peer stream ending does NOT fire the peer-down
+	// hook. Losing dial races close redundant connections as a matter
+	// of course (ConnectPeer's errPortExists path), and treating those
+	// closes as link loss makes membership flap through spurious
+	// down→recover→re-announce cycles. The authoritative loss signals
+	// are the outbound writer failing (firePeerDown in runWriter) and
+	// the cluster layer's own ping timeouts.
 
 	fail := func() {
 		if port != nil {
@@ -639,33 +791,60 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 }
 
 // connectPeer dials a neighbor broker at addr, registers the overlay
-// link, and starts the outbound writer. The hello advertises what we
-// decode; a goroutine watches the (otherwise silent) connection for
-// the acceptor's ack so the port can upgrade to the binary codec once
-// the peer has advertised it.
+// link, and starts the outbound writer — the idempotent public form
+// (dialing an already-linked peer is success).
 func (s *tcpServer) connectPeer(id, addr string) error {
-	conn, err := net.Dial("tcp", addr)
+	_, err := s.dialPeer(id, addr)
+	return err
+}
+
+// dialPeer is connectPeer reporting whether THIS call established the
+// outbound link: false (with nil error) when a live port already
+// existed and the new connection was discarded. The distinction
+// matters to the cluster reconnect loop — a no-op dial against an
+// existing connection proves nothing about the peer (the connection
+// may be stalled), so treating it as a recovery would let a hung peer
+// flap dead→alive forever. The hello advertises what we decode; a
+// goroutine watches the (otherwise silent) connection for the
+// acceptor's ack so the port can upgrade to the binary codec once the
+// peer has advertised it.
+func (s *tcpServer) dialPeer(id, addr string) (bool, error) {
+	conn, err := net.DialTimeout("tcp", addr, peerDialTimeout)
 	if err != nil {
-		return fmt.Errorf("pubsub: dial peer %s at %s: %w", id, addr, err)
+		return false, fmt.Errorf("pubsub: dial peer %s at %s: %w", id, addr, err)
 	}
-	hello := &Frame{Hello: s.b.ID(), Addr: s.advertiseAddr(), Codec: uint8(s.cfg.codec)}
+	hello := &Frame{Hello: s.b.ID(), Addr: s.advertiseAddr(), Codec: uint8(s.cfg.codec), Cluster: s.clusterVer()}
 	if err := writeJSONFrame(conn, hello); err != nil {
 		conn.Close()
-		return fmt.Errorf("pubsub: hello to %s: %w", id, err)
+		return false, fmt.Errorf("pubsub: hello to %s: %w", id, err)
 	}
 	if err := s.b.ConnectNeighbor(id); err != nil {
 		conn.Close()
-		return err
+		return false, err
 	}
 	if _, err := s.addPort(id, conn, false, true, 0, nil); err != nil {
 		conn.Close()
 		if errors.Is(err, errPortExists) {
 			// A concurrent dial (ours or the peer's dial-back) already
 			// established the link; connecting twice is success.
-			return nil
+			return false, nil
 		}
-		return err
+		return false, err
 	}
+	// Link sync: a freshly established (or re-established) outbound
+	// link starts with ONE SUBBATCH of the coverage roots for this
+	// neighbor — everything the table says the peer must know. On a
+	// first-boot link the table is empty and nothing is sent; after a
+	// reconnect (or toward a neighbor registered while no port
+	// existed) this is the healing re-announcement: the peer drops
+	// what it already knows and fills the gaps, so routing state
+	// converges without any transport replaying lost frames. send()
+	// splits it per-item for peers that predate batch frames.
+	if roots := s.b.NeighborRoots(id); len(roots) > 0 {
+		s.send(broker.Outbound{To: id, Msg: broker.Message{Kind: broker.MsgSubscribeBatch, Subs: roots}})
+	}
+	// Tell the cluster layer the link is up.
+	s.firePeerUp(id)
 	// The acceptor's only traffic on this connection is its ack (old
 	// peers send nothing); the goroutine exits when the port's writer
 	// closes the connection.
@@ -677,12 +856,17 @@ func (s *tcpServer) connectPeer(id, addr string) error {
 				return
 			}
 			if fr.Ack != "" {
-				s.learnPeerCodec(id, WireCodec(fr.Codec))
+				s.learnPeer(id, WireCodec(fr.Codec), fr.Cluster)
 			}
 		}
 	}()
-	return nil
+	return true, nil
 }
+
+// peerDialTimeout bounds a single peer dial attempt so a reconnect
+// loop probing a dead host cannot stall for the kernel's full connect
+// timeout.
+const peerDialTimeout = 3 * time.Second
 
 // advertiseAddr returns the listen address to offer peers for
 // dial-back, or "" when the listener is bound to an unspecified host
@@ -991,9 +1175,10 @@ type dialConfig struct {
 }
 
 // WithDialCodec caps the codec the client advertises and sends
-// (default CodecBinary). CodecJSON makes the client behave exactly
+// (default CodecBinary2). CodecJSON makes the client behave exactly
 // like a pre-binary build: it never advertises the binary format (so
-// the broker sends it JSON) and never upgrades its own sends.
+// the broker sends it JSON) and never upgrades its own sends;
+// CodecBinary pins the PR-4 vocabulary (publish batches split).
 func WithDialCodec(c WireCodec) DialOption {
 	return func(cfg *dialConfig) { cfg.codec = c }
 }
@@ -1020,13 +1205,14 @@ type tcpClient struct {
 // ack before concluding the broker predates it.
 const legacyAckWait = 3 * time.Second
 
-// supportsBatch reports whether the broker is known to understand
-// batch message kinds, waiting (bounded by the context and a fixed
+// supportsVocab reports whether the broker advertised at least the
+// given wire version — the vocabulary gate for batch kinds (v1) and
+// publish-batch (v2) — waiting (bounded by the context and a fixed
 // cap) for the handshake ack on a fresh connection. Like the
 // broker-side split, a server that advertised no codec version is
-// treated as pre-batch — JSON-pinned new brokers accept the per-item
-// form by design.
-func (c *tcpClient) supportsBatch(ctx context.Context) bool {
+// treated as predating the kind — JSON-pinned new brokers accept the
+// per-item form by design.
+func (c *tcpClient) supportsVocab(ctx context.Context, minVer WireCodec) bool {
 	timeout := legacyAckWait
 	if d, ok := ctx.Deadline(); ok {
 		// Leave at least half the caller's budget for the write that
@@ -1037,7 +1223,7 @@ func (c *tcpClient) supportsBatch(ctx context.Context) bool {
 	}
 	select {
 	case <-c.acked:
-		return WireCodec(c.remoteVer.Load()) >= CodecBinary
+		return WireCodec(c.remoteVer.Load()) >= minVer
 	case <-time.After(timeout):
 		return false
 	case <-ctx.Done():
@@ -1082,8 +1268,13 @@ func (c *tcpClient) send(ctx context.Context, msg broker.Message) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	batch := msg.Kind == broker.MsgSubscribeBatch || msg.Kind == broker.MsgUnsubscribeBatch
-	split := batch && !c.supportsBatch(ctx) // waits for the ack, which may upgrade wcodec
+	var split bool
+	switch msg.Kind { // waits for the ack, which may upgrade wcodec
+	case broker.MsgSubscribeBatch, broker.MsgUnsubscribeBatch:
+		split = !c.supportsVocab(ctx, CodecBinary)
+	case broker.MsgPublishBatch:
+		split = !c.supportsVocab(ctx, CodecBinary2)
+	}
 	codec := WireCodec(c.wcodec.Load())
 	buf := getEncBuf()
 	defer putEncBuf(buf)
@@ -1104,6 +1295,14 @@ func (c *tcpClient) send(ctx context.Context, msg broker.Message) error {
 		data = (*buf)[:0]
 		for _, id := range msg.SubIDs {
 			m := broker.Message{Kind: broker.MsgUnsubscribe, SubID: id}
+			if data, err = MarshalFrame(codec, data, &Frame{Msg: &m}); err != nil {
+				break
+			}
+		}
+	case msg.Kind == broker.MsgPublishBatch && split:
+		data = (*buf)[:0]
+		for _, it := range msg.Pubs {
+			m := broker.Message{Kind: broker.MsgPublish, PubID: it.PubID, Pub: it.Pub}
 			if data, err = MarshalFrame(codec, data, &Frame{Msg: &m}); err != nil {
 				break
 			}

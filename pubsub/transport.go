@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"probsum/internal/broker"
+	"probsum/subsume"
 )
 
 // Transport hosts a broker overlay and connects clients to it. The two
@@ -69,7 +70,25 @@ type brokerImpl interface {
 	addr() string
 	metrics() Metrics
 	connectPeer(id, addr string) error
+	// dialPeer is connectPeer reporting whether THIS call established
+	// the link (false+nil when a live link already existed).
+	dialPeer(id, addr string) (established bool, err error)
 	shutdown(ctx context.Context) error
+	// core exposes the underlying protocol state machine (root-set
+	// export, control-handler attachment).
+	core() *broker.Broker
+	// sendPeer queues one message toward a peer broker under the
+	// transport's vocabulary negotiation; false when no live link (or,
+	// for control kinds, no cluster-capable link) exists.
+	sendPeer(id string, msg broker.Message) bool
+	// setPeerHooks registers link up/down callbacks; setControlHandler
+	// attaches the cluster control dispatcher and turns on the cluster
+	// advertisement.
+	setPeerHooks(up, down func(peer string))
+	setControlHandler(h broker.ControlHandler)
+	// peerCluster reports the cluster protocol version a peer
+	// advertised (0 = none).
+	peerCluster(id string) uint8
 }
 
 // ID returns the broker identifier.
@@ -91,10 +110,71 @@ func (b *Broker) Metrics() Metrics { return b.impl.metrics() }
 // wired through Transport.Connect.
 func (b *Broker) ConnectPeer(id, addr string) error { return b.impl.connectPeer(id, addr) }
 
+// DialPeer is ConnectPeer with an extra result: established reports
+// whether THIS call created the outbound link (false with a nil error
+// when a live link already existed — connecting twice is still
+// success). The cluster reconnect loop uses the distinction: only a
+// genuinely re-established connection proves the peer reachable and
+// carries the link sync, while a no-op dial against an existing —
+// possibly stalled — connection proves nothing.
+func (b *Broker) DialPeer(id, addr string) (established bool, err error) {
+	return b.impl.dialPeer(id, addr)
+}
+
 // Shutdown stops the broker, draining in-flight work within the
 // context's deadline. In-process brokers stop with their transport and
 // treat this as a no-op.
 func (b *Broker) Shutdown(ctx context.Context) error { return b.impl.shutdown(ctx) }
+
+// SendPeer queues one protocol message toward a peer broker, under the
+// same wire-vocabulary negotiation as broker-originated traffic
+// (legacy splits for batches, control-frame gating). It reports
+// whether a live link existed; delivery stays best-effort. This is the
+// cluster layer's send primitive — ordinary applications publish
+// through clients, not through broker links.
+func (b *Broker) SendPeer(peer string, msg broker.Message) bool {
+	return b.impl.sendPeer(peer, msg)
+}
+
+// SetPeerHooks registers callbacks invoked when a peer overlay link is
+// established (up: an outbound connection completed) or lost (down: a
+// link's connection died). Events are delivered at-least-once on
+// separate goroutines; the cluster membership layer consumes them to
+// drive its failure detector and reconnect loop.
+func (b *Broker) SetPeerHooks(up, down func(peer string)) {
+	b.impl.setPeerHooks(up, down)
+}
+
+// SetControlHandler attaches the cluster layer's dispatcher for
+// overlay-control messages (ping/pong/gossip) and turns on the cluster
+// advertisement in this broker's hellos and acks. Handlers run outside
+// the broker's routing locks and must be safe for concurrent callers.
+func (b *Broker) SetControlHandler(h broker.ControlHandler) {
+	b.impl.setControlHandler(h)
+}
+
+// PeerRoots exports the active subscriptions of the coverage table for
+// one peer — the forwarding roots that peer must know. The cluster
+// healing protocol re-announces them as one SUBBATCH when a lost link
+// is restored.
+func (b *Broker) PeerRoots(peer string) []BatchSub {
+	return b.impl.core().NeighborRoots(peer)
+}
+
+// PeerClusterVersion reports the cluster protocol version a peer
+// advertised in its hello or ack (0 = no cluster layer).
+func (b *Broker) PeerClusterVersion(peer string) uint8 {
+	return b.impl.peerCluster(peer)
+}
+
+// NeighborTableMetrics returns the coverage-table operation counters
+// for one peer port — how the subscriptions forwarded to that peer
+// were admitted (per-item vs batch, suppressed, promoted). The
+// cluster tests pin through it that a healed link's root
+// re-announcement arrives as ONE batch admission.
+func (b *Broker) NeighborTableMetrics(peer string) (subsume.TableMetrics, bool) {
+	return b.impl.core().NeighborTableMetrics(peer)
+}
 
 // Client is a subscriber/publisher endpoint, transport-independent.
 // Operations are context-aware; notifications stream on a channel.
@@ -171,6 +251,26 @@ func (c *Client) Publish(ctx context.Context, pubID string, p Publication) error
 		return fmt.Errorf("pubsub: empty publication id")
 	}
 	return c.impl.send(ctx, broker.Message{Kind: broker.MsgPublish, PubID: pubID, Pub: p})
+}
+
+// PublishBatch sends a burst of publications as ONE protocol message:
+// the broker pays its routing lock once for the whole frame and
+// re-forwards the matching publications per neighbor as one batch, so
+// a deliberate producer-side burst stays batched end to end across the
+// overlay. Publications are processed in slice order with the same
+// dedup and delivery semantics as per-item Publish. An empty burst is
+// a no-op. Against brokers that predate the PUBBATCH frame the burst
+// is transparently sent as per-item frames.
+func (c *Client) PublishBatch(ctx context.Context, pubs []BatchPub) error {
+	if len(pubs) == 0 {
+		return nil
+	}
+	for i, it := range pubs {
+		if it.PubID == "" {
+			return fmt.Errorf("pubsub: batch item %d has empty publication id", i)
+		}
+	}
+	return c.impl.send(ctx, broker.Message{Kind: broker.MsgPublishBatch, Pubs: pubs})
 }
 
 // Notifications returns the client's delivery stream. The channel is

@@ -465,7 +465,8 @@ func TestTCPPeerCodecDowngrade(t *testing.T) {
 
 // TestTCPPeerBinaryUpgrade is the positive peer case: two binary
 // brokers end up with binary ports in both directions once hellos and
-// acks have crossed.
+// acks have crossed — at the v2 vocabulary, since both default builds
+// advertise it.
 func TestTCPPeerBinaryUpgrade(t *testing.T) {
 	a := listenTestBroker(t, "A", Pairwise)
 	b := listenTestBroker(t, "B", Pairwise)
@@ -484,13 +485,329 @@ func TestTCPPeerBinaryUpgrade(t *testing.T) {
 			pair.srv.mu.Lock()
 			p := pair.srv.ports[pair.peer]
 			pair.srv.mu.Unlock()
-			if p != nil && p.writeCodec() == CodecBinary {
+			if p != nil && p.writeCodec() == CodecBinary2 {
 				break
 			}
 			if time.Now().After(deadline) {
-				t.Fatalf("%s port to %s never upgraded to binary", pair.srv.b.ID(), pair.peer)
+				t.Fatalf("%s port to %s never upgraded to binary v2", pair.srv.b.ID(), pair.peer)
 			}
 			time.Sleep(5 * time.Millisecond)
 		}
+	}
+}
+
+// TestTCPPublishBatchDelivery drives Client.PublishBatch end to end
+// over a two-broker overlay: one PUBBATCH frame in, every publication
+// delivered to the matching subscriber on the far side.
+func TestTCPPublishBatchDelivery(t *testing.T) {
+	a := listenTestBroker(t, "A", Pairwise)
+	b := listenTestBroker(t, "B", Pairwise)
+	if err := a.ConnectPeer("B", b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ConnectPeer("A", a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(t)
+	sub := dialTest(t, b.Addr(), "alice")
+	if err := sub.Subscribe(ctx, "s1", box(0, 100, 0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	waitMetric(t, a, 5*time.Second, func(m Metrics) bool { return m.SubsReceived == 1 })
+
+	pub := dialTest(t, a.Addr(), "bob")
+	const n = 5
+	batch := make([]BatchPub, n)
+	for i := range batch {
+		batch[i] = BatchPub{PubID: fmt.Sprintf("p%d", i), Pub: subscription.NewPublication(int64(i*10), int64(i*10))}
+	}
+	if err := pub.PublishBatch(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for i := 0; i < n; i++ {
+		nt, ok := recvOne(t, sub, 5*time.Second)
+		if !ok {
+			t.Fatalf("notification %d missing (got %v)", i, got)
+		}
+		if nt.SubID != "s1" {
+			t.Fatalf("notification under %s", nt.SubID)
+		}
+		got[nt.PubID] = true
+	}
+	for i := 0; i < n; i++ {
+		if !got[fmt.Sprintf("p%d", i)] {
+			t.Fatalf("p%d not delivered: %v", i, got)
+		}
+	}
+	if m := a.Metrics(); m.PubsReceived != n || m.PubsForwarded != n {
+		t.Fatalf("A publish metrics %+v, want %d received and forwarded", m, n)
+	}
+}
+
+// TestTCPPublishBatchStaysBatchedForV2Peer pins that a producer batch
+// crosses the overlay as ONE PUBBATCH frame when the peer advertised
+// the v2 vocabulary.
+func TestTCPPublishBatchStaysBatchedForV2Peer(t *testing.T) {
+	a := listenTestBroker(t, "A", Pairwise)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	frames := make(chan broker.Message, 16)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		r := newFrameReader(conn)
+		var fr Frame
+		if err := r.read(&fr); err != nil || fr.Hello != "A" {
+			return
+		}
+		// A v2-capable peer: the ack advertises binary v2.
+		if err := writeJSONFrame(conn, &Frame{Ack: "P", Codec: uint8(CodecBinary2)}); err != nil {
+			return
+		}
+		for {
+			if err := r.read(&fr); err != nil {
+				return
+			}
+			if fr.Msg != nil {
+				frames <- *fr.Msg
+			}
+		}
+	}()
+	if err := a.ConnectPeer("P", ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	// The fake peer dials A and announces a subscription so A forwards
+	// matching publications to it.
+	peerConn, err := net.Dial("tcp", a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peerConn.Close()
+	if err := writeJSONFrame(peerConn, &Frame{Hello: "P", Codec: uint8(CodecBinary2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSONFrame(peerConn, &Frame{Msg: &broker.Message{Kind: broker.MsgSubscribe, SubID: "ps", Sub: box(0, 100, 0, 100)}}); err != nil {
+		t.Fatal(err)
+	}
+	waitMetric(t, a, 5*time.Second, func(m Metrics) bool { return m.SubsReceived == 1 })
+
+	ctx := testCtx(t)
+	c := dialTest(t, a.Addr(), "bob")
+	const n = 5
+	batch := make([]BatchPub, n)
+	for i := range batch {
+		batch[i] = BatchPub{PubID: fmt.Sprintf("q%d", i), Pub: subscription.NewPublication(int64(i), int64(i))}
+	}
+	if err := c.PublishBatch(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-frames:
+		if msg.Kind != broker.MsgPublishBatch || len(msg.Pubs) != n {
+			t.Fatalf("peer received %v with %d pubs, want one PUBBATCH of %d", msg.Kind, len(msg.Pubs), n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("forwarded publish batch never arrived")
+	}
+}
+
+// TestTCPPublishBatchSplitForV1Peer pins the vocabulary downgrade: a
+// peer that advertised only binary v1 (a PR-4 build) predates the
+// PUBBATCH kind, so the batch reaches it as per-item publish frames.
+func TestTCPPublishBatchSplitForV1Peer(t *testing.T) {
+	a := listenTestBroker(t, "A", Pairwise)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	frames := make(chan broker.Message, 16)
+	fail := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			fail <- err
+			return
+		}
+		defer conn.Close()
+		r := newFrameReader(conn)
+		var fr Frame
+		if err := r.read(&fr); err != nil || fr.Hello != "A" {
+			fail <- fmt.Errorf("bad hello %+v: %v", fr, err)
+			return
+		}
+		if err := writeJSONFrame(conn, &Frame{Ack: "P", Codec: uint8(CodecBinary)}); err != nil {
+			fail <- err
+			return
+		}
+		for {
+			if err := r.read(&fr); err != nil {
+				return
+			}
+			if fr.Msg == nil {
+				continue
+			}
+			if fr.Msg.Kind > broker.MsgUnsubscribeBatch {
+				fail <- fmt.Errorf("v1 peer received kind %v", fr.Msg.Kind)
+				return
+			}
+			frames <- *fr.Msg
+		}
+	}()
+	if err := a.ConnectPeer("P", ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	peerConn, err := net.Dial("tcp", a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peerConn.Close()
+	if err := writeJSONFrame(peerConn, &Frame{Hello: "P", Codec: uint8(CodecBinary)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSONFrame(peerConn, &Frame{Msg: &broker.Message{Kind: broker.MsgSubscribe, SubID: "ps", Sub: box(0, 100, 0, 100)}}); err != nil {
+		t.Fatal(err)
+	}
+	waitMetric(t, a, 5*time.Second, func(m Metrics) bool { return m.SubsReceived == 1 })
+
+	ctx := testCtx(t)
+	c := dialTest(t, a.Addr(), "bob")
+	const n = 4
+	batch := make([]BatchPub, n)
+	for i := range batch {
+		batch[i] = BatchPub{PubID: fmt.Sprintf("q%d", i), Pub: subscription.NewPublication(int64(i), int64(i))}
+	}
+	if err := c.PublishBatch(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case msg := <-frames:
+			if msg.Kind != broker.MsgPublish || msg.PubID != fmt.Sprintf("q%d", i) {
+				t.Fatalf("frame %d = %v %s, want per-item publish of q%d", i, msg.Kind, msg.PubID, i)
+			}
+		case err := <-fail:
+			t.Fatal(err)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("v1 peer received %d of %d split frames", i, n)
+		}
+	}
+}
+
+// TestTCPClientPublishBatchSplitForV1Broker is the client-side mirror:
+// a broker that acked only binary v1 receives Client.PublishBatch as
+// per-item publish frames.
+func TestTCPClientPublishBatchSplitForV1Broker(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	frames := make(chan broker.Message, 16)
+	fail := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			fail <- err
+			return
+		}
+		defer conn.Close()
+		r := newFrameReader(conn)
+		var fr Frame
+		if err := r.read(&fr); err != nil || fr.Hello != "alice" || !fr.Client {
+			fail <- fmt.Errorf("bad hello %+v: %v", fr, err)
+			return
+		}
+		if err := writeJSONFrame(conn, &Frame{Ack: "B", Codec: uint8(CodecBinary)}); err != nil {
+			fail <- err
+			return
+		}
+		for {
+			if err := r.read(&fr); err != nil {
+				return
+			}
+			if fr.Msg == nil {
+				continue
+			}
+			if fr.Msg.Kind > broker.MsgUnsubscribeBatch {
+				fail <- fmt.Errorf("v1 broker received kind %v", fr.Msg.Kind)
+				return
+			}
+			frames <- *fr.Msg
+		}
+	}()
+
+	c, err := Dial(testCtx(t), ln.Addr().String(), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.PublishBatch(testCtx(t), []BatchPub{
+		{PubID: "q0", Pub: subscription.NewPublication(1, 1)},
+		{PubID: "q1", Pub: subscription.NewPublication(2, 2)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case msg := <-frames:
+			if msg.Kind != broker.MsgPublish || msg.PubID != fmt.Sprintf("q%d", i) {
+				t.Fatalf("frame %d = %v %s", i, msg.Kind, msg.PubID)
+			}
+		case err := <-fail:
+			t.Fatal(err)
+		case <-time.After(5 * time.Second):
+			t.Fatal("v1 broker did not receive split publishes")
+		}
+	}
+}
+
+// TestSimPublishBatch pins Client.PublishBatch on the simulated
+// transport: one batch message, every publication delivered.
+func TestSimPublishBatch(t *testing.T) {
+	tr, err := NewSimTransport(Pairwise, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(t)
+	defer tr.Shutdown(ctx)
+	if _, err := tr.AddBroker("B1"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := tr.Open(ctx, "alice", "B1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := tr.Open(ctx, "bob", "B1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Subscribe(ctx, "s1", box(0, 100, 0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.PublishBatch(ctx, []BatchPub{
+		{PubID: "p0", Pub: subscription.NewPublication(1, 1)},
+		{PubID: "p1", Pub: subscription.NewPublication(2, 2)},
+		{PubID: "p2", Pub: subscription.NewPublication(3, 3)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		n, ok := recvOne(t, sub, 2*time.Second)
+		if !ok {
+			t.Fatalf("sim notification %d missing", i)
+		}
+		got[n.PubID] = true
+	}
+	if !got["p0"] || !got["p1"] || !got["p2"] {
+		t.Fatalf("sim deliveries = %v", got)
 	}
 }

@@ -1,0 +1,128 @@
+package subsume_test
+
+// Shard-balance pin (ISSUE 5 satellite): the stockticker workload used
+// to land 245 of its 392 subscriptions in one of four shards under the
+// default locality-first router — measurable via
+// TableMetrics.ShardOccupancy since PR 3. The rendezvous router must
+// spread the same workload without breaking any coverage semantics.
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"probsum/subsume"
+)
+
+// stocktickerWorkload reproduces examples/stockticker's subscription
+// population exactly (same seeds, same construction): per desk one
+// broad symbol-block subscription plus 48 per-trader refinements.
+func stocktickerWorkload(t *testing.T, schema *subsume.Schema) (ids []subsume.ID, subs []subsume.Subscription) {
+	t.Helper()
+	const (
+		symbols  = 400
+		desks    = 8
+		traders  = 48
+		priceMax = 100_000
+	)
+	for d := 0; d < desks; d++ {
+		rng := rand.New(rand.NewPCG(uint64(d), 99))
+		symLo := int64(d * symbols / desks)
+		symHi := int64((d+1)*symbols/desks - 1)
+		ids = append(ids, subsume.ID(d*10_000))
+		subs = append(subs, subsume.NewSubscription(schema).Range("sym", symLo, symHi).Build())
+		for tr := 1; tr <= traders; tr++ {
+			sym := symLo + rng.Int64N(symHi-symLo+1)
+			lo := rng.Int64N(priceMax / 2)
+			ids = append(ids, subsume.ID(d*10_000+tr))
+			subs = append(subs, subsume.NewSubscription(schema).
+				Range("sym", sym, sym).
+				Range("price", lo, lo+rng.Int64N(priceMax-lo)).
+				Range("size", rng.Int64N(10_000), 1_000_000).
+				Build())
+		}
+	}
+	return ids, subs
+}
+
+func occupancy(t *testing.T, tbl *subsume.Table) (occ []int, total, maxShard int) {
+	t.Helper()
+	m := tbl.Metrics()
+	for _, n := range m.ShardOccupancy {
+		total += n
+		if n > maxShard {
+			maxShard = n
+		}
+	}
+	return m.ShardOccupancy, total, maxShard
+}
+
+func TestRendezvousRouterBalancesStockticker(t *testing.T) {
+	const shards = 4
+	schema := subsume.NewSchema(
+		subsume.Attr("sym", 0, 399),
+		subsume.Attr("price", 0, 100_000),
+		subsume.Attr("size", 0, 1_000_000),
+	)
+	ids, subs := stocktickerWorkload(t, schema)
+
+	build := func(opts ...subsume.TableOption) *subsume.Table {
+		t.Helper()
+		base := []subsume.TableOption{
+			subsume.WithShards(shards),
+			subsume.WithTableSchema(schema),
+			subsume.WithTableSeed(2026),
+		}
+		tbl, err := subsume.NewTable(subsume.Group, append(base, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range ids {
+			if _, err := tbl.Subscribe(id, subs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tbl
+	}
+
+	defTbl := build()
+	rdvTbl := build(subsume.WithRendezvousPlacement())
+
+	defOcc, defTotal, defMax := occupancy(t, defTbl)
+	rdvOcc, rdvTotal, rdvMax := occupancy(t, rdvTbl)
+	if defTotal != len(ids) || rdvTotal != len(ids) {
+		t.Fatalf("occupancy totals %d/%d, want %d", defTotal, rdvTotal, len(ids))
+	}
+	t.Logf("default router occupancy: %v (max %d/%d)", defOcc, defMax, defTotal)
+	t.Logf("rendezvous occupancy:     %v (max %d/%d)", rdvOcc, rdvMax, rdvTotal)
+
+	// The regression being fixed: the default router clumps the
+	// majority of the workload into one shard.
+	if defMax*2 <= defTotal {
+		t.Fatalf("default router no longer clumps (max %d of %d) — update this pin", defMax, defTotal)
+	}
+	// The fix: no shard holds more than ~40%% of the population (a
+	// perfectly even split would be 25%% per shard).
+	if rdvMax*5 > rdvTotal*2 {
+		t.Fatalf("rendezvous router still clumps: max shard holds %d of %d", rdvMax, rdvTotal)
+	}
+
+	// Placement must not change WHAT is stored or matched — only
+	// where. Both tables hold the same population and match
+	// identically.
+	if defTbl.Len() != rdvTbl.Len() {
+		t.Fatalf("table sizes diverge: %d vs %d", defTbl.Len(), rdvTbl.Len())
+	}
+	rng := rand.New(rand.NewPCG(17, 23))
+	for i := 0; i < 200; i++ {
+		p := subsume.NewPublication(rng.Int64N(400), rng.Int64N(100_001), rng.Int64N(1_000_001))
+		a, b := defTbl.Match(p), rdvTbl.Match(p)
+		if len(a) != len(b) {
+			t.Fatalf("match %d diverges: %d vs %d ids", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("match %d diverges at %d: %v vs %v", i, j, a[j], b[j])
+			}
+		}
+	}
+}

@@ -104,7 +104,15 @@ type tableConfig struct {
 	reversePrune bool
 	pruning      bool
 	schema       *Schema
+	router       Router
+	rendezvous   bool
 }
+
+// Router maps a subscription to a shard-selection hash — under the
+// default placement the shard is the hash modulo the shard count;
+// under WithRendezvousPlacement it is the rendezvous placement key.
+// See WithShardRouter.
+type Router = store.Router
 
 // WithShards sets the shard count (default 1). A single shard keeps
 // the exact semantics of one sequential coverage table; more shards
@@ -152,6 +160,28 @@ func WithTableSchema(schema *Schema) TableOption {
 	return func(c *tableConfig) { c.schema = schema }
 }
 
+// WithShardRouter replaces the shard-placement hash entirely with a
+// custom function. Routing is a placement heuristic only; correctness
+// never depends on it.
+func WithShardRouter(r Router) TableOption {
+	return func(c *tableConfig) { c.router = r }
+}
+
+// WithRendezvousPlacement switches the table to balance-first shard
+// placement: subscriptions carry a fine-grained dominant-bound key
+// (or the WithShardRouter value), every shard ranks the key by salted
+// rendezvous hash, and activation takes the less-occupied of the two
+// top-ranked shards. Use it when the default locality-first router
+// clumps a skewed workload into one shard — covered subscriptions
+// always live with their coverer, so a broad subscription drags its
+// covered population into its own shard and only load-aware placement
+// spreads those piles (measure with TableMetrics.ShardOccupancy). The
+// tradeoff is weaker placement locality: coverage leans more on the
+// (sound) cross-shard admission scan.
+func WithRendezvousPlacement() TableOption {
+	return func(c *tableConfig) { c.rendezvous = true }
+}
+
 // Table is a maintained coverage table, safe for concurrent callers.
 // Subscriptions are admitted covered when the active set (per shard)
 // already covers them and active otherwise; Match answers publication
@@ -184,6 +214,12 @@ func NewTable(policy Policy, opts ...TableOption) (*Table, error) {
 	}
 	if cfg.schema != nil {
 		sopts = append(sopts, store.WithShardSchema(cfg.schema))
+	}
+	if cfg.router != nil {
+		sopts = append(sopts, store.WithShardRouter(cfg.router))
+	}
+	if cfg.rendezvous {
+		sopts = append(sopts, store.WithShardRendezvous(true))
 	}
 	sh, err := store.NewSharded(sp, sopts...)
 	if err != nil {
