@@ -45,8 +45,20 @@
 // control frames are only ever sent to peers that advertised the
 // membership protocol — old daemons mix freely in the same overlay.
 //
+// With -data-dir the broker is durable: every state-changing arrival
+// is appended to a CRC-framed journal in that directory (fsynced in
+// batches of -journal-sync records) and compacted into a snapshot
+// every -snapshot-interval. A broker restarted with the same -data-dir
+// recovers its subscriptions, reverse paths, and dedup window from
+// disk — clients do not re-subscribe — and the link-digest
+// reconciliation protocol repairs whatever diverged from its peers
+// while it was down:
+//
+//	brokerd -id B1 -cluster overlay.json -data-dir /var/lib/probsum/B1
+//
 // On SIGINT/SIGTERM the broker shuts down gracefully, draining
-// in-flight frames for up to -drain.
+// in-flight frames for up to -drain and flushing a final snapshot
+// before the data directory is closed.
 package main
 
 import (
@@ -99,6 +111,9 @@ func run() error {
 		clusterFile = flag.String("cluster", "", "cluster topology file (JSON, see pubsub/cluster.Topology): membership, gossip, and self-healing links")
 		mesh        = flag.Bool("mesh", false, "run the cluster layer with no seeds — the form for the FIRST broker of a seed-node cluster (later ones point -seed-node at it)")
 		pingEvery   = flag.Duration("ping-interval", 500*time.Millisecond, "cluster failure-detector ping interval")
+		dataDir     = flag.String("data-dir", "", "durable state directory: journal + snapshots; restart recovers from it (empty = in-memory only)")
+		journalSync = flag.Int("journal-sync", 64, "fsync the journal every N records (1 = every record; needs -data-dir)")
+		snapEvery   = flag.Duration("snapshot-interval", 30*time.Second, "journal compaction interval (needs -data-dir)")
 	)
 	flag.Var(peers, "peer", "neighbor broker as NAME=ADDR (repeatable; static link, dialed outward)")
 	flag.Var(seeds, "seed-node", "cluster seed broker as NAME=ADDR (repeatable): join by gossip, full-mesh overlay")
@@ -115,6 +130,13 @@ func run() error {
 		return err
 	}
 	ccfg := cluster.Config{PingEvery: *pingEvery}
+	opts := []pubsub.TCPOption{pubsub.WithWireCodec(codec)}
+	if *dataDir != "" {
+		opts = append(opts,
+			pubsub.WithDataDir(*dataDir),
+			pubsub.WithJournalSync(*journalSync),
+			pubsub.WithSnapshotInterval(*snapEvery))
+	}
 
 	var (
 		b    *pubsub.Broker
@@ -126,7 +148,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		node, b, err = cluster.Start(topo, *id, ccfg, pubsub.WithWireCodec(codec))
+		node, b, err = cluster.Start(topo, *id, ccfg, opts...)
 		if err != nil {
 			return err
 		}
@@ -140,7 +162,7 @@ func run() error {
 		node, b, err = cluster.Join(*id, *listen, seeds, policy, pubsub.Config{
 			ErrorProbability: *delta,
 			Seed:             *seed,
-		}, ccfg, pubsub.WithWireCodec(codec))
+		}, ccfg, opts...)
 		if err != nil {
 			return err
 		}
@@ -154,11 +176,20 @@ func run() error {
 		b, err = pubsub.ListenBroker(*id, *listen, policy, pubsub.Config{
 			ErrorProbability: *delta,
 			Seed:             *seed,
-		}, pubsub.WithWireCodec(codec))
+		}, opts...)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("brokerd %s listening on %s (policy %s, codec %s)\n", *id, b.Addr(), policy, codec)
+	}
+
+	if rs, ok := b.Recovery(); ok {
+		fmt.Printf("recovered from %s: %d subscriptions, %d clients, %d neighbors (%d snapshot ops, %d journal records, %d skipped",
+			*dataDir, rs.Subscriptions, rs.Clients, rs.Neighbors, rs.SnapshotOps, rs.JournalRecords, rs.Skipped)
+		if rs.Truncated {
+			fmt.Printf(", torn tail of %d bytes discarded", rs.DroppedBytes)
+		}
+		fmt.Println(")")
 	}
 
 	for name, addr := range peers {

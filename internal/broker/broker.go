@@ -60,8 +60,21 @@ const (
 	// MsgPong answers a ping, echoing its sequence number.
 	MsgPong
 	// MsgGossip carries an anti-entropy snapshot of the sender's member
-	// list (cluster membership).
+	// list (cluster membership). It may piggyback a LinkDigest of the
+	// subscriptions the sender believes this link carries (wire v3);
+	// the receiving broker compares it against what it actually
+	// received and starts a sync exchange on mismatch.
 	MsgGossip
+	// MsgSyncRequest asks a neighbor to re-sync this link: the sender's
+	// digest disagreed with the receiver's, and the frame carries the
+	// receiver's per-bucket hashes so the neighbor can answer with only
+	// the differing buckets.
+	MsgSyncRequest
+	// MsgSyncRoots answers a MsgSyncRequest: the roots the sender's
+	// table holds in the differing buckets (Mask), admitted by the
+	// receiver as ONE batch; received subscriptions in those buckets
+	// that are absent from the frame are stale and garbage-collected.
+	MsgSyncRoots
 )
 
 // String returns the message kind name.
@@ -87,6 +100,10 @@ func (k MsgKind) String() string {
 		return "pong"
 	case MsgGossip:
 		return "gossip"
+	case MsgSyncRequest:
+		return "sync-request"
+	case MsgSyncRoots:
+		return "sync-roots"
 	default:
 		return "unknown"
 	}
@@ -154,6 +171,16 @@ type Message struct {
 	Seq uint64 `json:"seq,omitempty"`
 	// Members is the MsgGossip payload: the sender's member list.
 	Members []MemberInfo `json:"members,omitempty"`
+	// Digest optionally piggybacks on MsgGossip: the sender's
+	// subscription-set digest for this link (wire v3; stripped toward
+	// older peers).
+	Digest *LinkDigest `json:"digest,omitempty"`
+	// Buckets is the MsgSyncRequest payload: the requester's
+	// DigestBuckets per-bucket hashes of what it received on the link.
+	Buckets []uint64 `json:"buckets,omitempty"`
+	// Mask marks which digest buckets a MsgSyncRoots frame re-syncs
+	// (bit i set = bucket i's full root set is in Subs).
+	Mask uint64 `json:"mask,omitempty"`
 }
 
 // Outbound pairs a message with its destination port.
@@ -175,6 +202,9 @@ type Metrics struct {
 	DupPubsDropped  int
 	Notifications   int
 	Promotions      int // covered subscriptions promoted after unsubscribe
+	SyncRequests    int // digest mismatches that started a sync exchange
+	SyncRootsResent int // roots re-sent while answering sync requests
+	SyncStalePruned int // stale reverse-path entries pruned by sync
 }
 
 // Add accumulates another broker's counters into m — the one
@@ -191,6 +221,9 @@ func (m *Metrics) Add(o Metrics) {
 	m.DupPubsDropped += o.DupPubsDropped
 	m.Notifications += o.Notifications
 	m.Promotions += o.Promotions
+	m.SyncRequests += o.SyncRequests
+	m.SyncRootsResent += o.SyncRootsResent
+	m.SyncStalePruned += o.SyncStalePruned
 }
 
 // counters is the internal, atomically updated form of Metrics, so the
@@ -206,6 +239,9 @@ type counters struct {
 	dupPubsDropped  atomic.Int64
 	notifications   atomic.Int64
 	promotions      atomic.Int64
+	syncRequests    atomic.Int64
+	syncRootsResent atomic.Int64
+	syncStalePruned atomic.Int64
 }
 
 // snapshot converts the counters to the public Metrics form.
@@ -221,6 +257,9 @@ func (c *counters) snapshot() Metrics {
 		DupPubsDropped:  int(c.dupPubsDropped.Load()),
 		Notifications:   int(c.notifications.Load()),
 		Promotions:      int(c.promotions.Load()),
+		SyncRequests:    int(c.syncRequests.Load()),
+		SyncRootsResent: int(c.syncRootsResent.Load()),
+		SyncStalePruned: int(c.syncStalePruned.Load()),
 	}
 }
 
@@ -312,6 +351,14 @@ type Broker struct {
 	matchers map[string]*match.ITreeIndex
 	// source records the first-arrival port of each known subscription.
 	source map[string]string
+	// recv records, per NEIGHBOR port, every live subscription ID that
+	// arrived over it — including duplicate copies the first-arrival
+	// rule dropped from routing. This is the receiver's ground truth
+	// for the digest reconciliation protocol: the sender digests the
+	// active set of its outgoing table for the link, the receiver
+	// digests recv, and a mismatch starts an anti-entropy exchange
+	// (see digest.go).
+	recv map[string]map[string]bool
 
 	// seenPubs deduplicates publications on cyclic overlays. It is a
 	// bounded generation ring (see pubDedup) so long-running brokers
@@ -319,6 +366,12 @@ type Broker struct {
 	// the shared lock, racing on atomics instead of b.mu.
 	dedupLimit int
 	seenPubs   pubDedup
+
+	// journal, when attached, records every state-changing arrival so a
+	// restarted broker can replay itself back (see Journal). Stored as
+	// an atomic pointer because the publish path records first-seen
+	// publication IDs under the shared lock.
+	journal atomic.Pointer[Journal]
 
 	// control dispatches overlay-control messages (ping/pong/gossip)
 	// to the cluster membership layer, outside the routing state and
@@ -434,6 +487,7 @@ func New(id string, policy store.Policy, opts ...Option) (*Broker, error) {
 		in:         make(map[string]map[string]subscription.Subscription),
 		matchers:   make(map[string]*match.ITreeIndex),
 		source:     make(map[string]string),
+		recv:       make(map[string]map[string]bool),
 	}
 	for _, opt := range opts {
 		opt(b)
@@ -582,6 +636,9 @@ func (b *Broker) ConnectNeighbor(id string) error {
 	}
 	b.neighbors[id] = true
 	b.out[id] = tbl
+	if j := b.journal.Load(); j != nil {
+		(*j).RecordAttach(id, false)
+	}
 	return nil
 }
 
@@ -591,9 +648,15 @@ func (b *Broker) ConnectNeighbor(id string) error {
 func (b *Broker) AttachClient(id string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	fresh := !b.clients[id]
 	b.clients[id] = true
 	if b.in[id] == nil {
 		b.in[id] = make(map[string]subscription.Subscription)
+	}
+	if fresh {
+		if j := b.journal.Load(); j != nil {
+			(*j).RecordAttach(id, true)
+		}
 	}
 }
 
@@ -603,35 +666,56 @@ func (b *Broker) AttachClient(id string) {
 // run concurrently (see the type comment).
 func (b *Broker) Handle(from string, msg Message) ([]Outbound, error) {
 	switch msg.Kind {
-	case MsgSubscribe:
+	case MsgSubscribe, MsgUnsubscribe, MsgSubscribeBatch, MsgUnsubscribeBatch, MsgSyncRoots:
+		// State-changing kinds: handled under the exclusive lock and —
+		// on success — journaled inside the same critical section, so
+		// the journal's record order is exactly the application order.
 		b.mu.Lock()
 		defer b.mu.Unlock()
-		return b.handleSubscribe(from, msg)
-	case MsgUnsubscribe:
-		b.mu.Lock()
-		defer b.mu.Unlock()
-		return b.handleUnsubscribe(from, msg)
+		var out []Outbound
+		var err error
+		switch msg.Kind {
+		case MsgSubscribe:
+			out, err = b.handleSubscribe(from, msg)
+		case MsgUnsubscribe:
+			out, err = b.handleUnsubscribe(from, msg)
+		case MsgSubscribeBatch:
+			out, err = b.handleSubscribeBatch(from, msg)
+		case MsgUnsubscribeBatch:
+			out, err = b.handleUnsubscribeBatch(from, msg)
+		case MsgSyncRoots:
+			out, err = b.handleSyncRoots(from, msg)
+		}
+		if err == nil {
+			if j := b.journal.Load(); j != nil {
+				(*j).RecordMessage(from, &msg)
+			}
+		}
+		return out, err
 	case MsgPublish:
 		b.mu.RLock()
 		defer b.mu.RUnlock()
 		return b.handlePublish(from, msg)
-	case MsgSubscribeBatch:
-		b.mu.Lock()
-		defer b.mu.Unlock()
-		return b.handleSubscribeBatch(from, msg)
-	case MsgUnsubscribeBatch:
-		b.mu.Lock()
-		defer b.mu.Unlock()
-		return b.handleUnsubscribeBatch(from, msg)
 	case MsgPublishBatch:
 		b.mu.RLock()
 		defer b.mu.RUnlock()
 		return b.handlePublishBatchMsg(from, msg)
+	case MsgSyncRequest:
+		b.mu.RLock()
+		defer b.mu.RUnlock()
+		return b.handleSyncRequest(from, msg)
 	case MsgPing, MsgPong, MsgGossip:
-		if h := b.control.Load(); h != nil {
-			return (*h)(from, msg), nil
+		var out []Outbound
+		if msg.Kind == MsgGossip && msg.Digest != nil {
+			// Digest reconciliation is broker state, not membership:
+			// check it here so links converge even when no cluster
+			// layer is attached to consume the gossip itself.
+			out = b.checkLinkDigest(from, *msg.Digest)
 		}
-		return nil, nil
+		if h := b.control.Load(); h != nil {
+			out = append(out, (*h)(from, msg)...)
+		}
+		return out, nil
 	default:
 		return nil, fmt.Errorf("broker %s: unexpected message kind %v from %s", b.id, msg.Kind, from)
 	}
@@ -690,12 +774,15 @@ func (b *Broker) handleSubscribe(from string, msg Message) ([]Outbound, error) {
 	}
 	if _, seen := b.source[msg.SubID]; seen {
 		// Duplicate arrival over a cycle: the first arrival defined
-		// the reverse path; drop this copy.
+		// the reverse path; drop this copy — but remember that this
+		// port did send it, so the link digest still balances.
+		b.recvAdd(from, msg.SubID)
 		b.metrics.dupSubsDropped.Add(1)
 		return nil, nil
 	}
 	b.metrics.subsReceived.Add(1)
 	b.source[msg.SubID] = from
+	b.recvAdd(from, msg.SubID)
 	if b.in[from] == nil {
 		b.in[from] = make(map[string]subscription.Subscription)
 	}
@@ -723,6 +810,9 @@ func (b *Broker) handleSubscribe(from string, msg Message) ([]Outbound, error) {
 }
 
 func (b *Broker) handleUnsubscribe(from string, msg Message) ([]Outbound, error) {
+	// Whatever the routing outcome, the sending port no longer carries
+	// this subscription: balance the link digest first.
+	b.recvDel(from, msg.SubID)
 	src, known := b.source[msg.SubID]
 	if !known {
 		return nil, nil // unsubscribe for an unknown subscription
@@ -734,6 +824,7 @@ func (b *Broker) handleUnsubscribe(from string, msg Message) ([]Outbound, error)
 	}
 	delete(b.source, msg.SubID)
 	delete(b.in[from], msg.SubID)
+	b.recvDelAll(msg.SubID)
 
 	id, ok := b.outIDs[msg.SubID]
 	if !ok {
@@ -804,6 +895,7 @@ func (b *Broker) handleSubscribeBatch(from string, msg Message) ([]Outbound, err
 	}
 	fresh := make([]BatchSub, 0, len(msg.Subs))
 	for _, it := range msg.Subs {
+		b.recvAdd(from, it.SubID)
 		if _, seen := b.source[it.SubID]; seen {
 			b.metrics.dupSubsDropped.Add(1)
 			continue
@@ -859,6 +951,7 @@ func (b *Broker) handleUnsubscribeBatch(from string, msg Message) ([]Outbound, e
 	subIDs := make([]string, 0, len(msg.SubIDs))
 	ids := make([]subsume.ID, 0, len(msg.SubIDs))
 	for _, subID := range msg.SubIDs {
+		b.recvDel(from, subID)
 		src, known := b.source[subID]
 		if !known || src != from {
 			// Unknown cancellations and copies arriving over other
@@ -871,6 +964,7 @@ func (b *Broker) handleUnsubscribeBatch(from string, msg Message) ([]Outbound, e
 		}
 		delete(b.source, subID)
 		delete(b.in[from], subID)
+		b.recvDelAll(subID)
 		b.matcher(from).Remove(match.ID(id))
 		delete(b.outIDs, subID)
 		delete(b.idToSub, id)
@@ -1004,6 +1098,12 @@ func (b *Broker) handlePublish(from string, msg Message) ([]Outbound, error) {
 		return nil, nil
 	}
 	b.metrics.pubsReceived.Add(1)
+	if j := b.journal.Load(); j != nil {
+		// First sighting of this publication: journal the ID so a
+		// restarted broker keeps its dedup window (at-most-once across
+		// the restart, for IDs that reached the synced journal).
+		(*j).RecordPubSeen(msg.PubID)
+	}
 
 	var out []Outbound
 	// Deliver to local clients whose subscriptions match. The per-port

@@ -46,6 +46,20 @@ func WithMaxSteps(steps int) Option {
 	return func(n *Network) { n.maxSteps = steps }
 }
 
+// WithDelays enables seeded delay injection on broker-to-broker
+// links: each message is independently deferred with probability
+// delay — set aside and re-enqueued only once the network would
+// otherwise go quiescent, the deterministic analogue of a late packet
+// overtaken by everything sent after it. The stream is separate from
+// the drop/dup stream, so enabling delays does not perturb existing
+// seeded runs.
+func WithDelays(delay float64, seed uint64) Option {
+	return func(n *Network) {
+		n.delayRate = delay
+		n.delayRng = rand.New(rand.NewPCG(seed^0xde1a, seed|1))
+	}
+}
+
 // Network is a deterministic in-memory broker overlay.
 type Network struct {
 	brokers  map[string]*broker.Broker
@@ -56,19 +70,29 @@ type Network struct {
 	// delivered records notify messages per client, in arrival order.
 	delivered map[string][]broker.Message
 
-	dropRate float64
-	dupRate  float64
-	rng      *rand.Rand
-	maxSteps int
+	dropRate  float64
+	dupRate   float64
+	rng       *rand.Rand
+	delayRate float64
+	delayRng  *rand.Rand
+	delayedQ  []item
+	maxSteps  int
 
 	// downLinks holds partitioned broker pairs (normalized order):
 	// every message crossing a down link is dropped, in both
 	// directions — the deterministic form of a network partition.
 	downLinks map[[2]string]bool
 
+	// crashed marks broker IDs that were CrashBroker'd and not yet
+	// restarted: traffic toward them is dropped, like packets to a
+	// dead process.
+	crashed map[string]bool
+
 	dropped     int
 	duplicated  int
+	delayed     int
 	partitioned int
+	crashLost   int
 }
 
 // New returns an empty network.
@@ -202,32 +226,46 @@ func (n *Network) ClientPublishBatch(client string, pubs []broker.BatchPub) erro
 }
 
 // Run processes queued messages until the network is quiescent,
-// returning the number of messages processed.
+// returning the number of messages processed. Delayed messages (see
+// WithDelays) are re-enqueued each time the immediate queue drains,
+// until nothing is left anywhere.
 func (n *Network) Run() (int, error) {
 	steps := 0
-	for n.head < len(n.queue) {
-		if steps >= n.maxSteps {
-			return steps, fmt.Errorf("simnet: exceeded %d steps; possible routing loop", n.maxSteps)
-		}
-		it := n.queue[n.head]
-		n.head++
-		steps++
+	for {
+		for n.head < len(n.queue) {
+			if steps >= n.maxSteps {
+				return steps, fmt.Errorf("simnet: exceeded %d steps; possible routing loop", n.maxSteps)
+			}
+			it := n.queue[n.head]
+			n.head++
+			steps++
 
-		b := n.brokers[it.to]
-		outs, err := b.Handle(it.from, it.msg)
-		if err != nil {
-			return steps, fmt.Errorf("simnet: broker %s: %w", it.to, err)
+			b := n.brokers[it.to]
+			if b == nil {
+				// Destination crashed after this message was queued; the
+				// bytes die with the process.
+				n.crashLost++
+				continue
+			}
+			outs, err := b.Handle(it.from, it.msg)
+			if err != nil {
+				return steps, fmt.Errorf("simnet: broker %s: %w", it.to, err)
+			}
+			for _, o := range outs {
+				n.route(b.ID(), o)
+			}
+			// Compact the consumed prefix occasionally.
+			if n.head > 4096 && n.head*2 > len(n.queue) {
+				n.queue = append([]item(nil), n.queue[n.head:]...)
+				n.head = 0
+			}
 		}
-		for _, o := range outs {
-			n.route(b.ID(), o)
+		if len(n.delayedQ) == 0 {
+			return steps, nil
 		}
-		// Compact the consumed prefix occasionally.
-		if n.head > 4096 && n.head*2 > len(n.queue) {
-			n.queue = append([]item(nil), n.queue[n.head:]...)
-			n.head = 0
-		}
+		n.queue = append(n.queue, n.delayedQ...)
+		n.delayedQ = nil
 	}
-	return steps, nil
 }
 
 // linkKey normalizes a broker pair for the partition set.
@@ -263,6 +301,59 @@ func (n *Network) LinkUp(a, b string) bool {
 // PartitionDropped reports how many messages down links discarded.
 func (n *Network) PartitionDropped() int { return n.partitioned }
 
+// CrashBroker kills a broker abruptly — the deterministic kill -9.
+// The broker object is discarded with everything it had in memory;
+// messages already queued toward it and everything sent until a
+// restart are lost, exactly as packets to a dead process would be.
+// Neighbors keep their routing entries for it (nobody told them),
+// which is precisely the divergence the digest reconciliation
+// protocol exists to repair.
+func (n *Network) CrashBroker(id string) error {
+	if _, ok := n.brokers[id]; !ok {
+		return fmt.Errorf("simnet: unknown broker %s", id)
+	}
+	delete(n.brokers, id)
+	if n.crashed == nil {
+		n.crashed = make(map[string]bool)
+	}
+	n.crashed[id] = true
+	return nil
+}
+
+// RestartBroker installs a broker under an ID that previously
+// crashed — typically a fresh instance recovered from a durability
+// store. Traffic toward the ID flows again; nothing lost while it
+// was down is replayed.
+func (n *Network) RestartBroker(id string, b *broker.Broker) error {
+	if !n.crashed[id] {
+		return fmt.Errorf("simnet: broker %s did not crash", id)
+	}
+	if b == nil {
+		return fmt.Errorf("simnet: nil broker for %s", id)
+	}
+	delete(n.crashed, id)
+	n.brokers[id] = b
+	return nil
+}
+
+// Crashed reports whether id is currently crashed.
+func (n *Network) Crashed(id string) bool { return n.crashed[id] }
+
+// SetFailureRates adjusts the drop/dup/delay probabilities mid-run
+// without touching the seeded streams — how a chaos scenario turns
+// injection off for its deterministic probe phase. Rates for streams
+// that were never enabled (no WithFailures / WithDelays option) stay
+// inert.
+func (n *Network) SetFailureRates(drop, dup, delay float64) {
+	n.dropRate, n.dupRate, n.delayRate = drop, dup, delay
+}
+
+// CrashLost reports how many messages died with crashed brokers.
+func (n *Network) CrashLost() int { return n.crashLost }
+
+// Delayed reports how many messages delay injection deferred.
+func (n *Network) Delayed() int { return n.delayed }
+
 // Inject enqueues a broker-originated message onto the overlay — the
 // entry point for layers above the routing protocol (the cluster
 // membership layer's pings and gossip). The message crosses the same
@@ -278,6 +369,10 @@ func (n *Network) Inject(fromBroker string, o broker.Outbound) {
 func (n *Network) route(fromBroker string, o broker.Outbound) {
 	if o.Msg.Kind == broker.MsgNotify {
 		n.delivered[o.To] = append(n.delivered[o.To], o.Msg)
+		return
+	}
+	if n.crashed[o.To] {
+		n.crashLost++
 		return
 	}
 	if _, isBroker := n.brokers[o.To]; !isBroker {
@@ -302,7 +397,13 @@ func (n *Network) route(fromBroker string, o broker.Outbound) {
 		}
 	}
 	for i := 0; i < copies; i++ {
-		n.queue = append(n.queue, item{to: o.To, from: fromBroker, msg: o.Msg})
+		it := item{to: o.To, from: fromBroker, msg: o.Msg}
+		if n.delayRng != nil && n.delayRng.Float64() < n.delayRate {
+			n.delayed++
+			n.delayedQ = append(n.delayedQ, it)
+			continue
+		}
+		n.queue = append(n.queue, it)
 	}
 }
 

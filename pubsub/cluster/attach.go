@@ -37,6 +37,17 @@ func (l tcpLink) ClusterCapable(peer string) bool {
 // recovery.
 func (l tcpLink) SyncOnConnect() bool { return true }
 
+// Digest offers the broker's sender-side link digest only toward
+// peers whose advertised wire vocabulary includes the sync frames a
+// mismatch would trigger — older peers keep receiving the exact
+// digest-less gossip bytes they always did.
+func (l tcpLink) Digest(peer string) (broker.LinkDigest, bool) {
+	if l.b.PeerWireCodec(peer) < pubsub.CodecBinary3 {
+		return broker.LinkDigest{}, false
+	}
+	return l.b.LinkDigest(peer)
+}
+
 // Attach binds a membership node to a listening TCP broker: the
 // node's control handler and peer-link hooks are registered (which
 // also turns on the cluster advertisement in the broker's hellos and

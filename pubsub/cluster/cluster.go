@@ -43,6 +43,12 @@ type Link interface {
 	// the link layer already did; when it does not (the simulator,
 	// whose "dials" are logical), the node sends the announcement.
 	SyncOnConnect() bool
+	// Digest returns the broker's sender-side subscription digest for
+	// the link to peer, false when the link has no digest to offer or
+	// the peer cannot decode one (pre-v3 wire vocabulary). Gossip
+	// toward the peer piggybacks it, which is what arms the
+	// anti-entropy reconciliation.
+	Digest(peer string) (broker.LinkDigest, bool)
 }
 
 // Config tunes a membership node. Zero values select the defaults
@@ -342,6 +348,15 @@ func (n *Node) Tick() {
 	n.mu.Unlock()
 
 	for _, s := range sends {
+		if s.msg.Kind == broker.MsgGossip {
+			// Piggyback the link digest on gossip: the receiver compares
+			// it against what actually arrived over the link and starts
+			// a sync round on mismatch — at most one per gossip interval
+			// per link, which is the protocol's rate bound.
+			if d, ok := n.link.Digest(s.to); ok {
+				s.msg.Digest = &d
+			}
+		}
 		n.link.Send(s.to, s.msg)
 	}
 	for _, d := range dials {

@@ -49,6 +49,9 @@ func (l *nullLink) Connect(peer, addr string, done func(established bool, err er
 func (l *nullLink) Roots(peer string) []broker.BatchSub { return l.roots }
 func (l *nullLink) ClusterCapable(peer string) bool     { return true }
 func (l *nullLink) SyncOnConnect() bool                 { return false }
+func (l *nullLink) Digest(peer string) (broker.LinkDigest, bool) {
+	return broker.LinkDigest{}, false
+}
 
 func testNode(self string, mesh bool) (*Node, *nullLink) {
 	l := &nullLink{self: self}

@@ -33,6 +33,10 @@ func (l *simLink) Connect(peer, addr string, done func(established bool, err err
 	// deterministic. A successful simulated dial always counts as
 	// establishing the link: there is no connection object whose
 	// staleness the result could hide.
+	if l.net.Crashed(peer) {
+		done(false, fmt.Errorf("cluster: broker %s is down", peer))
+		return
+	}
 	if l.net.LinkUp(l.id, peer) {
 		done(true, nil)
 		return
@@ -41,7 +45,11 @@ func (l *simLink) Connect(peer, addr string, done func(established bool, err err
 }
 
 func (l *simLink) Roots(peer string) []broker.BatchSub {
-	return l.net.Broker(l.id).NeighborRoots(peer)
+	b := l.net.Broker(l.id)
+	if b == nil {
+		return nil
+	}
+	return b.NeighborRoots(peer)
 }
 
 func (l *simLink) ClusterCapable(peer string) bool { return true }
@@ -50,6 +58,16 @@ func (l *simLink) ClusterCapable(peer string) bool { return true }
 // nothing is replayed), so the node itself must send the healing
 // re-announcement.
 func (l *simLink) SyncOnConnect() bool { return false }
+
+// Simulated brokers all speak the full vocabulary; the digest is
+// gated only on the coverage table existing.
+func (l *simLink) Digest(peer string) (broker.LinkDigest, bool) {
+	b := l.net.Broker(l.id)
+	if b == nil {
+		return broker.LinkDigest{}, false
+	}
+	return b.LinkDigest(peer)
+}
 
 // NewSimNode binds a membership node to a broker that already exists
 // in a simulator network. No background ticker starts: the test (or

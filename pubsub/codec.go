@@ -80,6 +80,12 @@ const (
 	CodecBinary WireCodec = 1
 	// CodecBinary2 adds the publish-batch and cluster-control kinds.
 	CodecBinary2 WireCodec = 2
+	// CodecBinary3 adds the durability/reconciliation vocabulary: the
+	// optional link-digest field piggybacked on gossip frames and the
+	// sync-request / sync-roots anti-entropy kinds. Toward peers that
+	// advertised less, senders strip the digest and drop sync frames —
+	// the link then simply keeps PR-5 semantics (forward healing only).
+	CodecBinary3 WireCodec = 3
 )
 
 // String returns the codec name.
@@ -90,6 +96,8 @@ func (c WireCodec) String() string {
 	case CodecBinary:
 		return "binary-v1"
 	case CodecBinary2:
+		return "binary-v2"
+	case CodecBinary3:
 		return "binary"
 	default:
 		return fmt.Sprintf("codec(%d)", uint8(c))
@@ -97,18 +105,21 @@ func (c WireCodec) String() string {
 }
 
 // ParseWireCodec parses a codec name as accepted by the CLI tools:
-// "json", "binary" (the latest binary version), and "binary-v1" (the
-// PR-4 vocabulary, for pinning interop tests and staged rollouts).
+// "json", "binary" (the latest binary version), and the pinned
+// historical vocabularies "binary-v1" (PR-4) and "binary-v2" (PR-5),
+// for interop tests and staged rollouts.
 func ParseWireCodec(s string) (WireCodec, error) {
 	switch s {
 	case "json":
 		return CodecJSON, nil
 	case "binary":
-		return CodecBinary2, nil
+		return CodecBinary3, nil
 	case "binary-v1":
 		return CodecBinary, nil
+	case "binary-v2":
+		return CodecBinary2, nil
 	default:
-		return 0, fmt.Errorf("pubsub: unknown wire codec %q (want json | binary | binary-v1)", s)
+		return 0, fmt.Errorf("pubsub: unknown wire codec %q (want json | binary | binary-v1 | binary-v2)", s)
 	}
 }
 
@@ -132,18 +143,31 @@ const (
 	// accidentally sent one fails at the header, the cheapest place.
 	binVersion  = 1
 	binVersion2 = 2
+	binVersion3 = 3
 	binHeader   = 6
 	// maxBinaryPayload bounds a decoded frame; hostile length fields
 	// cannot force large allocations past it.
 	maxBinaryPayload = 16 << 20
 )
 
-// wireVersionOf returns the header version byte for a message kind.
-func wireVersionOf(k broker.MsgKind) byte {
-	if k >= broker.MsgPublishBatch {
+// wireVersionOf returns the header version byte for a message. The
+// byte is tied to the VOCABULARY the frame uses, not the negotiated
+// codec: PR-4 kinds keep emitting byte-identical v1 frames, PR-5
+// kinds v2 frames, and only the durability vocabulary — the sync
+// kinds, and gossip when it actually piggybacks a digest — travels
+// under the v3 byte, so an older peer accidentally sent one fails at
+// the header, the cheapest place.
+func wireVersionOf(m *broker.Message) byte {
+	switch {
+	case m.Kind == broker.MsgSyncRequest || m.Kind == broker.MsgSyncRoots:
+		return binVersion3
+	case m.Kind == broker.MsgGossip && m.Digest != nil:
+		return binVersion3
+	case m.Kind >= broker.MsgPublishBatch:
 		return binVersion2
+	default:
+		return binVersion
 	}
-	return binVersion
 }
 
 // encBufPool pools encode scratch buffers across writers, readers'
@@ -169,7 +193,7 @@ func MarshalFrame(codec WireCodec, buf []byte, fr *Frame) ([]byte, error) {
 		}
 		buf = append(buf, data...)
 		return append(buf, '\n'), nil
-	case CodecBinary, CodecBinary2:
+	case CodecBinary, CodecBinary2, CodecBinary3:
 		return appendBinaryFrame(buf, fr)
 	default:
 		return buf, fmt.Errorf("pubsub: cannot marshal under codec %d", codec)
@@ -206,7 +230,7 @@ func appendBinaryFrame(buf []byte, fr *Frame) ([]byte, error) {
 		return buf, fmt.Errorf("pubsub: binary codec carries only message frames (handshake stays JSON)")
 	}
 	start := len(buf)
-	buf = append(buf, binMagic, wireVersionOf(fr.Msg.Kind), 0, 0, 0, 0)
+	buf = append(buf, binMagic, wireVersionOf(fr.Msg), 0, 0, 0, 0)
 	var err error
 	if buf, err = appendBinaryMessage(buf, fr.Msg); err != nil {
 		return buf[:start], err
@@ -261,6 +285,28 @@ func appendBinaryMessage(buf []byte, m *broker.Message) ([]byte, error) {
 			buf = binary.AppendUvarint(buf, mb.Incarnation)
 			buf = append(buf, mb.State)
 		}
+		// Optional link digest (v3): presence byte, count, fixed root.
+		// Absent, the frame is byte-identical to the v2 encoding — the
+		// invariant that keeps v2 decoders and the committed corpus
+		// working (v2 decoders reject trailing bytes, so a digest can
+		// only travel toward peers that advertised v3; see tcp.go).
+		if m.Digest != nil {
+			buf = append(buf, 1)
+			buf = binary.AppendUvarint(buf, uint64(m.Digest.Count))
+			buf = binary.LittleEndian.AppendUint64(buf, m.Digest.Root)
+		}
+	case broker.MsgSyncRequest:
+		buf = binary.AppendUvarint(buf, uint64(len(m.Buckets)))
+		for _, v := range m.Buckets {
+			buf = binary.LittleEndian.AppendUint64(buf, v)
+		}
+	case broker.MsgSyncRoots:
+		buf = binary.LittleEndian.AppendUint64(buf, m.Mask)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Subs)))
+		for _, it := range m.Subs {
+			buf = appendString(buf, it.SubID)
+			buf = appendSubscription(buf, it.Sub)
+		}
 	default:
 		return buf, fmt.Errorf("pubsub: cannot encode message kind %v", m.Kind)
 	}
@@ -294,7 +340,7 @@ func appendPublication(buf []byte, p subscription.Publication) []byte {
 // length — the single copy of the header contract shared by
 // UnmarshalFrame and the stream reader's blocking and buffered paths.
 func parseBinaryHeader(hdr []byte) (int, error) {
-	if hdr[1] != binVersion && hdr[1] != binVersion2 {
+	if hdr[1] != binVersion && hdr[1] != binVersion2 && hdr[1] != binVersion3 {
 		return 0, fmt.Errorf("pubsub: unsupported binary frame version %d", hdr[1])
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[2:binHeader]))
@@ -389,6 +435,39 @@ func decodeBinaryMessage(payload []byte) (*broker.Message, error) {
 				msg.Members[i].State = d.byte()
 			}
 		}
+		// Optional v3 link digest: presence byte after the member list.
+		if d.err == nil && len(d.buf) > 0 {
+			if p := d.byte(); p != 1 {
+				d.fail("bad gossip digest presence byte %d", p)
+			} else {
+				count := d.uvarint()
+				if count > uint64(^uint32(0)) {
+					d.fail("gossip digest count %d overflows", count)
+				}
+				root := d.u64()
+				if d.err == nil {
+					msg.Digest = &broker.LinkDigest{Count: uint32(count), Root: root}
+				}
+			}
+		}
+	case broker.MsgSyncRequest:
+		n := d.count(8)
+		if d.err == nil {
+			msg.Buckets = make([]uint64, n)
+			for i := range msg.Buckets {
+				msg.Buckets[i] = d.u64()
+			}
+		}
+	case broker.MsgSyncRoots:
+		msg.Mask = d.u64()
+		n := d.count(2)
+		if d.err == nil {
+			msg.Subs = make([]broker.BatchSub, n)
+			for i := range msg.Subs {
+				msg.Subs[i].SubID = d.string()
+				msg.Subs[i].Sub = d.subscription()
+			}
+		}
 	default:
 		return nil, fmt.Errorf("pubsub: unknown binary message kind %d", kind)
 	}
@@ -437,6 +516,22 @@ func (d *binDecoder) uvarint() uint64 {
 		return 0
 	}
 	d.buf = d.buf[n:]
+	return v
+}
+
+// u64 reads a fixed 8-byte little-endian value (digest roots and
+// bucket hashes: random 64-bit values that varint encoding would only
+// inflate).
+func (d *binDecoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.fail("truncated u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
 	return v
 }
 

@@ -11,6 +11,9 @@ package pubsub
 
 import (
 	"probsum/internal/broker"
+	"probsum/internal/persist"
+	"probsum/internal/store"
+	"probsum/internal/subscription"
 
 	"bytes"
 	"flag"
@@ -180,20 +183,125 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	})
 }
 
+// logReplaySeeds builds seed journal images for FuzzLogReplay: a
+// well-formed journal covering every record kind (written through the
+// real DirStore so the file magic and CRC framing are authentic),
+// torn and bit-flipped variants, and degenerate prefixes.
+func logReplaySeeds(tb testing.TB) [][]byte {
+	dir := tb.TempDir()
+	st, err := persist.Open(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	recs := [][]byte{
+		encodeAttachRecord("alice", true),
+		encodeAttachRecord("N1", false),
+		encodeMessageRecord("alice", &broker.Message{Kind: broker.MsgSubscribe, SubID: "s1", Sub: box(0, 50, 0, 50)}),
+		encodeMessageRecord("alice", &broker.Message{Kind: broker.MsgSubscribe, SubID: "s2", Sub: box(60, 90, 60, 90)}),
+		encodeMessageRecord("N1", &broker.Message{Kind: broker.MsgPublish, PubID: "p1", Pub: subscription.NewPublication(10, 10)}),
+		encodeMessageRecord("alice", &broker.Message{Kind: broker.MsgUnsubscribe, SubID: "s2"}),
+		encodePubIDsRecord([]string{"p1", "p2"}),
+	}
+	for _, r := range recs {
+		if r == nil {
+			tb.Fatal("seed record failed to encode")
+		}
+		if err := st.Append(r); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		tb.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seeds := [][]byte{
+		data,
+		data[:len(data)/2],  // torn mid-record
+		data[:len(data)-1],  // torn final byte
+		{},                  // empty journal
+		[]byte("PSUM"),      // partial magic
+		[]byte("bogusfile"), // foreign file
+	}
+	if len(data) > 40 {
+		bad := append([]byte(nil), data...)
+		bad[30] ^= 0xFF // CRC mismatch mid-journal cuts the valid prefix there
+		seeds = append(seeds, bad)
+	}
+	return seeds
+}
+
+// FuzzLogReplay: an arbitrary byte string treated as a journal image
+// must never panic the replay path — the scanner recovers the longest
+// valid record prefix, the record applier either applies or skips
+// each one, and the broker that absorbed whatever replayed remains
+// fully usable.
+func FuzzLogReplay(f *testing.F) {
+	for _, s := range logReplaySeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := broker.New("R", store.PolicyPairwise)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied := 0
+		stats, err := persist.ScanJournal(data, func(rec []byte) error {
+			if applyRecord(b, rec) == nil {
+				applied++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("scan returned an error although the apply callback never did: %v", err)
+		}
+		if applied > stats.Records {
+			t.Fatalf("applied %d records but the scanner only validated %d", applied, stats.Records)
+		}
+		if stats.Truncated != (stats.DroppedBytes > 0) {
+			t.Fatalf("inconsistent truncation report: %+v", stats)
+		}
+		// The longest-valid-prefix recovery is deterministic.
+		again, err := persist.ScanJournal(data, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != stats {
+			t.Fatalf("re-scan diverged: %+v vs %+v", again, stats)
+		}
+		// Whatever replayed, the broker still serves traffic.
+		b.AttachClient("fuzz-probe-client")
+		if _, err := b.Handle("fuzz-probe-client", broker.Message{
+			Kind: broker.MsgSubscribe, SubID: "fuzz-probe-sub", Sub: box(0, 1, 0, 1),
+		}); err != nil {
+			t.Fatalf("broker unusable after replay: %v", err)
+		}
+	})
+}
+
 var writeFuzzCorpus = flag.Bool("write-fuzz-corpus", false, "regenerate the checked-in fuzz seed corpus under testdata/fuzz")
 
 // TestWriteFuzzCorpus regenerates the seed corpus files (golden-file
 // update pattern); without the flag it only verifies the checked-in
 // corpus is present and decodes or fails cleanly.
 func TestWriteFuzzCorpus(t *testing.T) {
-	targets := []string{"FuzzFrameDecode", "FuzzFrameRoundTrip"}
+	targets := map[string]func(testing.TB) [][]byte{
+		"FuzzFrameDecode":    fuzzSeeds,
+		"FuzzFrameRoundTrip": fuzzSeeds,
+		"FuzzLogReplay":      logReplaySeeds,
+	}
 	if *writeFuzzCorpus {
-		for _, target := range targets {
+		for target, seedsOf := range targets {
 			dir := filepath.Join("testdata", "fuzz", target)
 			if err := os.MkdirAll(dir, 0o755); err != nil {
 				t.Fatal(err)
 			}
-			for i, seed := range fuzzSeeds(t) {
+			for i, seed := range seedsOf(t) {
 				// The Go fuzz corpus file format: a version header and
 				// one Go-syntax literal per fuzz argument.
 				body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
@@ -205,7 +313,7 @@ func TestWriteFuzzCorpus(t *testing.T) {
 		}
 		return
 	}
-	for _, target := range targets {
+	for target := range targets {
 		files, err := filepath.Glob(filepath.Join("testdata", "fuzz", target, "seed-*"))
 		if err != nil {
 			t.Fatal(err)

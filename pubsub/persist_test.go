@@ -1,0 +1,255 @@
+package pubsub
+
+// Durability bridge tests: journal → crash → recover round trips over
+// the in-memory store, fsync-batching loss semantics, snapshot
+// compaction, and — over real TCP — publication dedup surviving a
+// broker restart (the at-most-once guarantee holds ACROSS crashes for
+// every publication the journal captured).
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"probsum/internal/broker"
+	"probsum/internal/persist"
+	"probsum/internal/store"
+	"probsum/internal/subscription"
+)
+
+func newJournaledBroker(t *testing.T, st persist.Store, syncEvery int) (*broker.Broker, *BrokerJournal) {
+	t.Helper()
+	b, err := broker.New("B1", store.PolicyPairwise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := NewBrokerJournal(b, st, syncEvery)
+	b.SetJournal(j)
+	return b, j
+}
+
+// populate drives a small but representative state through the
+// broker: a client, a neighbor, two subscriptions, one publication.
+func populate(t *testing.T, b *broker.Broker) {
+	t.Helper()
+	b.AttachClient("alice")
+	if err := b.ConnectNeighbor("N1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []broker.Message{
+		{Kind: broker.MsgSubscribe, SubID: "s1", Sub: box(0, 50, 0, 50)},
+		{Kind: broker.MsgSubscribe, SubID: "s2", Sub: box(60, 90, 60, 90)},
+	} {
+		if _, err := b.Handle("alice", m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Handle("N1", broker.Message{Kind: broker.MsgPublish, PubID: "p1", Pub: subscription.NewPublication(10, 10)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// notifySet extracts the delivered (To, SubID) pairs of a Handle
+// output.
+func notifySet(outs []broker.Outbound) map[string]bool {
+	set := make(map[string]bool)
+	for _, o := range outs {
+		if o.Msg.Kind == broker.MsgNotify {
+			set[o.To+"/"+o.Msg.SubID] = true
+		}
+	}
+	return set
+}
+
+func TestJournalRecoverRoundTrip(t *testing.T) {
+	st := persist.NewMemStore()
+	b, _ := newJournaledBroker(t, st, 1) // fsync every record: crash loses nothing
+	populate(t, b)
+	st.Crash()
+
+	b2, err := broker.New("B1", store.PolicyPairwise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RecoverBroker(b2, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Subscriptions != 2 || stats.Clients != 1 || stats.Neighbors != 1 {
+		t.Fatalf("recovered stats = %+v, want 2 subs, 1 client, 1 neighbor", stats)
+	}
+	if stats.Skipped != 0 || stats.Truncated {
+		t.Fatalf("clean journal recovered with loss: %+v", stats)
+	}
+
+	// The recovered broker routes exactly like the original...
+	probe := broker.Message{Kind: broker.MsgPublish, PubID: "p2", Pub: subscription.NewPublication(70, 70)}
+	outs1, err := b.Handle("N1", probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs2, err := b2.Handle("N1", probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := notifySet(outs1), notifySet(outs2)
+	if len(want) == 0 || !setsEqualStr(want, got) {
+		t.Fatalf("recovered routing diverges: %v vs %v", got, want)
+	}
+	// ...including the dedup window: the journaled p1 stays dropped.
+	outs, err := b2.Handle("N1", broker.Message{Kind: broker.MsgPublish, PubID: "p1", Pub: subscription.NewPublication(10, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notifySet(outs)) != 0 {
+		t.Fatalf("replayed publication re-delivered after recovery: %+v", outs)
+	}
+}
+
+func setsEqualStr(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestJournalCrashLosesOnlyUnsyncedTail pins the fsync-batching
+// contract: a crash drops at most the records appended since the last
+// sync — everything before the explicit Sync survives.
+func TestJournalCrashLosesOnlyUnsyncedTail(t *testing.T) {
+	st := persist.NewMemStore()
+	b, j := newJournaledBroker(t, st, 1000) // batch far larger than the test
+	b.AttachClient("alice")
+	if _, err := b.Handle("alice", broker.Message{Kind: broker.MsgSubscribe, SubID: "s1", Sub: box(0, 50, 0, 50)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// s2 lands after the sync and dies with the crash.
+	if _, err := b.Handle("alice", broker.Message{Kind: broker.MsgSubscribe, SubID: "s2", Sub: box(60, 90, 60, 90)}); err != nil {
+		t.Fatal(err)
+	}
+	st.Crash()
+
+	b2, err := broker.New("B1", store.PolicyPairwise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RecoverBroker(b2, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Subscriptions != 1 || stats.Clients != 1 {
+		t.Fatalf("recovered stats = %+v, want exactly the synced prefix (1 sub, 1 client)", stats)
+	}
+}
+
+// TestSnapshotCompactsJournal pins log compaction: after a snapshot,
+// recovery replays the snapshot plus only the records appended since.
+func TestSnapshotCompactsJournal(t *testing.T) {
+	st := persist.NewMemStore()
+	b, j := newJournaledBroker(t, st, 1)
+	populate(t, b)
+	if err := j.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Handle("alice", broker.Message{Kind: broker.MsgSubscribe, SubID: "s3", Sub: box(200, 300, 200, 300)}); err != nil {
+		t.Fatal(err)
+	}
+	st.Crash()
+
+	b2, err := broker.New("B1", store.PolicyPairwise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RecoverBroker(b2, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SnapshotOps == 0 {
+		t.Fatalf("recovery ignored the snapshot: %+v", stats)
+	}
+	if stats.JournalRecords != 1 {
+		t.Fatalf("journal not compacted by the snapshot: %+v", stats)
+	}
+	if stats.Subscriptions != 3 {
+		t.Fatalf("recovered %d subscriptions, want 3", stats.Subscriptions)
+	}
+}
+
+// TestRestartDedupSurvivesRestart is the satellite (d) semantics pin
+// over real TCP: a publication ID consumed before a restart is still
+// recognized as a duplicate after recovery from the data directory —
+// and the caveat this buys is at-MOST-once, never at-least-once.
+func TestRestartDedupSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	b := listenTestBroker(t, "B1", Pairwise, WithDataDir(dir), WithJournalSync(1))
+	addr := b.Addr()
+	ctx := testCtx(t)
+	sub := dialTest(t, addr, "alice")
+	pub := dialTest(t, addr, "bob")
+	if err := sub.Subscribe(ctx, "s1", box(0, 50, 0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	waitMetric(t, b, 2*time.Second, func(m Metrics) bool { return m.SubsReceived == 1 })
+	if err := pub.Publish(ctx, "p1", subscription.NewPublication(25, 25)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvOne(t, sub, 2*time.Second); !ok {
+		t.Fatal("pre-restart delivery did not arrive")
+	}
+
+	// Graceful restart from the same directory.
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := b.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	b2 := listenTestBroker(t, "B1", Pairwise, WithDataDir(dir), WithJournalSync(1))
+	rs, ok := b2.Recovery()
+	if !ok || rs.Subscriptions != 1 {
+		t.Fatalf("recovery = %+v, %v; want the subscription back", rs, ok)
+	}
+	sub2 := dialTest(t, b2.Addr(), "alice") // no re-subscribe
+	pub2 := dialTest(t, b2.Addr(), "bob")
+
+	// Wait until the server has bound the re-dialed connection to the
+	// recovered port: a fresh-ID probe delivering proves it (dialing
+	// returns before the hello is processed server-side).
+	deadline := time.Now().Add(5 * time.Second)
+	for bound := false; !bound; {
+		if time.Now().After(deadline) {
+			t.Fatal("re-dialed client never received a warm-up probe")
+		}
+		if err := pub2.Publish(ctx, fmt.Sprintf("warm-%d", time.Now().UnixNano()), subscription.NewPublication(25, 25)); err != nil {
+			t.Fatal(err)
+		}
+		_, bound = recvOne(t, sub2, 500*time.Millisecond)
+	}
+
+	// The same producer retrying p1 after the restart: a duplicate,
+	// dropped. A fresh p2 flows normally.
+	if err := pub2.Publish(ctx, "p1", subscription.NewPublication(25, 25)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub2.Publish(ctx, "p2", subscription.NewPublication(25, 25)); err != nil {
+		t.Fatal(err)
+	}
+	n, ok := recvOne(t, sub2, 2*time.Second)
+	if !ok {
+		t.Fatal("post-restart delivery did not arrive")
+	}
+	if n.PubID != "p2" {
+		t.Fatalf("post-restart delivery = %+v, want p2 only (p1 is a journaled duplicate)", n)
+	}
+	if extra, ok := recvOne(t, sub2, 300*time.Millisecond); ok {
+		t.Fatalf("duplicate p1 re-delivered after restart: %+v", extra)
+	}
+}

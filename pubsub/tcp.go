@@ -65,6 +65,7 @@ import (
 	"time"
 
 	"probsum/internal/broker"
+	"probsum/internal/persist"
 )
 
 // Frame is the on-the-wire envelope of the TCP transport.
@@ -108,18 +109,24 @@ type tcpConfig struct {
 	queueLen   int
 	codec      WireCodec // broker-side cap: what this server advertises and may send
 	dialCodec  WireCodec // client-side cap used by Transport.Open
+
+	dataDir      string        // durability directory ("" = in-memory only)
+	syncEvery    int           // journal fsync batch (0 = BrokerJournal default)
+	snapInterval time.Duration // periodic snapshot cadence (0 = 30s)
 }
 
 func defaultTCPConfig() tcpConfig {
-	return tcpConfig{codec: CodecBinary2, dialCodec: CodecBinary2}
+	return tcpConfig{codec: CodecBinary3, dialCodec: CodecBinary3}
 }
 
 // WithWireCodec caps the codec a broker advertises and sends.
-// CodecBinary2 (the default) negotiates the binary format and the
-// full message vocabulary with every peer that also decodes them;
-// CodecBinary pins the PR-4 vocabulary (no publish batches, no
-// cluster frames) and CodecJSON the PR-3 JSON format — on the wire
-// those behave exactly like the older builds, which is how the
+// CodecBinary3 (the default) negotiates the binary format and the
+// full message vocabulary — including the link-digest reconciliation
+// frames — with every peer that also decodes them; CodecBinary2 pins
+// the PR-5 vocabulary (no sync frames, digest-less gossip),
+// CodecBinary the PR-4 vocabulary (no publish batches, no cluster
+// frames), and CodecJSON the PR-3 JSON format — on the wire those
+// behave exactly like the older builds, which is how the
 // cross-version interop tests model old peers. Decoding always
 // accepts every format regardless.
 func WithWireCodec(c WireCodec) TCPOption {
@@ -127,10 +134,36 @@ func WithWireCodec(c WireCodec) TCPOption {
 }
 
 // WithDialWireCodec caps the codec clients opened through
-// Transport.Open advertise and send (default CodecBinary2). The
+// Transport.Open advertise and send (default CodecBinary3). The
 // cross-process form is Dial's WithDialCodec.
 func WithDialWireCodec(c WireCodec) TCPOption {
 	return func(cfg *tcpConfig) { cfg.dialCodec = c }
+}
+
+// WithDataDir makes the broker durable: subscriptions, port
+// registrations, and the publication-dedup window are journaled to an
+// append-only fsync-batched log under dir, compacted by periodic
+// snapshots, and a broker restarted over the same directory replays
+// itself back to its pre-crash routing state — rejoining the overlay
+// without clients re-announcing anything. The digest reconciliation
+// protocol then repairs whatever diverged (the unsynced log tail lost
+// to the crash, peer-side changes made while down).
+func WithDataDir(dir string) TCPOption {
+	return func(c *tcpConfig) { c.dataDir = dir }
+}
+
+// WithJournalSync sets the journal's fsync batch: the log is forced
+// to stable storage after every n-th record (1 = every record;
+// default 64). Smaller n narrows the window a crash can lose at the
+// price of more fsyncs on the subscribe path.
+func WithJournalSync(n int) TCPOption {
+	return func(c *tcpConfig) { c.syncEvery = n }
+}
+
+// WithSnapshotInterval sets the cadence of the periodic
+// log-compacting snapshot (default 30s).
+func WithSnapshotInterval(d time.Duration) TCPOption {
+	return func(c *tcpConfig) { c.snapInterval = d }
 }
 
 // WithSerializedDispatch restores the pre-pipeline behavior of
@@ -253,11 +286,19 @@ type tcpServer struct {
 	// advertise the cluster protocol version only while it is set.
 	clusterOn atomic.Bool
 
+	// journal/jstore are the durability layer (nil without
+	// WithDataDir); recovery holds the boot-time replay stats.
+	journal  *BrokerJournal
+	jstore   persist.Store
+	recovery RecoveryStats
+	durable  bool
+
 	stopping chan struct{} // Shutdown began: stop accepting/registering
 	closed   chan struct{} // hard close: abandon queued frames
 
 	readerWg sync.WaitGroup // accept loop + per-connection readers
 	writerWg sync.WaitGroup // per-port writers
+	snapWg   sync.WaitGroup // periodic snapshot loop
 	shutOnce sync.Once
 	shutErr  error
 }
@@ -439,6 +480,19 @@ func (s *tcpServer) peerCluster(id string) uint8 {
 	return s.peerClu[id]
 }
 
+// peerWireCodec reports the wire codec a peer advertised (CodecJSON
+// when it never advertised one). The cluster layer gates digest
+// piggybacking on it.
+func (s *tcpServer) peerWireCodec(id string) WireCodec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peerCodec[id]
+}
+
+// journalRef and recoveryStats expose the durability layer.
+func (s *tcpServer) journalRef() *BrokerJournal           { return s.journal }
+func (s *tcpServer) recoveryStats() (RecoveryStats, bool) { return s.recovery, s.durable }
+
 // sendPeer queues one message for a peer broker, subject to the same
 // vocabulary negotiation as broker-originated traffic (legacy splits,
 // control-frame gating). It reports whether a live link to the peer
@@ -535,6 +589,21 @@ func (s *tcpServer) send(o broker.Outbound) {
 		}
 	case broker.MsgPing, broker.MsgPong, broker.MsgGossip:
 		if p.cluster.Load() == 0 {
+			return
+		}
+		if o.Msg.Kind == broker.MsgGossip && o.Msg.Digest != nil && remote < CodecBinary3 {
+			// Pre-v3 decoders reject gossip frames with a digest tail;
+			// strip it — the peer cannot answer a sync round anyway.
+			stripped := o.Msg
+			stripped.Digest = nil
+			s.sendTo(p, stripped)
+			return
+		}
+	case broker.MsgSyncRequest, broker.MsgSyncRoots:
+		if remote < CodecBinary3 {
+			// Sync frames have no older form: a peer that never saw our
+			// digest never asks, and one that predates the vocabulary
+			// must never see the kinds.
 			return
 		}
 	}
@@ -940,8 +1009,38 @@ func (s *tcpServer) shutdown(ctx context.Context) error {
 			s.mu.Unlock()
 			<-done
 		}
+		// Drain complete: every in-flight message has been applied, so
+		// the final snapshot captures the broker's last state and the
+		// next boot replays nothing from the journal.
+		s.snapWg.Wait()
+		if s.journal != nil {
+			if err := s.journal.Snapshot(); err != nil && s.shutErr == nil {
+				s.shutErr = err
+			}
+		}
+		if s.jstore != nil {
+			if err := s.jstore.Close(); err != nil && s.shutErr == nil {
+				s.shutErr = err
+			}
+		}
 	})
 	return s.shutErr
+}
+
+// snapshotLoop compacts the journal on a fixed cadence until
+// shutdown.
+func (s *tcpServer) snapshotLoop(interval time.Duration) {
+	defer s.snapWg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopping:
+			return
+		case <-t.C:
+			s.journal.Snapshot()
+		}
+	}
 }
 
 // ListenBroker starts one broker listening on addr (e.g.
@@ -964,9 +1063,40 @@ func ListenBroker(id, addr string, policy Policy, cfg Config, opts ...TCPOption)
 	for _, opt := range opts {
 		opt(&tc)
 	}
+	var (
+		st  persist.Store
+		j   *BrokerJournal
+		rec RecoveryStats
+	)
+	if tc.dataDir != "" {
+		ds, err := persist.Open(tc.dataDir)
+		if err != nil {
+			return nil, err
+		}
+		rec, err = RecoverBroker(b, ds)
+		if err != nil {
+			ds.Close()
+			return nil, fmt.Errorf("pubsub: recover %s: %w", tc.dataDir, err)
+		}
+		j = NewBrokerJournal(b, ds, tc.syncEvery)
+		b.SetJournal(j)
+		st = ds
+	}
 	srv, err := newTCPServer(b, addr, tc)
 	if err != nil {
+		if st != nil {
+			st.Close()
+		}
 		return nil, err
+	}
+	srv.journal, srv.jstore, srv.recovery, srv.durable = j, st, rec, st != nil
+	if j != nil {
+		iv := tc.snapInterval
+		if iv <= 0 {
+			iv = 30 * time.Second
+		}
+		srv.snapWg.Add(1)
+		go srv.snapshotLoop(iv)
 	}
 	return &Broker{id: id, impl: srv}, nil
 }

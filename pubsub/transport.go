@@ -89,6 +89,12 @@ type brokerImpl interface {
 	// peerCluster reports the cluster protocol version a peer
 	// advertised (0 = none).
 	peerCluster(id string) uint8
+	// peerWireCodec reports the wire codec a peer advertised.
+	peerWireCodec(id string) WireCodec
+	// journalRef returns the durability journal (nil when the broker
+	// runs without one); recoveryStats the boot-time replay summary.
+	journalRef() *BrokerJournal
+	recoveryStats() (RecoveryStats, bool)
 }
 
 // ID returns the broker identifier.
@@ -166,6 +172,37 @@ func (b *Broker) PeerRoots(peer string) []BatchSub {
 func (b *Broker) PeerClusterVersion(peer string) uint8 {
 	return b.impl.peerCluster(peer)
 }
+
+// PeerWireCodec reports the wire codec a peer advertised in its hello
+// or ack (CodecJSON when it never advertised one). The cluster layer
+// uses it to piggyback link digests only toward peers whose decoder
+// accepts them.
+func (b *Broker) PeerWireCodec(peer string) WireCodec {
+	return b.impl.peerWireCodec(peer)
+}
+
+// LinkDigest returns this broker's sender-side digest of the
+// subscriptions it announced toward peer (false when no coverage
+// table for the peer exists yet).
+func (b *Broker) LinkDigest(peer string) (broker.LinkDigest, bool) {
+	return b.impl.core().LinkDigest(peer)
+}
+
+// ReceivedDigest returns this broker's receiver-side digest of the
+// live subscriptions it received over the link from peer. Two brokers
+// agree on a link exactly when each side's LinkDigest root equals the
+// other side's ReceivedDigest root.
+func (b *Broker) ReceivedDigest(peer string) broker.LinkDigest {
+	return b.impl.core().ReceivedDigest(peer)
+}
+
+// Journal returns the broker's durability journal, nil when it runs
+// without a data directory (see WithDataDir).
+func (b *Broker) Journal() *BrokerJournal { return b.impl.journalRef() }
+
+// Recovery returns the boot-time recovery statistics; ok is false
+// when the broker is not durable.
+func (b *Broker) Recovery() (RecoveryStats, bool) { return b.impl.recoveryStats() }
 
 // NeighborTableMetrics returns the coverage-table operation counters
 // for one peer port — how the subscriptions forwarded to that peer
