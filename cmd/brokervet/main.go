@@ -1,0 +1,184 @@
+// Command brokervet runs the repo's invariant analyzers (lockcheck,
+// clockcheck, wirecheck, journalcheck — see internal/analysis) over
+// Go packages. It needs nothing beyond the go toolchain and speaks
+// two protocols:
+//
+//	go run ./cmd/brokervet ./...          # standalone, like staticcheck
+//	go vet -vettool=$(which brokervet) ./...  # cmd/go vet tool protocol
+//
+// Standalone mode loads packages via `go list -export` and prints
+// findings as file:line:col: message (analyzer); exit status 2 means
+// findings, 1 means the tool itself failed. In vettool mode cmd/go
+// invokes the binary once per package with a JSON .cfg file (and with
+// -V=full / -flags probes), which is handled below without x/tools'
+// unitchecker.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"probsum/internal/analysis"
+	"probsum/internal/analysis/brokervet"
+)
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && strings.HasPrefix(args[0], "-V"):
+		printVersion()
+	case len(args) == 1 && args[0] == "-flags":
+		// The tool takes no analyzer flags; cmd/go probes for them.
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(runVettool(args[0]))
+	default:
+		os.Exit(runStandalone(args))
+	}
+}
+
+// printVersion implements the `-V=full` probe: one stable line that
+// cmd/go folds into its build cache key for vet results.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:16])
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", name, id)
+}
+
+// runStandalone loads the pattern-matched packages from the current
+// directory and applies the suite.
+func runStandalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "brokervet: %v\n", err)
+		return 1
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, brokervet.Suite())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "brokervet: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the configuration cmd/go writes for each package when
+// driving a vet tool (see cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVettool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "brokervet: reading %s: %v\n", cfgPath, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "brokervet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// brokervet exports no facts, but cmd/go expects the output file
+	// of every vet run to exist so it can cache it.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("brokervet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "brokervet: writing vetx: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "brokervet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		exp, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "brokervet: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	exit := 0
+	for _, a := range brokervet.Suite() {
+		pass := &analysis.Pass{
+			Fset:      fset,
+			Files:     files,
+			Pkg:       tpkg,
+			TypesInfo: info,
+		}
+		diags, err := analysis.RunOnPass(a, pass)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "brokervet: %s on %s: %v\n", a.Name, cfg.ImportPath, err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, a.Name)
+			exit = 2
+		}
+	}
+	return exit
+}

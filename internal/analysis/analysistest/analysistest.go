@@ -1,0 +1,148 @@
+// Package analysistest runs one analyzer over a fixture package and
+// checks its diagnostics against `// want "regexp"` comments, the
+// same contract as golang.org/x/tools' analysistest. Fixtures live
+// under testdata/src/<name>/ and may import only the standard
+// library: they are typechecked from source with go/importer's
+// "source" compiler, which needs no pre-built export data.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"probsum/internal/analysis"
+)
+
+// wantRe pulls the expectation list off a `// want` comment;
+// expectations are double-quoted or backquoted regexps.
+var (
+	wantRe    = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	literalRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+)
+
+// expectation is one `// want` entry: a pattern that must match
+// exactly one diagnostic on its line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run applies the analyzer to the fixture package rooted at dir and
+// reports mismatches between diagnostics and want comments through t.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(filepath.Base(dir), fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking fixture %s: %v", dir, err)
+	}
+
+	pass := &analysis.Pass{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}
+	diags, err := analysis.RunOnPass(a, pass)
+	if err != nil {
+		t.Fatalf("%s on fixture %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, fset, files)
+
+	// Match every diagnostic against an expectation on its line.
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if w := findWant(wants, pos.Filename, pos.Line, d.Message); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// collectWants parses the fixtures' want comments.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lits := literalRe.FindAllStringSubmatch(m[1], -1)
+				if len(lits) == 0 {
+					t.Errorf("%s: malformed want comment: %s", pos, c.Text)
+					continue
+				}
+				for _, lit := range lits {
+					text := lit[1]
+					if text == "" {
+						text = lit[2]
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, text, err)
+						continue
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// findWant returns the first unmatched expectation on file:line whose
+// pattern matches msg.
+func findWant(wants []*expectation, file string, line int, msg string) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}

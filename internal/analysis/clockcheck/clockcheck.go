@@ -1,0 +1,104 @@
+// Package clockcheck keeps determinism-critical packages off the wall
+// clock and unseeded randomness. The chaos harness (cluster.RunChaos)
+// replays seeded fault schedules against an oracle run of the same
+// seed; one stray time.Now or time.Sleep in the cluster or simnet
+// layers and the oracle comparison degrades into a flake generator.
+//
+// In the configured packages the analyzer forbids referencing:
+//
+//   - time.Now, time.Since, time.Until, time.Sleep, time.After,
+//     time.AfterFunc, time.Tick, time.NewTimer, time.NewTicker
+//     (construct values from the injected Clock instead; time.Time /
+//     time.Duration arithmetic is fine), and
+//   - package-level math/rand and math/rand/v2 functions, which draw
+//     from the shared implicitly-seeded source (methods on an
+//     explicitly seeded *rand.Rand are fine).
+//
+// Real-TCP paths that genuinely need a ticker opt out per line with
+// `//brokervet:allow clockcheck <reason>`.
+package clockcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"probsum/internal/analysis"
+)
+
+// forbiddenTime are the time package functions that read or wait on
+// the wall clock.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+// randConstructors are the package-level math/rand(/v2) functions
+// that build explicitly seeded sources — the approved pattern.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true,
+	"NewZipf": true, "NewChaCha8": true,
+}
+
+// New returns a clockcheck analyzer restricted to the given import
+// paths (test-binary variants like "pkg [pkg.test]" are normalized
+// before matching).
+func New(criticalPkgs []string) *analysis.Analyzer {
+	critical := make(map[string]bool, len(criticalPkgs))
+	for _, p := range criticalPkgs {
+		critical[p] = true
+	}
+	return &analysis.Analyzer{
+		Name: "clockcheck",
+		Doc:  "forbid wall-clock time and unseeded randomness in determinism-critical packages",
+		Run: func(pass *analysis.Pass) error {
+			path := pass.Pkg.Path()
+			if i := strings.IndexByte(path, ' '); i >= 0 {
+				path = path[:i]
+			}
+			if !critical[path] {
+				return nil
+			}
+			return run(pass)
+		},
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				// Methods are fine: time.Time arithmetic, draws from an
+				// explicitly seeded *rand.Rand.
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTime[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s in determinism-critical package %s: draw time from the injected Clock (cfg.Clock / simnet.Clock) so seeded chaos runs stay replayable",
+						fn.Name(), pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if randConstructors[fn.Name()] {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"package-level %s.%s uses the implicitly seeded global source: draw from an explicitly seeded *rand.Rand instead",
+					fn.Pkg().Name(), fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

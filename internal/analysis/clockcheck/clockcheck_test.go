@@ -1,0 +1,21 @@
+package clockcheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"probsum/internal/analysis/analysistest"
+	"probsum/internal/analysis/clockcheck"
+)
+
+func TestClockcheckCritical(t *testing.T) {
+	a := clockcheck.New([]string{"a"})
+	analysistest.Run(t, a, filepath.Join("testdata", "src", "a"))
+}
+
+func TestClockcheckNonCritical(t *testing.T) {
+	// Package b is not in the critical set: its wall-clock calls must
+	// produce no diagnostics (the fixture has no want comments).
+	a := clockcheck.New([]string{"a"})
+	analysistest.Run(t, a, filepath.Join("testdata", "src", "b"))
+}

@@ -1,0 +1,61 @@
+// Package a is the clockcheck fixture for a determinism-critical
+// package: wall-clock reads and global-source randomness are findings,
+// injected clocks and seeded sources are not.
+package a
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+type node struct {
+	clock func() time.Time
+	rng   *rand.Rand
+}
+
+func (n *node) badNow() time.Time {
+	return time.Now() // want `time\.Now in determinism-critical package a`
+}
+
+func (n *node) badSleep() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in determinism-critical package a`
+}
+
+func (n *node) badTicker() *time.Ticker {
+	return time.NewTicker(time.Second) // want `time\.NewTicker in determinism-critical package a`
+}
+
+// Referencing the function as a value is just as non-deterministic as
+// calling it.
+func (n *node) badValueRef() {
+	n.clock = time.Now // want `time\.Now in determinism-critical package a`
+}
+
+func (n *node) badGlobalRand() int {
+	return rand.IntN(10) // want `package-level rand\.IntN uses the implicitly seeded global source`
+}
+
+// The approved patterns: injected clock, explicitly seeded source,
+// time arithmetic on values.
+
+func newNode(seed uint64, clock func() time.Time) *node {
+	return &node{clock: clock, rng: rand.New(rand.NewPCG(seed, 0))}
+}
+
+func (n *node) goodClock() time.Time {
+	return n.clock()
+}
+
+func (n *node) goodSeededDraw() int {
+	return n.rng.IntN(10)
+}
+
+func (n *node) goodArithmetic(t time.Time) time.Time {
+	return t.Add(3 * time.Second).Truncate(time.Second)
+}
+
+// The escape hatch for real-TCP paths.
+func (n *node) allowedTicker() *time.Ticker {
+	//brokervet:allow clockcheck real-socket pacing only; logic still reads n.clock
+	return time.NewTicker(time.Second)
+}

@@ -1,0 +1,14 @@
+// Package b is the clockcheck fixture for a package OUTSIDE the
+// determinism-critical set: the same wall-clock calls draw no
+// diagnostics.
+package b
+
+import "time"
+
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func Pause() {
+	time.Sleep(time.Millisecond)
+}

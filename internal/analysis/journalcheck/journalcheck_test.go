@@ -1,0 +1,13 @@
+package journalcheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"probsum/internal/analysis/analysistest"
+	"probsum/internal/analysis/journalcheck"
+)
+
+func TestJournalcheck(t *testing.T) {
+	analysistest.Run(t, journalcheck.Analyzer, filepath.Join("testdata", "src", "a"))
+}

@@ -1,0 +1,189 @@
+// Package lockcheck enforces the repo's annotated lock discipline:
+//
+//   - a field marked `// +guarded_by:mu` may be read only while the
+//     receiver's mu is held (shared or exclusive) and written only
+//     while it is held exclusively — so publish-path code mutating
+//     broker state under RLock is a finding, not a race-detector
+//     coin flip;
+//   - the `(writes)` variant checks writes only, for fields read
+//     lock-free through an atomic whose updates mu serializes;
+//   - a method marked `// +mustlock:mu` (or `(shared)`) must be
+//     called with the receiver's lock already held at that level,
+//     and its body is analyzed starting in that state;
+//   - a path that acquires a lock and then returns without either
+//     unlocking or deferring the unlock is flagged.
+//
+// Only method bodies are checked: constructors publish the value
+// before any concurrent access exists, and tests exercise internals
+// deliberately. The escape hatch is `//brokervet:allow lockcheck
+// <reason>` on or above the flagged line.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"probsum/internal/analysis"
+)
+
+// Analyzer is the lockcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "check +guarded_by / +mustlock lock-discipline annotations",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	files := pass.NonTestFiles()
+	guards := analysis.CollectGuards(pass, files, true)
+	mustlocks := analysis.CollectMustLocks(pass, files, true)
+	if len(guards) == 0 && len(mustlocks) == 0 {
+		return nil
+	}
+
+	// Types with any +mustlock method: their other methods must be
+	// walked too, so unlocked calls to the annotated helpers are seen.
+	mlTypes := make(map[*types.Named]bool)
+	for mfn := range mustlocks {
+		if named := recvNamed(mfn); named != nil {
+			mlTypes[named] = true
+		}
+	}
+
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			named := recvNamed(fn)
+			if named == nil {
+				continue
+			}
+			fieldGuards := guards[named]
+			_, hasML := mustlocks[fn]
+			if len(fieldGuards) == 0 && !hasML && !mlTypes[named] {
+				continue
+			}
+			checkMethod(pass, fd, fn, named, fieldGuards, mustlocks)
+		}
+	}
+	return nil
+}
+
+// checkMethod walks one method under the lock-state interpreter.
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, fn *types.Func, named *types.Named,
+	fieldGuards map[string]analysis.FieldGuard, mustlocks map[*types.Func]analysis.MustLock) {
+
+	// Track every lock any guard or annotation on this type names.
+	lockSet := make(map[string]bool)
+	for _, g := range fieldGuards {
+		lockSet[g.Lock] = true
+	}
+	for mfn, m := range mustlocks {
+		if recvNamed(mfn) == named {
+			lockSet[m.Lock] = true
+		}
+	}
+	locks := make([]string, 0, len(lockSet))
+	for l := range lockSet {
+		locks = append(locks, l)
+	}
+
+	entry := make(map[string]analysis.LockLevel)
+	if ml, ok := mustlocks[fn]; ok {
+		entry[ml.Lock] = ml.Level
+	}
+
+	recvName := "recv"
+	if len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		recvName = fd.Recv.List[0].Names[0].Name
+	}
+
+	analysis.WalkMethod(fd, analysis.MethodWalk{
+		Info:  pass.TypesInfo,
+		Locks: locks,
+		Entry: entry,
+		Access: func(sel *ast.SelectorExpr, field string, write bool, st analysis.State) {
+			g, ok := fieldGuards[field]
+			if !ok {
+				return
+			}
+			level := st.Level(g.Lock)
+			if write && level < analysis.Exclusive {
+				pass.Reportf(sel.Pos(),
+					"write to %s-guarded field %s.%s requires %s.%s held exclusively (held: %s)",
+					g.Lock, recvName, field, recvName, g.Lock, level)
+				return
+			}
+			if !write && !g.WritesOnly && level < analysis.Shared {
+				pass.Reportf(sel.Pos(),
+					"read of %s-guarded field %s.%s without holding %s.%s",
+					g.Lock, recvName, field, recvName, g.Lock)
+			}
+		},
+		Call: func(call *ast.CallExpr, st analysis.State) {
+			callee, ok := sameRecvCallee(pass.TypesInfo, call, fd)
+			if !ok {
+				return
+			}
+			ml, ok := mustlocks[callee]
+			if !ok {
+				return
+			}
+			if st.Level(ml.Lock) < ml.Level {
+				pass.Reportf(call.Pos(),
+					"call to %s.%s requires %s.%s held %s (held: %s)",
+					recvName, callee.Name(), recvName, ml.Lock, ml.Level, st.Level(ml.Lock))
+			}
+		},
+		Return: func(pos token.Pos, st analysis.State) {
+			for _, lock := range locks {
+				ls := st[lock]
+				if ls.Level > analysis.Unlocked && ls.AcquiredHere && !ls.Deferred {
+					pass.Reportf(pos,
+						"return while %s.%s is still held with no deferred unlock (early return leaks the lock)",
+						recvName, lock)
+				}
+			}
+		},
+	})
+}
+
+// sameRecvCallee resolves calls of the form recv.method(...) where
+// recv is the enclosing method's receiver variable.
+func sameRecvCallee(info *types.Info, call *ast.CallExpr, fd *ast.FuncDecl) (*types.Func, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil, false
+	}
+	recvObj := info.Defs[fd.Recv.List[0].Names[0]]
+	if recvObj == nil || info.Uses[id] != recvObj {
+		return nil, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return fn, ok
+}
+
+// recvNamed mirrors analysis.recvNamed for this package's use.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,13 @@
+package lockcheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"probsum/internal/analysis/analysistest"
+	"probsum/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, lockcheck.Analyzer, filepath.Join("testdata", "src", "a"))
+}

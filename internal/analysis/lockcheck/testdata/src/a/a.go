@@ -1,0 +1,161 @@
+// Package a is the lockcheck fixture: a miniature broker with
+// +guarded_by fields and +mustlock helpers, exercising the positive
+// and negative paths of the lock-discipline checks.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Broker struct {
+	mu sync.RWMutex
+	// +guarded_by:mu
+	routes map[string]string
+	// +guarded_by:mu
+	n int
+	// +guarded_by:mu (writes)
+	gen atomic.Pointer[int]
+}
+
+// Correct usage: no diagnostics on any of these.
+
+func (b *Broker) goodRead() string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.routes["x"]
+}
+
+func (b *Broker) goodWrite(k, v string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.routes[k] = v
+	b.n++
+}
+
+func (b *Broker) goodExplicitUnlock() int {
+	b.mu.RLock()
+	n := b.n
+	b.mu.RUnlock()
+	return n
+}
+
+// Violations.
+
+func (b *Broker) badRead() string {
+	return b.routes["x"] // want `read of mu-guarded field b\.routes without holding b\.mu`
+}
+
+func (b *Broker) badWriteUnderRLock(k, v string) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	b.routes[k] = v // want `write to mu-guarded field b\.routes requires b\.mu held exclusively \(held: shared \(RLock\)\)`
+}
+
+func (b *Broker) badDelete(k string) {
+	delete(b.routes, k) // want `write to mu-guarded field b\.routes requires b\.mu held exclusively \(held: unlocked\)`
+}
+
+func (b *Broker) leakyReturn(cond bool) int {
+	b.mu.Lock()
+	if cond {
+		return 0 // want `return while b\.mu is still held with no deferred unlock`
+	}
+	b.mu.Unlock()
+	return 1
+}
+
+// The goroutine body runs after the method returns: its lock state is
+// empty regardless of what the spawning method holds.
+func (b *Broker) badGoroutineWrite() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.n++ // want `write to mu-guarded field b\.n requires b\.mu held exclusively \(held: unlocked\)`
+	}()
+}
+
+// Closures run synchronously in their enclosing method, so they
+// inherit its lock state: no diagnostic here.
+func (b *Broker) goodClosureWrite() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f := func() { b.n++ }
+	f()
+}
+
+// +mustlock call-site enforcement.
+
+// dropLocked removes one route; the caller holds mu exclusively.
+//
+// +mustlock:mu
+func (b *Broker) dropLocked(k string) {
+	delete(b.routes, k)
+}
+
+// sizeLocked reads the count; any mode of mu suffices.
+//
+// +mustlock:mu (shared)
+func (b *Broker) sizeLocked() int {
+	return b.n
+}
+
+func (b *Broker) goodCalls(k string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.dropLocked(k)
+	return b.sizeLocked()
+}
+
+func (b *Broker) badExclusiveCall(k string) {
+	b.dropLocked(k) // want `call to b\.dropLocked requires b\.mu held exclusive \(Lock\) \(held: unlocked\)`
+}
+
+func (b *Broker) badSharedCall() int {
+	return b.sizeLocked() // want `call to b\.sizeLocked requires b\.mu held shared \(RLock\) \(held: unlocked\)`
+}
+
+func (b *Broker) badUpgradeCall(k string) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	b.dropLocked(k) // want `call to b\.dropLocked requires b\.mu held exclusive \(Lock\) \(held: shared \(RLock\)\)`
+}
+
+// Writes-only guard: lock-free reads through the atomic are fine,
+// mutations still need the lock.
+
+func (b *Broker) goodGenRead() *int {
+	return b.gen.Load()
+}
+
+func (b *Broker) badGenWrite(p *int) {
+	b.gen.Store(p) // want `write to mu-guarded field b\.gen requires b\.mu held exclusively \(held: unlocked\)`
+}
+
+func (b *Broker) goodGenWrite(p *int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.gen.Store(p)
+}
+
+// Suppression: the allow comment swallows the diagnostic.
+
+func (b *Broker) suppressedRead() int {
+	//brokervet:allow lockcheck stale read is fine here: metrics snapshot
+	return b.n
+}
+
+// Annotation validation: a guard or mustlock naming a lock the struct
+// does not have is itself a finding.
+
+type badGuard struct {
+	// +guarded_by:lock
+	x int // want `\+guarded_by:lock: struct badGuard has no sync\.Mutex or sync\.RWMutex field named "lock"`
+}
+
+// oops names a lock its receiver does not declare.
+//
+// +mustlock:missing
+func (g *badGuard) oops() int { // want `\+mustlock:missing: receiver of oops has no sync\.Mutex or sync\.RWMutex field named "missing"`
+	return 0
+}

@@ -1,0 +1,567 @@
+package analysis
+
+// The lock-state walker: a small abstract interpreter over method
+// bodies that tracks, per receiver mutex field, whether the lock is
+// held shared or exclusively on every path. lockcheck and
+// journalcheck both drive it through callbacks — one checks guarded
+// field accesses, the other journal append sites.
+//
+// The model is deliberately simple and errs toward reporting:
+//
+//   - state is a map lockField → {level, acquiredHere, deferred},
+//     merged at join points by taking the weakest level;
+//   - only `recv.lock.Lock/RLock/Unlock/RUnlock()` statements change
+//     state, so TryLock and locks reached through locals are invisible
+//     (the repo has neither);
+//   - function literals inherit the surrounding state (they run
+//     synchronously in every current caller) but forget acquiredHere,
+//     and `go` statements start from an empty state;
+//   - a branch that returns/breaks/panics stops contributing to the
+//     merge, which is what makes early-return paths visible.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockLevel is how strongly a lock is held.
+type LockLevel int
+
+const (
+	Unlocked LockLevel = iota
+	Shared
+	Exclusive
+)
+
+func (l LockLevel) String() string {
+	switch l {
+	case Shared:
+		return "shared (RLock)"
+	case Exclusive:
+		return "exclusive (Lock)"
+	}
+	return "unlocked"
+}
+
+// LockState is the walker's knowledge of one lock at one program
+// point.
+type LockState struct {
+	Level LockLevel
+	// AcquiredHere: the current function (not a caller or an
+	// enclosing closure) took the lock.
+	AcquiredHere bool
+	// Deferred: an unlock for this lock is registered via defer.
+	Deferred bool
+}
+
+// State maps lock field name → state. Callbacks must treat it as
+// read-only.
+type State map[string]LockState
+
+// Level returns the held level of the named lock.
+func (s State) Level(lock string) LockLevel { return s[lock].Level }
+
+// MethodWalk configures one walk over a method body.
+type MethodWalk struct {
+	Info *types.Info
+	// Locks are the receiver mutex field names to track.
+	Locks []string
+	// Entry is the lock state on entry (from +mustlock annotations).
+	Entry map[string]LockLevel
+	// Access fires for every read or write of a receiver field.
+	Access func(sel *ast.SelectorExpr, field string, write bool, st State)
+	// Call fires for every call expression, with the state at the
+	// call site (empty state for `go` calls, which run later).
+	Call func(call *ast.CallExpr, st State)
+	// Return fires at every return statement and at the implicit
+	// fall-off-the-end point, with the state at that exit.
+	Return func(pos token.Pos, st State)
+}
+
+// atomicWriteMethods are method names that mutate their receiver;
+// calling one on a guarded field counts as a write to that field
+// (atomic.Pointer.Store on pubDedup's generation pair is the
+// motivating case).
+var atomicWriteMethods = map[string]bool{
+	"Store": true, "Swap": true, "CompareAndSwap": true,
+	"Add": true, "Delete": true, "LoadOrStore": true,
+	"LoadAndDelete": true, "Or": true, "And": true,
+}
+
+// WalkMethod interprets fd's body under cfg. Methods without a body
+// or without a named receiver are walked with no lock tracking.
+func WalkMethod(fd *ast.FuncDecl, cfg MethodWalk) {
+	if fd.Body == nil {
+		return
+	}
+	w := &methodWalker{cfg: cfg}
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		name := fd.Recv.List[0].Names[0]
+		if name.Name != "_" {
+			w.recv = cfg.Info.Defs[name]
+		}
+	}
+	st := make(State, len(cfg.Locks))
+	for _, lock := range cfg.Locks {
+		st[lock] = LockState{Level: cfg.Entry[lock]}
+	}
+	out, terminated := w.walkStmts(fd.Body.List, st)
+	if !terminated && cfg.Return != nil {
+		cfg.Return(fd.Body.Rbrace, out)
+	}
+}
+
+type methodWalker struct {
+	cfg  MethodWalk
+	recv types.Object
+}
+
+func cloneState(s State) State {
+	out := make(State, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeStates joins two reachable states: weakest level wins, a lock
+// counts as acquired-here or deferred only as its surviving branches
+// say.
+func mergeStates(a, b State) State {
+	out := make(State, len(a))
+	for k, av := range a {
+		bv := b[k]
+		m := LockState{
+			Level:        min(av.Level, bv.Level),
+			AcquiredHere: av.AcquiredHere || bv.AcquiredHere,
+			Deferred:     av.Deferred && bv.Deferred,
+		}
+		if m.Level == Unlocked {
+			m = LockState{}
+		}
+		out[k] = m
+	}
+	return out
+}
+
+// walkStmts interprets a statement list sequentially. It returns the
+// exit state and whether every path through the list terminates
+// (returns, branches away, or panics) before falling off the end.
+func (w *methodWalker) walkStmts(list []ast.Stmt, st State) (State, bool) {
+	for _, s := range list {
+		var terminated bool
+		st, terminated = w.walkStmt(s, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *methodWalker) walkStmt(s ast.Stmt, st State) (State, bool) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if lock, op, ok := w.lockOp(x.X); ok {
+			return applyLockOp(st, lock, op), false
+		}
+		w.walkExpr(x.X, st, nil)
+		return st, false
+
+	case *ast.DeferStmt:
+		if lock, op, ok := w.lockOp(x.Call); ok && (op == opUnlock || op == opRUnlock) {
+			ls := st[lock]
+			ls.Deferred = true
+			st = cloneState(st)
+			st[lock] = ls
+			return st, false
+		}
+		for _, a := range x.Call.Args {
+			w.walkExpr(a, st, nil)
+		}
+		if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			w.walkClosure(fl, st)
+		} else {
+			w.walkExpr(x.Call.Fun, st, nil)
+			if w.cfg.Call != nil {
+				w.cfg.Call(x.Call, st)
+			}
+		}
+		return st, false
+
+	case *ast.AssignStmt:
+		writes := make(map[ast.Expr]bool)
+		for _, lhs := range x.Lhs {
+			if sel := w.writeTargetSel(lhs); sel != nil {
+				writes[sel] = true
+			}
+		}
+		for _, e := range x.Rhs {
+			w.walkExpr(e, st, writes)
+		}
+		for _, e := range x.Lhs {
+			w.walkExpr(e, st, writes)
+		}
+		return st, false
+
+	case *ast.IncDecStmt:
+		writes := make(map[ast.Expr]bool)
+		if sel := w.writeTargetSel(x.X); sel != nil {
+			writes[sel] = true
+		}
+		w.walkExpr(x.X, st, writes)
+		return st, false
+
+	case *ast.IfStmt:
+		if x.Init != nil {
+			st, _ = w.walkStmt(x.Init, st)
+		}
+		w.walkExpr(x.Cond, st, nil)
+		var outs []State
+		thenOut, thenTerm := w.walkStmts(x.Body.List, cloneState(st))
+		if !thenTerm {
+			outs = append(outs, thenOut)
+		}
+		if x.Else != nil {
+			elseOut, elseTerm := w.walkStmt(x.Else, cloneState(st))
+			if !elseTerm {
+				outs = append(outs, elseOut)
+			}
+		} else {
+			outs = append(outs, st)
+		}
+		return mergeAll(outs, st)
+
+	case *ast.BlockStmt:
+		return w.walkStmts(x.List, st)
+
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			w.walkExpr(e, st, nil)
+		}
+		if w.cfg.Return != nil {
+			w.cfg.Return(x.Pos(), st)
+		}
+		return st, true
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement list; the merge at
+		// the enclosing loop/switch stays conservative without
+		// modeling the exact target.
+		return st, true
+
+	case *ast.ForStmt:
+		if x.Init != nil {
+			st, _ = w.walkStmt(x.Init, st)
+		}
+		if x.Cond != nil {
+			w.walkExpr(x.Cond, st, nil)
+		}
+		bodyOut, bodyTerm := w.walkStmts(x.Body.List, cloneState(st))
+		if x.Post != nil && !bodyTerm {
+			bodyOut, _ = w.walkStmt(x.Post, bodyOut)
+		}
+		if bodyTerm {
+			return st, false
+		}
+		return mergeStates(st, bodyOut), false
+
+	case *ast.RangeStmt:
+		w.walkExpr(x.X, st, nil)
+		writes := make(map[ast.Expr]bool)
+		for _, e := range []ast.Expr{x.Key, x.Value} {
+			if e == nil {
+				continue
+			}
+			if sel := w.writeTargetSel(e); sel != nil {
+				writes[sel] = true
+			}
+			w.walkExpr(e, st, writes)
+		}
+		bodyOut, bodyTerm := w.walkStmts(x.Body.List, cloneState(st))
+		if bodyTerm {
+			return st, false
+		}
+		return mergeStates(st, bodyOut), false
+
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			st, _ = w.walkStmt(x.Init, st)
+		}
+		if x.Tag != nil {
+			w.walkExpr(x.Tag, st, nil)
+		}
+		return w.walkCases(x.Body.List, st)
+
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			st, _ = w.walkStmt(x.Init, st)
+		}
+		st, _ = w.walkStmt(x.Assign, st)
+		return w.walkCases(x.Body.List, st)
+
+	case *ast.SelectStmt:
+		if len(x.Body.List) == 0 {
+			return st, true // select{} blocks forever
+		}
+		var outs []State
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CommClause)
+			branch := cloneState(st)
+			if cc.Comm != nil {
+				branch, _ = w.walkStmt(cc.Comm, branch)
+			}
+			out, term := w.walkStmts(cc.Body, branch)
+			if !term {
+				outs = append(outs, out)
+			}
+		}
+		return mergeAll(outs, st)
+
+	case *ast.GoStmt:
+		// Arguments are evaluated now, in the current goroutine and
+		// lock state; the call itself runs later with no locks held.
+		for _, a := range x.Call.Args {
+			w.walkExpr(a, st, nil)
+		}
+		fresh := make(State, len(st))
+		for k := range st {
+			fresh[k] = LockState{}
+		}
+		if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			w.walkClosure(fl, fresh)
+		} else {
+			w.walkExpr(x.Call.Fun, st, nil)
+			if w.cfg.Call != nil {
+				w.cfg.Call(x.Call, fresh)
+			}
+		}
+		return st, false
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(x.Stmt, st)
+
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.walkExpr(v, st, nil)
+					}
+				}
+			}
+		}
+		return st, false
+
+	case *ast.SendStmt:
+		w.walkExpr(x.Chan, st, nil)
+		w.walkExpr(x.Value, st, nil)
+		return st, false
+	}
+	return st, false
+}
+
+// walkCases handles switch / type-switch clause lists.
+func (w *methodWalker) walkCases(clauses []ast.Stmt, st State) (State, bool) {
+	hasDefault := false
+	var outs []State
+	for _, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			w.walkExpr(e, st, nil)
+		}
+		out, term := w.walkStmts(cc.Body, cloneState(st))
+		if !term {
+			outs = append(outs, out)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, st)
+	}
+	return mergeAll(outs, st)
+}
+
+// mergeAll joins the surviving branch states; with none, the
+// statement terminates on every path.
+func mergeAll(outs []State, entry State) (State, bool) {
+	if len(outs) == 0 {
+		return entry, true
+	}
+	out := outs[0]
+	for _, o := range outs[1:] {
+		out = mergeStates(out, o)
+	}
+	return out, false
+}
+
+// walkClosure interprets a function literal's body. It inherits the
+// surrounding lock state (closures here run synchronously under their
+// caller) but is not blamed for locks the enclosing method acquired.
+func (w *methodWalker) walkClosure(fl *ast.FuncLit, st State) {
+	inner := cloneState(st)
+	for k, ls := range inner {
+		ls.AcquiredHere = false
+		inner[k] = ls
+	}
+	out, terminated := w.walkStmts(fl.Body.List, inner)
+	if !terminated && w.cfg.Return != nil {
+		w.cfg.Return(fl.Body.Rbrace, out)
+	}
+}
+
+type lockOpKind int
+
+const (
+	opLock lockOpKind = iota
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+// lockOp recognizes recv.<lock>.Lock() and friends for tracked locks.
+func (w *methodWalker) lockOp(e ast.Expr) (string, lockOpKind, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", 0, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	var op lockOpKind
+	switch sel.Sel.Name {
+	case "Lock":
+		op = opLock
+	case "RLock":
+		op = opRLock
+	case "Unlock":
+		op = opUnlock
+	case "RUnlock":
+		op = opRUnlock
+	default:
+		return "", 0, false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	field, ok := w.recvField(inner)
+	if !ok || !w.tracked(field) {
+		return "", 0, false
+	}
+	return field, op, true
+}
+
+func (w *methodWalker) tracked(field string) bool {
+	for _, l := range w.cfg.Locks {
+		if l == field {
+			return true
+		}
+	}
+	return false
+}
+
+func applyLockOp(st State, lock string, op lockOpKind) State {
+	out := cloneState(st)
+	switch op {
+	case opLock:
+		out[lock] = LockState{Level: Exclusive, AcquiredHere: true}
+	case opRLock:
+		out[lock] = LockState{Level: Shared, AcquiredHere: true}
+	case opUnlock, opRUnlock:
+		out[lock] = LockState{}
+	}
+	return out
+}
+
+// writeTargetSel peels an assignment target down to the receiver
+// field being mutated: `b.routes[k] = v`, `*b.p = v`, `b.self.Inc++`
+// all resolve to their receiver-rooted field selector.
+func (w *methodWalker) writeTargetSel(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if _, ok := w.recvField(x); ok {
+				return x
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// recvField reports whether sel is a field selection on the walked
+// method's receiver variable, and which field.
+func (w *methodWalker) recvField(sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || w.recv == nil {
+		return "", false
+	}
+	if w.cfg.Info.Uses[id] != w.recv {
+		return "", false
+	}
+	if s, ok := w.cfg.Info.Selections[sel]; ok && s.Kind() != types.FieldVal {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// walkExpr traverses an expression, firing Access for receiver field
+// selections (writes per the writes set) and Call for call
+// expressions, and interpreting function literals inline.
+func (w *methodWalker) walkExpr(e ast.Expr, st State, writes map[ast.Expr]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			w.walkClosure(x, st)
+			return false
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && len(x.Args) > 0 {
+				if b, ok := w.cfg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+					if sel := w.writeTargetSel(x.Args[0]); sel != nil {
+						if writes == nil {
+							writes = make(map[ast.Expr]bool)
+						}
+						writes[sel] = true
+					}
+				}
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && atomicWriteMethods[sel.Sel.Name] {
+				if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+					if _, isField := w.recvField(inner); isField {
+						if writes == nil {
+							writes = make(map[ast.Expr]bool)
+						}
+						writes[inner] = true
+					}
+				}
+			}
+			if w.cfg.Call != nil {
+				w.cfg.Call(x, st)
+			}
+			return true
+		case *ast.SelectorExpr:
+			if field, ok := w.recvField(x); ok && w.cfg.Access != nil {
+				w.cfg.Access(x, field, writes[x], st)
+			}
+			return true
+		}
+		return true
+	})
+}

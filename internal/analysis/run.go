@@ -1,0 +1,113 @@
+package analysis
+
+// The driver: apply a set of analyzers to loaded packages, validate
+// and apply //brokervet:allow suppressions, and render findings.
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// A Finding is one unsuppressed diagnostic, resolved to a file
+// position.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Analyzer)
+}
+
+// RunAnalyzers applies every analyzer to every package, drops
+// diagnostics covered by a //brokervet:allow comment, and flags
+// malformed suppressions (unknown analyzer name, missing reason) as
+// findings in their own right. The returned error reflects analyzer
+// failures, not findings.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	for _, pkg := range pkgs {
+		allows := CollectAllows(pkg.Fset, pkg.Files)
+		for _, lines := range allows {
+			for _, as := range lines {
+				for _, a := range as {
+					switch {
+					case a.Analyzer == "" || !known[a.Analyzer]:
+						findings = append(findings, Finding{
+							Analyzer: "brokervet",
+							Position: pkg.Fset.Position(a.Pos),
+							Message:  fmt.Sprintf("brokervet:allow names no known analyzer (have %q; want one of the suite)", a.Analyzer),
+						})
+					case a.Reason == "":
+						findings = append(findings, Finding{
+							Analyzer: "brokervet",
+							Position: pkg.Fset.Position(a.Pos),
+							Message:  fmt.Sprintf("brokervet:allow %s needs a reason: //brokervet:allow %s <why this is safe>", a.Analyzer, a.Analyzer),
+						})
+					}
+				}
+			}
+		}
+
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			if err := a.Run(pass); err != nil {
+				return findings, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range pass.diags {
+				if Suppressed(pkg.Fset, allows, a.Name, d.Pos) {
+					continue
+				}
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Message < findings[j].Message
+	})
+	return findings, nil
+}
+
+// RunOnPass applies one analyzer to an already-built pass and returns
+// the diagnostics that survive suppression filtering. Test harnesses
+// (analysistest) use this entry point.
+func RunOnPass(a *Analyzer, pass *Pass) ([]Diagnostic, error) {
+	pass.Analyzer = a
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	allows := CollectAllows(pass.Fset, pass.Files)
+	var out []Diagnostic
+	for _, d := range pass.diags {
+		if Suppressed(pass.Fset, allows, a.Name, d.Pos) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

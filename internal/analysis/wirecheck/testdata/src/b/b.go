@@ -1,0 +1,66 @@
+// Package b is the wirecheck clean fixture: a complete codec — total
+// registry, symmetric switches, a guarded gate case — that must
+// produce no diagnostics.
+package b
+
+type MsgKind uint8
+
+const (
+	MsgX MsgKind = iota
+	MsgY
+)
+
+type Message struct {
+	Kind MsgKind
+	X    string
+	Y    int
+}
+
+type WireCodec uint8
+
+const (
+	CodecJSON WireCodec = iota
+	CodecBinary
+)
+
+var frameMinCodec = map[MsgKind]WireCodec{
+	MsgX: CodecJSON,
+	MsgY: CodecBinary,
+}
+
+func MarshalFrame(m *Message) []byte {
+	var buf []byte
+	switch m.Kind {
+	case MsgX:
+		buf = append(buf, byte(len(m.X)))
+		buf = append(buf, m.X...)
+	case MsgY:
+		buf = append(buf, byte(m.Y))
+	}
+	return buf
+}
+
+func UnmarshalFrame(data []byte) *Message {
+	var m Message
+	m.Kind = MsgKind(data[0])
+	switch m.Kind {
+	case MsgX:
+		m.X = string(data[1:])
+	case MsgY:
+		m.Y = int(data[1])
+	}
+	return &m
+}
+
+// send gates version-dependent kinds on the negotiated codec.
+//
+// +wirecheck:gate
+func send(peer WireCodec, m *Message) []byte {
+	switch m.Kind {
+	case MsgY:
+		if peer < CodecBinary {
+			return nil
+		}
+	}
+	return MarshalFrame(m)
+}

@@ -330,26 +330,35 @@ type Broker struct {
 	// unsubscribe / topology changes, shared for publish.
 	mu sync.RWMutex
 
+	// +guarded_by:mu
 	neighbors map[string]bool
-	clients   map[string]bool
+	// +guarded_by:mu
+	clients map[string]bool
 
 	// out holds one coverage table per neighbor: the subscriptions this
 	// broker has forwarded to that neighbor, reduced under the policy.
+	// +guarded_by:mu
 	out map[string]*subsume.Table
 	// outIDs maps subscription IDs to per-broker numeric IDs; idToSub
 	// is its inverse, used when promotions must be re-announced.
-	outIDs  map[string]subsume.ID
+	// +guarded_by:mu
+	outIDs map[string]subsume.ID
+	// +guarded_by:mu
 	idToSub map[subsume.ID]string
-	nextID  subsume.ID
+	// +guarded_by:mu
+	nextID subsume.ID
 
 	// in records, per port, the subscriptions received from that port:
 	// the reverse-path routing table.
+	// +guarded_by:mu
 	in map[string]map[string]subscription.Subscription
 	// matchers indexes each port's reverse-path table with the
 	// interval-tree matcher, so handlePublish runs stabbing queries
 	// instead of a linear scan per publication.
+	// +guarded_by:mu
 	matchers map[string]*match.ITreeIndex
 	// source records the first-arrival port of each known subscription.
+	// +guarded_by:mu
 	source map[string]string
 	// recv records, per NEIGHBOR port, every live subscription ID that
 	// arrived over it — including duplicate copies the first-arrival
@@ -358,6 +367,7 @@ type Broker struct {
 	// active set of its outgoing table for the link, the receiver
 	// digests recv, and a mismatch starts an anti-entropy exchange
 	// (see digest.go).
+	// +guarded_by:mu
 	recv map[string]map[string]bool
 
 	// seenPubs deduplicates publications on cyclic overlays. It is a
@@ -412,7 +422,10 @@ func (b *Broker) SetControlHandler(h ControlHandler) {
 type pubDedup struct {
 	limit int64
 	mu    sync.Mutex // serializes rotation, not lookups
-	gens  atomic.Pointer[dedupGens]
+	// gens is read lock-free on the publish path; mu serializes the
+	// generation swap in rotate.
+	// +guarded_by:mu (writes)
+	gens atomic.Pointer[dedupGens]
 }
 
 type dedupGens struct {
@@ -427,6 +440,7 @@ type dedupGen struct {
 
 func (d *pubDedup) init(limit int) {
 	d.limit = int64(limit)
+	//brokervet:allow lockcheck constructor path: the broker is not shared yet
 	d.gens.Store(&dedupGens{cur: &dedupGen{}, prev: &dedupGen{}})
 }
 
@@ -747,6 +761,8 @@ func (b *Broker) HandlePublishBatch(from string, msgs []Message) ([]Outbound, er
 
 // storeID returns (allocating if needed) the numeric per-broker ID for
 // a subscription identifier.
+//
+// +mustlock:mu
 func (b *Broker) storeID(subID string) subsume.ID {
 	if id, ok := b.outIDs[subID]; ok {
 		return id
@@ -759,6 +775,8 @@ func (b *Broker) storeID(subID string) subsume.ID {
 
 // matcher returns (creating if needed) the reverse-path matcher for a
 // port.
+//
+// +mustlock:mu
 func (b *Broker) matcher(port string) *match.ITreeIndex {
 	m := b.matchers[port]
 	if m == nil {
@@ -768,6 +786,10 @@ func (b *Broker) matcher(port string) *match.ITreeIndex {
 	return m
 }
 
+// handleSubscribe admits one subscription, installing its reverse
+// path and forwarding it to uncovered neighbors.
+//
+// +mustlock:mu
 func (b *Broker) handleSubscribe(from string, msg Message) ([]Outbound, error) {
 	if msg.SubID == "" {
 		return nil, fmt.Errorf("broker %s: subscribe without SubID", b.id)
@@ -809,6 +831,10 @@ func (b *Broker) handleSubscribe(from string, msg Message) ([]Outbound, error) {
 	return out, nil
 }
 
+// handleUnsubscribe cancels one subscription and late-forwards the
+// promotions its removal uncovered.
+//
+// +mustlock:mu
 func (b *Broker) handleUnsubscribe(from string, msg Message) ([]Outbound, error) {
 	// Whatever the routing outcome, the sending port no longer carries
 	// this subscription: balance the link digest first.
@@ -879,6 +905,8 @@ func (b *Broker) handleUnsubscribe(from string, msg Message) ([]Outbound, error)
 // MsgSubscribeBatch, keeping the burst batched end to end across the
 // overlay. Duplicate arrivals (cycle copies, or repeats within the
 // burst) are dropped exactly as on the per-item path.
+//
+// +mustlock:mu
 func (b *Broker) handleSubscribeBatch(from string, msg Message) ([]Outbound, error) {
 	// Validate before mutating anything: the wire is untrusted, and a
 	// mid-loop abort would leave earlier items registered in the
@@ -947,6 +975,8 @@ func (b *Broker) handleSubscribeBatch(from string, msg Message) ([]Outbound, err
 // promotion-cascade frontier), the subscriptions that neighbor knew
 // are forwarded as ONE MsgUnsubscribeBatch, and the promotions the
 // burst caused are late-forwarded as ONE MsgSubscribeBatch.
+//
+// +mustlock:mu
 func (b *Broker) handleUnsubscribeBatch(from string, msg Message) ([]Outbound, error) {
 	subIDs := make([]string, 0, len(msg.SubIDs))
 	ids := make([]subsume.ID, 0, len(msg.SubIDs))
@@ -1028,6 +1058,8 @@ func (b *Broker) handleUnsubscribeBatch(from string, msg Message) ([]Outbound, e
 // preserving arrival order, so the burst stays batched end to end
 // across the overlay (the wire layer splits it again for peers that
 // predate the kind).
+//
+// +mustlock:mu (shared)
 func (b *Broker) handlePublishBatchMsg(from string, msg Message) ([]Outbound, error) {
 	var out []Outbound
 	var fwd map[string][]BatchPub
@@ -1089,6 +1121,8 @@ func (b *Broker) NeighborRoots(id string) []BatchSub {
 // handlePublish runs under the SHARED lock: everything it touches is
 // either read-only routing state (maps mutated only under the
 // exclusive lock), the concurrency-safe matchers, or atomics.
+//
+// +mustlock:mu (shared)
 func (b *Broker) handlePublish(from string, msg Message) ([]Outbound, error) {
 	if msg.PubID == "" {
 		return nil, fmt.Errorf("broker %s: publish without PubID", b.id)

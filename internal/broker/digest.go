@@ -85,6 +85,8 @@ func foldDigest(count int, buckets *[DigestBuckets]uint64) LinkDigest {
 
 // recvAdd marks subID as received (and live) over neighbor port from.
 // Client ports are not tracked: digests cover overlay links only.
+//
+// +mustlock:mu
 func (b *Broker) recvAdd(from, subID string) {
 	if !b.neighbors[from] {
 		return
@@ -98,6 +100,8 @@ func (b *Broker) recvAdd(from, subID string) {
 }
 
 // recvDel clears subID from port from's received set.
+//
+// +mustlock:mu
 func (b *Broker) recvDel(from, subID string) {
 	if set := b.recv[from]; set != nil {
 		delete(set, subID)
@@ -109,6 +113,8 @@ func (b *Broker) recvDel(from, subID string) {
 // other links stop counting toward their digests (those senders are
 // dropping the subscription too; their own unsubscribe copies then
 // arrive as no-ops).
+//
+// +mustlock:mu
 func (b *Broker) recvDelAll(subID string) {
 	for _, set := range b.recv {
 		delete(set, subID)
@@ -117,6 +123,8 @@ func (b *Broker) recvDelAll(subID string) {
 
 // outDigestLocked digests the active set of the outgoing table for
 // peer (the sender-side view). Shared lock must be held.
+//
+// +mustlock:mu (shared)
 func (b *Broker) outDigestLocked(peer string) (LinkDigest, [DigestBuckets]uint64, bool) {
 	var buckets [DigestBuckets]uint64
 	tbl, ok := b.out[peer]
@@ -138,6 +146,8 @@ func (b *Broker) outDigestLocked(peer string) (LinkDigest, [DigestBuckets]uint64
 
 // recvDigestLocked digests the received set for peer (the
 // receiver-side view). Shared lock must be held.
+//
+// +mustlock:mu (shared)
 func (b *Broker) recvDigestLocked(peer string) (LinkDigest, [DigestBuckets]uint64) {
 	var buckets [DigestBuckets]uint64
 	count := 0
@@ -210,6 +220,8 @@ func (b *Broker) checkLinkDigest(from string, d LinkDigest) []Outbound {
 // every bucket where the neighbor's received-set hash differs from
 // this broker's sent-set hash, reply with the bucket's full root set.
 // Runs under the shared lock (read-only).
+//
+// +mustlock:mu (shared)
 func (b *Broker) handleSyncRequest(from string, msg Message) ([]Outbound, error) {
 	if !b.neighbors[from] {
 		return nil, nil
@@ -273,6 +285,8 @@ func (b *Broker) handleSyncRequest(from string, msg Message) ([]Outbound, error)
 //     this link's digest.
 //
 // Runs under the exclusive lock (called from Handle).
+//
+// +mustlock:mu
 func (b *Broker) handleSyncRoots(from string, msg Message) ([]Outbound, error) {
 	if !b.neighbors[from] {
 		return nil, nil

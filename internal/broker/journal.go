@@ -92,6 +92,10 @@ func (b *Broker) SnapshotOps() []SnapshotOp {
 	return b.snapshotOpsLocked()
 }
 
+// snapshotOpsLocked builds the compacted operation list; any mode of
+// the state lock suffices (it only reads).
+//
+// +mustlock:mu (shared)
 func (b *Broker) snapshotOpsLocked() []SnapshotOp {
 	var ops []SnapshotOp
 	for _, c := range sortedKeys(b.clients) {

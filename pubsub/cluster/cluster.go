@@ -116,6 +116,7 @@ func (c Config) withDefaults() Config {
 		c.Seed = 1
 	}
 	if c.Clock == nil {
+		//brokervet:allow clockcheck this IS the clock injection point: the default for production wiring, overridden by simnet in deterministic tests
 		c.Clock = time.Now
 	}
 	return c
@@ -148,13 +149,18 @@ type NodeMetrics struct {
 type Node struct {
 	link Link
 	cfg  Config
-	rng  *rand.Rand // jitter; guarded by mu
+	// +guarded_by:mu
+	rng *rand.Rand // jitter stream
 
-	mu         sync.Mutex
-	self       Member
-	members    map[string]*memberState
+	mu sync.Mutex
+	// +guarded_by:mu
+	self Member
+	// +guarded_by:mu
+	members map[string]*memberState
+	// +guarded_by:mu
 	lastGossip time.Time
-	metrics    NodeMetrics
+	// +guarded_by:mu
+	metrics NodeMetrics
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -255,6 +261,9 @@ func (n *Node) Metrics() NodeMetrics {
 	return n.metrics
 }
 
+// sortedIDsLocked lists tracked member IDs in deterministic order.
+//
+// +mustlock:mu
 func (n *Node) sortedIDsLocked() []string {
 	ids := make([]string, 0, len(n.members))
 	for id := range n.members {
@@ -266,6 +275,8 @@ func (n *Node) sortedIDsLocked() []string {
 
 // wireMembersLocked snapshots the member list (self first) in gossip
 // form.
+//
+// +mustlock:mu
 func (n *Node) wireMembersLocked() []broker.MemberInfo {
 	out := make([]broker.MemberInfo, 0, len(n.members)+1)
 	out = append(out, n.self.wire())
@@ -646,6 +657,7 @@ func (n *Node) mergeGossip(from string, infos []broker.MemberInfo, now time.Time
 // run is the TCP-attached background loop: Tick on a real ticker.
 func (n *Node) run() {
 	defer n.wg.Done()
+	//brokervet:allow clockcheck real-TCP attach path: the ticker only paces Tick calls; all time the logic sees still flows through cfg.Clock
 	t := time.NewTicker(n.cfg.TickEvery)
 	defer t.Stop()
 	for {

@@ -150,24 +150,46 @@ const (
 	maxBinaryPayload = 16 << 20
 )
 
+// frameMinCodec is the wire vocabulary registry: for every frame
+// kind, the minimum negotiated codec a destination must have
+// advertised before a frame of that kind may be sent to it. brokervet's
+// wirecheck pass enforces that the registry stays total over the Msg*
+// kinds and that every kind above the JSON baseline keeps a
+// version-gated case in the transport's send path (tcpServer.send),
+// so "added a frame kind, forgot the gate" fails the build instead of
+// the fuzz corpus.
+var frameMinCodec = map[broker.MsgKind]WireCodec{
+	broker.MsgSubscribe:        CodecJSON,
+	broker.MsgUnsubscribe:      CodecJSON,
+	broker.MsgPublish:          CodecJSON,
+	broker.MsgNotify:           CodecJSON,
+	broker.MsgSubscribeBatch:   CodecBinary,
+	broker.MsgUnsubscribeBatch: CodecBinary,
+	broker.MsgPublishBatch:     CodecBinary2,
+	broker.MsgPing:             CodecBinary2,
+	broker.MsgPong:             CodecBinary2,
+	broker.MsgGossip:           CodecBinary2,
+	broker.MsgSyncRequest:      CodecBinary3,
+	broker.MsgSyncRoots:        CodecBinary3,
+}
+
 // wireVersionOf returns the header version byte for a message. The
 // byte is tied to the VOCABULARY the frame uses, not the negotiated
 // codec: PR-4 kinds keep emitting byte-identical v1 frames, PR-5
 // kinds v2 frames, and only the durability vocabulary — the sync
 // kinds, and gossip when it actually piggybacks a digest — travels
 // under the v3 byte, so an older peer accidentally sent one fails at
-// the header, the cheapest place.
+// the header, the cheapest place. The kind→vocabulary mapping is
+// frameMinCodec's; kinds at the JSON baseline ride the v1 binary
+// framing.
 func wireVersionOf(m *broker.Message) byte {
-	switch {
-	case m.Kind == broker.MsgSyncRequest || m.Kind == broker.MsgSyncRoots:
+	if m.Kind == broker.MsgGossip && m.Digest != nil {
 		return binVersion3
-	case m.Kind == broker.MsgGossip && m.Digest != nil:
-		return binVersion3
-	case m.Kind >= broker.MsgPublishBatch:
-		return binVersion2
-	default:
-		return binVersion
 	}
+	if v := frameMinCodec[m.Kind]; v >= CodecBinary {
+		return byte(v)
+	}
+	return binVersion
 }
 
 // encBufPool pools encode scratch buffers across writers, readers'

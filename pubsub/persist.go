@@ -164,9 +164,11 @@ type BrokerJournal struct {
 	b     *broker.Broker
 	store persist.Store
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// +guarded_by:mu
 	unsynced int
-	err      error
+	// +guarded_by:mu
+	err error
 
 	// SyncEvery is the fsync batch size: the journal syncs after
 	// every n-th record (1 = sync every record; the constructor

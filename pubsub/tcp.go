@@ -263,15 +263,19 @@ type tcpServer struct {
 	// WithSerializedDispatch); unused in the concurrent mode.
 	smu sync.Mutex
 
-	mu      sync.Mutex
-	ports   map[string]*tcpPort
+	mu sync.Mutex
+	// +guarded_by:mu
+	ports map[string]*tcpPort
+	// +guarded_by:mu
 	readers map[net.Conn]struct{}
 	// peerCodec records, per peer broker, the highest binary wire
 	// version it advertised (hello on its inbound connection, or ack
 	// on our outbound one), so the outbound port to it can upgrade.
+	// +guarded_by:mu
 	peerCodec map[string]WireCodec
 	// peerClu records, per peer broker, the cluster protocol version
 	// it advertised alongside the codec.
+	// +guarded_by:mu
 	peerClu map[string]uint8
 	// hooks are the cluster layer's peer-link callbacks (up on an
 	// established outbound link, down on a lost one). Invoked on their
@@ -279,6 +283,7 @@ type tcpServer struct {
 	// against s.mu. Events are at-least-once: a replaced connection or
 	// a redial can surface spurious down/up pairs, and the membership
 	// layer is expected to treat them idempotently.
+	// +guarded_by:mu
 	hooks struct {
 		up, down func(peer string)
 	}
@@ -557,6 +562,10 @@ func (s *tcpServer) learnPeer(id string, advertised WireCodec, cluster uint8) {
 // indistinguishable from old ones. Control frames (ping/pong/gossip)
 // have no older form: they are dropped toward destinations without a
 // cluster layer — membership simply does not extend to them.
+//
+// +wirecheck:gate — this switch IS the wire-vocabulary gate: every
+// frame kind above the JSON baseline in frameMinCodec must keep a
+// version-checked case here (enforced by brokervet's wirecheck).
 func (s *tcpServer) send(o broker.Outbound) {
 	s.mu.Lock()
 	p := s.ports[o.To]
