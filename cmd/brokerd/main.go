@@ -184,12 +184,22 @@ func run() error {
 	}
 
 	if rs, ok := b.Recovery(); ok {
-		fmt.Printf("recovered from %s: %d subscriptions, %d clients, %d neighbors (%d snapshot ops, %d journal records, %d skipped",
-			*dataDir, rs.Subscriptions, rs.Clients, rs.Neighbors, rs.SnapshotOps, rs.JournalRecords, rs.Skipped)
+		fmt.Printf("recovered from %s: %d subscriptions, %d clients, %d neighbors, %d members (%d snapshot ops, %d journal records, %d skipped",
+			*dataDir, rs.Subscriptions, rs.Clients, rs.Neighbors, len(rs.Members), rs.SnapshotOps, rs.JournalRecords, rs.Skipped)
 		if rs.Truncated {
 			fmt.Printf(", torn tail of %d bytes discarded", rs.DroppedBytes)
 		}
 		fmt.Println(")")
+		// Durable membership: a hand-wired broker (no -cluster /
+		// -seed-node / -mesh this boot) that persisted a member list in
+		// a previous life rejoins that overlay from disk — the cluster
+		// layer adopts the recorded members and its reconnect loop
+		// re-dials them, no seed node needed.
+		if node == nil && len(rs.Members) > 0 {
+			ccfg.Mesh = true
+			node = cluster.Attach(b, ccfg)
+			fmt.Printf("rejoining cluster from disk: %d recovered members\n", len(rs.Members))
+		}
 	}
 
 	for name, addr := range peers {

@@ -20,6 +20,7 @@ import (
 	"probsum/internal/core"
 	"probsum/internal/store"
 	"probsum/pubsub"
+	"probsum/pubsub/cluster/scale"
 )
 
 // BenchResult is one benchmark measurement.
@@ -38,6 +39,24 @@ type BenchReport struct {
 	GOOS       string        `json:"goos"`
 	GOARCH     string        `json:"goarch"`
 	Benchmarks []BenchResult `json:"benchmarks"`
+	// Scale tracks the membership-at-scale trajectory: deterministic
+	// runs of the pubsub/cluster/scale harness (fixed seed, manual
+	// clock), so convergence and gossip-traffic numbers diff across
+	// commits like the micro-benchmarks do. Informational — the CI
+	// regression gate for these lives in examples/scale.
+	Scale []ScaleResult `json:"scale,omitempty"`
+}
+
+// ScaleResult is one membership scale-harness measurement.
+type ScaleResult struct {
+	N                         int     `json:"n"`
+	Links                     int     `json:"links"`
+	MaxDegree                 int     `json:"max_degree"`
+	ConvergedRounds           int     `json:"converged_rounds"`
+	SteadyBytesPerMemberRound float64 `json:"steady_bytes_per_member_round"`
+	SteadyFullGossipFrames    uint64  `json:"steady_full_gossip_frames"`
+	SteadyDeltaFrames         uint64  `json:"steady_delta_frames"`
+	TotalControlBytes         uint64  `json:"total_control_bytes"`
 }
 
 // microBenchmarks is the hot-path set, with bodies shared with the
@@ -223,6 +242,27 @@ func runBenchJSON(dir string) (string, BenchReport, error) {
 		}
 		fmt.Fprintf(os.Stderr, "%12.1f ns/op %6d allocs/op\n", res.NsPerOp, res.AllocsPerOp)
 		report.Benchmarks = append(report.Benchmarks, res)
+	}
+	for _, n := range []int{200, 1000} {
+		fmt.Fprintf(os.Stderr, "scale n=%-4d ", n)
+		rep, err := scale.Run(scale.Config{N: n, Seed: 1})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "FAILED")
+			return "", BenchReport{}, fmt.Errorf("scale n=%d: %w", n, err)
+		}
+		res := ScaleResult{
+			N:                         rep.N,
+			Links:                     rep.Links,
+			MaxDegree:                 rep.MaxDegree,
+			ConvergedRounds:           rep.ConvergedRound,
+			SteadyBytesPerMemberRound: rep.SteadyBytesPerMemberRound,
+			SteadyFullGossipFrames:    rep.SteadyFullGossipFrames,
+			SteadyDeltaFrames:         rep.SteadyDeltaFrames,
+			TotalControlBytes:         rep.TotalControlBytes,
+		}
+		fmt.Fprintf(os.Stderr, "converged in %d rounds, %.0f B/member/round steady\n",
+			res.ConvergedRounds, res.SteadyBytesPerMemberRound)
+		report.Scale = append(report.Scale, res)
 	}
 	path := filepath.Join(dir, "BENCH_"+time.Now().UTC().Format("2006-01-02")+".json")
 	f, err := os.Create(path)

@@ -75,6 +75,17 @@ const (
 	// receiver as ONE batch; received subscriptions in those buckets
 	// that are absent from the frame are stale and garbage-collected.
 	MsgSyncRoots
+	// MsgPingReq is the SWIM indirect probe (wire v4). With Ack unset
+	// it asks the receiving relay to ping Target on the origin's
+	// behalf; with Ack set it is the relay's answer back to the origin
+	// confirming Target responded. Either direction may piggyback
+	// membership deltas in Members.
+	MsgPingReq
+	// MsgGossipDelta carries a bounded batch of membership updates
+	// (wire v4) instead of MsgGossip's full member-list snapshot. Like
+	// MsgGossip it may piggyback a LinkDigest for subscription-set
+	// reconciliation on the link.
+	MsgGossipDelta
 )
 
 // String returns the message kind name.
@@ -104,16 +115,25 @@ func (k MsgKind) String() string {
 		return "sync-request"
 	case MsgSyncRoots:
 		return "sync-roots"
+	case MsgPingReq:
+		return "ping-req"
+	case MsgGossipDelta:
+		return "gossip-delta"
 	default:
 		return "unknown"
 	}
 }
 
 // IsControl reports whether k is an overlay-control kind (cluster
-// ping/pong/gossip) rather than routing traffic. Control messages are
-// dispatched to the ControlHandler and never touch coverage tables.
+// ping/pong/gossip and the v4 indirect-probe/delta-gossip kinds)
+// rather than routing traffic. Control messages are dispatched to the
+// ControlHandler and never touch coverage tables.
 func (k MsgKind) IsControl() bool {
-	return k == MsgPing || k == MsgPong || k == MsgGossip
+	switch k {
+	case MsgPing, MsgPong, MsgGossip, MsgPingReq, MsgGossipDelta:
+		return true
+	}
+	return false
 }
 
 // BatchSub pairs a subscription with its globally unique identifier
@@ -167,14 +187,33 @@ type Message struct {
 	SubIDs []string `json:"sub_ids,omitempty"`
 	// Pubs is the MsgPublishBatch payload, in arrival order.
 	Pubs []BatchPub `json:"pubs,omitempty"`
-	// Seq is the MsgPing sequence number, echoed by MsgPong.
+	// Seq is the MsgPing sequence number, echoed by MsgPong; for
+	// MsgPingReq it is the origin's request sequence, echoed by the
+	// relay's ack.
 	Seq uint64 `json:"seq,omitempty"`
-	// Members is the MsgGossip payload: the sender's member list.
+	// Members is the MsgGossip payload (the sender's full member
+	// list), the MsgGossipDelta payload (a bounded update batch), or a
+	// piggybacked delta batch on MsgPing/MsgPong/MsgPingReq (wire v4;
+	// stripped toward older peers).
 	Members []MemberInfo `json:"members,omitempty"`
-	// Digest optionally piggybacks on MsgGossip: the sender's
-	// subscription-set digest for this link (wire v3; stripped toward
-	// older peers).
+	// Target names the member a MsgPingReq asks a relay to probe (or,
+	// on the ack, the member the relay confirmed alive).
+	Target string `json:"target,omitempty"`
+	// Ack marks a MsgPingReq as the relay's answer to the origin
+	// rather than a probe request toward the relay.
+	Ack bool `json:"ack,omitempty"`
+	// Digest optionally piggybacks on MsgGossip / MsgGossipDelta: the
+	// sender's subscription-set digest for this link (wire v3;
+	// stripped toward older peers).
 	Digest *LinkDigest `json:"digest,omitempty"`
+	// MemberHash is the MsgGossipDelta anti-entropy digest: an
+	// order-independent hash of the sender's entire member view (never
+	// zero on the wire). A receiver whose own view still hashes
+	// differently after merging the frame's deltas answers with one
+	// full snapshot — the completeness backstop that lets steady-state
+	// dissemination stay delta-only without rumors starving on their
+	// retransmit budgets.
+	MemberHash uint64 `json:"member_hash,omitempty"`
 	// Buckets is the MsgSyncRequest payload: the requester's
 	// DigestBuckets per-bucket hashes of what it received on the link.
 	Buckets []uint64 `json:"buckets,omitempty"`
@@ -718,9 +757,9 @@ func (b *Broker) Handle(from string, msg Message) ([]Outbound, error) {
 		b.mu.RLock()
 		defer b.mu.RUnlock()
 		return b.handleSyncRequest(from, msg)
-	case MsgPing, MsgPong, MsgGossip:
+	case MsgPing, MsgPong, MsgGossip, MsgPingReq, MsgGossipDelta:
 		var out []Outbound
-		if msg.Kind == MsgGossip && msg.Digest != nil {
+		if (msg.Kind == MsgGossip || msg.Kind == MsgGossipDelta) && msg.Digest != nil {
 			// Digest reconciliation is broker state, not membership:
 			// check it here so links converge even when no cluster
 			// layer is attached to consume the gossip itself.

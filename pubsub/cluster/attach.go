@@ -48,6 +48,13 @@ func (l tcpLink) Digest(peer string) (broker.LinkDigest, bool) {
 	return l.b.LinkDigest(peer)
 }
 
+// DeltaCapable gates the SWIM vocabulary on the peer's advertised
+// wire codec: ping-req, gossip-delta, and ping/pong member tails
+// exist only from wire v4 on.
+func (l tcpLink) DeltaCapable(peer string) bool {
+	return l.b.PeerWireCodec(peer) >= pubsub.CodecBinary4
+}
+
 // Attach binds a membership node to a listening TCP broker: the
 // node's control handler and peer-link hooks are registered (which
 // also turns on the cluster advertisement in the broker's hellos and
@@ -63,6 +70,18 @@ func (l tcpLink) Digest(peer string) (broker.LinkDigest, bool) {
 func Attach(b *pubsub.Broker, cfg Config) *Node {
 	cfg = cfg.withDefaults()
 	n := NewNode(Member{ID: b.ID(), Addr: b.Addr(), Incarnation: cfg.Incarnation}, tcpLink{b: b}, cfg)
+	// Durable membership: adopt the member list a previous life
+	// persisted (rejoin the overlay without a seed node) and register
+	// the journal hooks that keep it persisted in this one.
+	if rs, ok := b.Recovery(); ok && len(rs.Members) > 0 {
+		n.adoptRecovered(rs.Members)
+	}
+	if j := b.Journal(); j != nil {
+		j.SetMemberSource(n.WireMembers)
+		n.mu.Lock()
+		n.persistFn = j.RecordMembers
+		n.mu.Unlock()
+	}
 	b.SetControlHandler(n.HandleControl)
 	b.SetPeerHooks(n.PeerUp, n.PeerDown)
 	n.wg.Add(1)

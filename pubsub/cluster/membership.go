@@ -111,11 +111,23 @@ type memberState struct {
 	// (its link died, or it was declared dead) — the trigger for
 	// re-announcing the coverage roots on the next successful contact.
 	lossy bool
+	// synced records that the full membership snapshot went out over
+	// the current link incarnation. It is cleared on every down→up
+	// transition and on link loss; while clear, Tick pushes a full
+	// gossip frame as soon as the peer is known cluster-capable (the
+	// capability is learned asynchronously from the peer's ack, so the
+	// push must retry rather than fire once at link-up). Steady-state
+	// dissemination after that first exchange is delta-only.
+	synced bool
 
 	suspectSince time.Time // when the state became suspect
 	lastPing     time.Time
-	awaiting     int    // pings sent since the last pong
-	seq          uint64 // ping sequence counter
+	// lastSyncReply rate-limits anti-entropy: a full-snapshot push
+	// answering this member's mismatched view hash goes out at most
+	// once per GossipEvery.
+	lastSyncReply time.Time
+	awaiting      int    // pings sent since the last pong
+	seq           uint64 // ping sequence counter
 
 	dialing  bool
 	nextDial time.Time

@@ -52,6 +52,18 @@ func (l *nullLink) SyncOnConnect() bool                 { return false }
 func (l *nullLink) Digest(peer string) (broker.LinkDigest, bool) {
 	return broker.LinkDigest{}, false
 }
+func (l *nullLink) DeltaCapable(peer string) bool { return true }
+
+// sentKinds filters the captured sends down to one message kind.
+func (l *nullLink) sentKinds(k broker.MsgKind) []broker.Outbound {
+	var out []broker.Outbound
+	for _, o := range l.sent {
+		if o.Msg.Kind == k {
+			out = append(out, o)
+		}
+	}
+	return out
+}
 
 func testNode(self string, mesh bool) (*Node, *nullLink) {
 	l := &nullLink{self: self}
@@ -169,10 +181,11 @@ func TestRecoveryReannouncesRoots(t *testing.T) {
 	n, l := testNode("A", false)
 	n.AddMember(Member{ID: "B", Addr: "b:1"}, true)
 
-	// First link-up with an empty coverage table: nothing to announce.
+	// First link-up with an empty coverage table: nothing to announce
+	// (the membership snapshot push is separate and expected).
 	n.PeerUp("B")
-	if len(l.sent) != 0 {
-		t.Fatalf("initial link-up sent %+v", l.sent)
+	if batches := l.sentKinds(broker.MsgSubscribeBatch); len(batches) != 0 {
+		t.Fatalf("initial link-up announced %+v", batches)
 	}
 	l.roots = []broker.BatchSub{{SubID: "s1"}, {SubID: "s2"}}
 
@@ -185,9 +198,10 @@ func TestRecoveryReannouncesRoots(t *testing.T) {
 	// ...but the restored OUTBOUND link must carry the roots as ONE
 	// SUBBATCH.
 	n.PeerUp("B")
-	if len(l.sent) != 1 || l.sent[0].To != "B" ||
-		l.sent[0].Msg.Kind != broker.MsgSubscribeBatch || len(l.sent[0].Msg.Subs) != 2 {
-		t.Fatalf("recovery sent %+v, want one SUBBATCH of 2 to B", l.sent)
+	batches := l.sentKinds(broker.MsgSubscribeBatch)
+	if len(batches) != 1 || batches[0].To != "B" ||
+		len(batches[0].Msg.Subs) != 2 {
+		t.Fatalf("recovery sent %+v, want one SUBBATCH of 2 to B", batches)
 	}
 	m := n.Metrics()
 	if m.ReannounceBatches != 1 || m.ReannouncedSubs != 2 {
@@ -195,8 +209,8 @@ func TestRecoveryReannouncesRoots(t *testing.T) {
 	}
 	// A repeated link-up on the healthy link must NOT re-announce.
 	n.PeerUp("B")
-	if len(l.sent) != 1 {
-		t.Fatalf("steady-state link-up re-announced: %+v", l.sent)
+	if batches := l.sentKinds(broker.MsgSubscribeBatch); len(batches) != 1 {
+		t.Fatalf("steady-state link-up re-announced: %+v", batches)
 	}
 }
 
@@ -254,8 +268,8 @@ func TestNoOpDialDoesNotResurrect(t *testing.T) {
 	if m, _ := n.Member("B"); m.State == StateAlive {
 		t.Fatal("no-op dial resurrected the member")
 	}
-	if len(l.sent) != 0 {
-		t.Fatalf("no-op dial announced: %+v", l.sent)
+	if batches := l.sentKinds(broker.MsgSubscribeBatch); len(batches) != 0 {
+		t.Fatalf("no-op dial announced: %+v", batches)
 	}
 	n.mu.Lock()
 	linkUp := n.members["B"].linkUp
@@ -269,7 +283,7 @@ func TestNoOpDialDoesNotResurrect(t *testing.T) {
 	if m, _ := n.Member("B"); m.State != StateAlive {
 		t.Fatalf("established dial left the member %v", m.State)
 	}
-	if len(l.sent) != 1 || l.sent[0].Msg.Kind != broker.MsgSubscribeBatch {
-		t.Fatalf("established dial did not announce: %+v", l.sent)
+	if batches := l.sentKinds(broker.MsgSubscribeBatch); len(batches) != 1 {
+		t.Fatalf("established dial did not announce: %+v", batches)
 	}
 }

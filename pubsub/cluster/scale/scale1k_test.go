@@ -1,0 +1,39 @@
+//go:build !race
+
+package scale
+
+// The 1,000-broker run is excluded under -race: the harness is
+// single-threaded (the detector finds nothing) and the instrumented
+// build multiplies its wall clock past what CI affords.
+
+import "testing"
+
+// TestScale1000 is the tentpole acceptance run: one thousand
+// simulated brokers on a ring+chords overlay, deterministic,
+// converging in a bounded number of rounds, with steady-state gossip
+// delta-only and per-member traffic bounded independent of cluster
+// size.
+func TestScale1000(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k-broker run skipped in -short mode")
+	}
+	rep, err := Run(Config{N: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("n=1000: %+v", rep)
+	if rep.ConvergedRound > 30 {
+		t.Fatalf("n=1000 took %d rounds to converge, want ≤ 30", rep.ConvergedRound)
+	}
+	if rep.SteadyFullGossipFrames != 0 {
+		t.Fatalf("steady state sent %d full-snapshot frames, want 0", rep.SteadyFullGossipFrames)
+	}
+	if rep.SteadyBytesPerMemberRound > 4096 {
+		t.Fatalf("steady-state traffic %.0f bytes/member/round at n=1000, want bounded ≤ 4096", rep.SteadyBytesPerMemberRound)
+	}
+	// The route table each node maintains links for stays sparse even
+	// though its member map holds all 1000 entries.
+	if rep.MaxDegree > 32 {
+		t.Fatalf("overlay degree %d, want sparse (≤ 32)", rep.MaxDegree)
+	}
+}

@@ -69,6 +69,9 @@ func (l *simLink) Digest(peer string) (broker.LinkDigest, bool) {
 	return b.LinkDigest(peer)
 }
 
+// Simulated brokers all speak wire v4.
+func (l *simLink) DeltaCapable(peer string) bool { return true }
+
 // NewSimNode binds a membership node to a broker that already exists
 // in a simulator network. No background ticker starts: the test (or
 // experiment) advances the injected clock and calls Tick, then runs

@@ -182,7 +182,10 @@ func TestClusterKillRestartTCP(t *testing.T) {
 	}
 	defer func() { n2b.Close(); tcpShutdown(t, b2b) }()
 
-	waitFor(t, 15*time.Second, "B2 recovery and root re-announcement to reach B3", func() bool {
+	// Generous bound: `go test ./...` runs the CPU-bound 1k-broker
+	// scale harness in a parallel package, which can starve this
+	// test's 50ms detector timings on small machines.
+	waitFor(t, 30*time.Second, "B2 recovery and root re-announcement to reach B3", func() bool {
 		m1, _ := n1.Member("B2")
 		m3, _ := n3.Member("B2")
 		return m1.State == StateAlive && m3.State == StateAlive && b3.Metrics().SubsReceived == 2
@@ -335,6 +338,92 @@ func TestClusterNeverSendsControlToLegacyPeer(t *testing.T) {
 	}
 }
 
+// TestClusterMixedVersionInterop pins the v4 rollout promise in both
+// directions: brokers capped at the v3 and v2 vocabularies (on the
+// wire, exact models of the older builds) cluster with a current v4
+// broker — the v4 side falls back to full-snapshot gossip toward them
+// and never leaks a SWIM frame (a legacy decoder rejects the v4
+// header, which would kill the link and show up here as a dead
+// member) — and gossip through the v4 seed still introduces the two
+// legacy peers to each other.
+func TestClusterMixedVersionInterop(t *testing.T) {
+	mesh := func() Config { c := fastConfig(); c.Mesh = true; return c }
+	b1, err := pubsub.ListenBroker("B1", "127.0.0.1:0", pubsub.Pairwise, pubsub.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcpShutdown(t, b1)
+	n1 := Attach(b1, mesh())
+	defer n1.Close()
+
+	seeds := map[string]string{"B1": b1.Addr()}
+	n2, b2, err := Join("V3", "127.0.0.1:0", seeds, pubsub.Pairwise, pubsub.Config{}, mesh(),
+		pubsub.WithWireCodec(pubsub.CodecBinary3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { n2.Close(); tcpShutdown(t, b2) }()
+	n3, b3, err := Join("V2", "127.0.0.1:0", seeds, pubsub.Pairwise, pubsub.Config{}, mesh(),
+		pubsub.WithWireCodec(pubsub.CodecBinary2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { n3.Close(); tcpShutdown(t, b3) }()
+
+	nodes := map[string]*Node{"B1": n1, "V3": n2, "V2": n3}
+	waitFor(t, 10*time.Second, "every broker to see every other alive", func() bool {
+		for self, n := range nodes {
+			for other := range nodes {
+				if other == self {
+					continue
+				}
+				if m, ok := n.Member(other); !ok || m.State != StateAlive {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	// Hold the mixed cluster through several detector and gossip
+	// periods: a v4 frame leaked toward a legacy peer would fail its
+	// decoder, drop the link, and flip a member out of alive.
+	time.Sleep(500 * time.Millisecond)
+	for self, n := range nodes {
+		for other := range nodes {
+			if other == self {
+				continue
+			}
+			if m, ok := n.Member(other); !ok || m.State != StateAlive {
+				t.Fatalf("%s sees %s in state %v after steady mixed-version traffic", self, other, m.State)
+			}
+		}
+	}
+	// Routing traffic crosses the version boundary too: a subscription
+	// on the v2 broker matches a publication from the v4 one.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	sub, err := pubsub.Dial(ctx, b3.Addr(), "legacy-subscriber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe(ctx, "s1", tile2(0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "the subscription to reach B1", func() bool {
+		return b1.Metrics().SubsReceived > 0
+	})
+	pub, err := pubsub.Dial(ctx, b1.Addr(), "modern-publisher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish(ctx, "p1", subscription.NewPublication(25, 25)); err != nil {
+		t.Fatal(err)
+	}
+	recvNotification(t, sub, 10*time.Second, "p1")
+}
+
 // TestClusterSeedMeshDiscovery pins self-assembly from a seed list:
 // two brokers that only know the seed discover each other through
 // gossip and link directly (mesh mode).
@@ -369,5 +458,61 @@ func TestClusterSeedMeshDiscovery(t *testing.T) {
 	waitFor(t, 10*time.Second, "a direct B2–B3 overlay link", func() bool {
 		_, ok := b2.NeighborTableMetrics("B3")
 		return ok
+	})
+}
+
+// TestClusterDiskRejoin pins durable membership end to end: a broker
+// that joined a cluster via a seed node, persisted its member list,
+// and shut down rejoins the SAME cluster on restart from its data
+// directory alone — no seed node, no topology file.
+func TestClusterDiskRejoin(t *testing.T) {
+	dir := t.TempDir()
+	b1, err := pubsub.ListenBroker("B1", "127.0.0.1:0", pubsub.Pairwise, pubsub.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcpShutdown(t, b1)
+	n1 := Attach(b1, func() Config { c := fastConfig(); c.Mesh = true; return c }())
+	defer n1.Close()
+
+	seeds := map[string]string{"B1": b1.Addr()}
+	n2, b2, err := Join("B2", "127.0.0.1:0", seeds, pubsub.Pairwise, pubsub.Config{},
+		fastConfig(), pubsub.WithDataDir(dir), pubsub.WithJournalSync(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "first life to see B1 alive", func() bool {
+		m, ok := n2.Member("B1")
+		return ok && m.State == StateAlive
+	})
+	// Let at least one persist debounce window elapse, then shut down
+	// gracefully (the final snapshot also carries the member list via
+	// the journal's member source).
+	time.Sleep(3 * fastConfig().GossipEvery)
+	n2.Close()
+	tcpShutdown(t, b2)
+
+	// Second life: same data directory, NO seeds, no topology — the
+	// recovered member list is the only way back to the cluster.
+	b2r, err := pubsub.ListenBroker("B2", "127.0.0.1:0", pubsub.Pairwise, pubsub.Config{},
+		pubsub.WithDataDir(dir), pubsub.WithJournalSync(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcpShutdown(t, b2r)
+	rs, ok := b2r.Recovery()
+	if !ok || len(rs.Members) == 0 {
+		t.Fatalf("recovery = %+v, %v; want a persisted member list", rs, ok)
+	}
+	n2r := Attach(b2r, func() Config { c := fastConfig(); c.Mesh = true; return c }())
+	defer n2r.Close()
+
+	waitFor(t, 10*time.Second, "disk rejoin to re-link B1", func() bool {
+		m, ok := n2r.Member("B1")
+		return ok && m.State == StateAlive
+	})
+	waitFor(t, 10*time.Second, "B1 to see the rejoined B2 alive", func() bool {
+		m, ok := n1.Member("B2")
+		return ok && m.State == StateAlive
 	})
 }

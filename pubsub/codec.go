@@ -86,6 +86,13 @@ const (
 	// advertised less, senders strip the digest and drop sync frames —
 	// the link then simply keeps PR-5 semantics (forward healing only).
 	CodecBinary3 WireCodec = 3
+	// CodecBinary4 adds the SWIM-scale membership vocabulary: the
+	// ping-req indirect-probe and gossip-delta kinds, plus optional
+	// membership deltas piggybacked on ping/pong frames. Toward peers
+	// that advertised less, senders drop the new kinds and strip the
+	// piggybacked deltas — the link then keeps PR-5/6 full-snapshot
+	// gossip semantics.
+	CodecBinary4 WireCodec = 4
 )
 
 // String returns the codec name.
@@ -98,6 +105,8 @@ func (c WireCodec) String() string {
 	case CodecBinary2:
 		return "binary-v2"
 	case CodecBinary3:
+		return "binary-v3"
+	case CodecBinary4:
 		return "binary"
 	default:
 		return fmt.Sprintf("codec(%d)", uint8(c))
@@ -106,20 +115,22 @@ func (c WireCodec) String() string {
 
 // ParseWireCodec parses a codec name as accepted by the CLI tools:
 // "json", "binary" (the latest binary version), and the pinned
-// historical vocabularies "binary-v1" (PR-4) and "binary-v2" (PR-5),
-// for interop tests and staged rollouts.
+// historical vocabularies "binary-v1" (PR-4), "binary-v2" (PR-5), and
+// "binary-v3" (PR-6/7), for interop tests and staged rollouts.
 func ParseWireCodec(s string) (WireCodec, error) {
 	switch s {
 	case "json":
 		return CodecJSON, nil
 	case "binary":
-		return CodecBinary3, nil
+		return CodecBinary4, nil
 	case "binary-v1":
 		return CodecBinary, nil
 	case "binary-v2":
 		return CodecBinary2, nil
+	case "binary-v3":
+		return CodecBinary3, nil
 	default:
-		return 0, fmt.Errorf("pubsub: unknown wire codec %q (want json | binary | binary-v1 | binary-v2)", s)
+		return 0, fmt.Errorf("pubsub: unknown wire codec %q (want json | binary | binary-v1 | binary-v2 | binary-v3)", s)
 	}
 }
 
@@ -144,6 +155,7 @@ const (
 	binVersion  = 1
 	binVersion2 = 2
 	binVersion3 = 3
+	binVersion4 = 4
 	binHeader   = 6
 	// maxBinaryPayload bounds a decoded frame; hostile length fields
 	// cannot force large allocations past it.
@@ -171,6 +183,8 @@ var frameMinCodec = map[broker.MsgKind]WireCodec{
 	broker.MsgGossip:           CodecBinary2,
 	broker.MsgSyncRequest:      CodecBinary3,
 	broker.MsgSyncRoots:        CodecBinary3,
+	broker.MsgPingReq:          CodecBinary4,
+	broker.MsgGossipDelta:      CodecBinary4,
 }
 
 // wireVersionOf returns the header version byte for a message. The
@@ -183,8 +197,15 @@ var frameMinCodec = map[broker.MsgKind]WireCodec{
 // frameMinCodec's; kinds at the JSON baseline ride the v1 binary
 // framing.
 func wireVersionOf(m *broker.Message) byte {
-	if m.Kind == broker.MsgGossip && m.Digest != nil {
-		return binVersion3
+	switch m.Kind {
+	case broker.MsgGossip:
+		if m.Digest != nil {
+			return binVersion3
+		}
+	case broker.MsgPing, broker.MsgPong:
+		if len(m.Members) > 0 {
+			return binVersion4
+		}
 	}
 	if v := frameMinCodec[m.Kind]; v >= CodecBinary {
 		return byte(v)
@@ -215,7 +236,7 @@ func MarshalFrame(codec WireCodec, buf []byte, fr *Frame) ([]byte, error) {
 		}
 		buf = append(buf, data...)
 		return append(buf, '\n'), nil
-	case CodecBinary, CodecBinary2, CodecBinary3:
+	case CodecBinary, CodecBinary2, CodecBinary3, CodecBinary4:
 		return appendBinaryFrame(buf, fr)
 	default:
 		return buf, fmt.Errorf("pubsub: cannot marshal under codec %d", codec)
@@ -299,24 +320,42 @@ func appendBinaryMessage(buf []byte, m *broker.Message) ([]byte, error) {
 		}
 	case broker.MsgPing, broker.MsgPong:
 		buf = binary.AppendUvarint(buf, m.Seq)
-	case broker.MsgGossip:
-		buf = binary.AppendUvarint(buf, uint64(len(m.Members)))
-		for _, mb := range m.Members {
-			buf = appendString(buf, mb.ID)
-			buf = appendString(buf, mb.Addr)
-			buf = binary.AppendUvarint(buf, mb.Incarnation)
-			buf = append(buf, mb.State)
+		// Optional piggybacked membership deltas (v4). Like the gossip
+		// digest below, absence keeps the frame byte-identical to the
+		// v2 encoding; v2/v3 decoders reject trailing bytes, so deltas
+		// only travel toward peers that advertised v4 (see tcp.go).
+		if len(m.Members) > 0 {
+			buf = appendMembers(buf, m.Members)
+		}
+	case broker.MsgGossip, broker.MsgGossipDelta:
+		buf = appendMembers(buf, m.Members)
+		// The delta frame (v4, new vocabulary) carries a REQUIRED
+		// member-view hash between the update batch and the optional
+		// link digest — the anti-entropy trigger that keeps delta-only
+		// dissemination complete.
+		if m.Kind == broker.MsgGossipDelta {
+			buf = binary.LittleEndian.AppendUint64(buf, m.MemberHash)
 		}
 		// Optional link digest (v3): presence byte, count, fixed root.
-		// Absent, the frame is byte-identical to the v2 encoding — the
-		// invariant that keeps v2 decoders and the committed corpus
-		// working (v2 decoders reject trailing bytes, so a digest can
-		// only travel toward peers that advertised v3; see tcp.go).
+		// Absent, the full-gossip frame is byte-identical to the v2
+		// encoding — the invariant that keeps v2 decoders and the
+		// committed corpus working (v2 decoders reject trailing bytes,
+		// so a digest can only travel toward peers that advertised v3;
+		// see tcp.go).
 		if m.Digest != nil {
 			buf = append(buf, 1)
 			buf = binary.AppendUvarint(buf, uint64(m.Digest.Count))
 			buf = binary.LittleEndian.AppendUint64(buf, m.Digest.Root)
 		}
+	case broker.MsgPingReq:
+		var flags byte
+		if m.Ack {
+			flags = 1
+		}
+		buf = append(buf, flags)
+		buf = appendString(buf, m.Target)
+		buf = binary.AppendUvarint(buf, m.Seq)
+		buf = appendMembers(buf, m.Members)
 	case broker.MsgSyncRequest:
 		buf = binary.AppendUvarint(buf, uint64(len(m.Buckets)))
 		for _, v := range m.Buckets {
@@ -338,6 +377,20 @@ func appendBinaryMessage(buf []byte, m *broker.Message) ([]byte, error) {
 func appendString(buf []byte, s string) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(s)))
 	return append(buf, s...)
+}
+
+// appendMembers appends a uvarint-counted member-record list — the
+// shared payload shape of gossip, gossip-delta, ping-req, and the v4
+// ping/pong piggyback tail.
+func appendMembers(buf []byte, ms []broker.MemberInfo) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ms)))
+	for _, mb := range ms {
+		buf = appendString(buf, mb.ID)
+		buf = appendString(buf, mb.Addr)
+		buf = binary.AppendUvarint(buf, mb.Incarnation)
+		buf = append(buf, mb.State)
+	}
+	return buf
 }
 
 func appendSubscription(buf []byte, s subscription.Subscription) []byte {
@@ -362,7 +415,7 @@ func appendPublication(buf []byte, p subscription.Publication) []byte {
 // length — the single copy of the header contract shared by
 // UnmarshalFrame and the stream reader's blocking and buffered paths.
 func parseBinaryHeader(hdr []byte) (int, error) {
-	if hdr[1] != binVersion && hdr[1] != binVersion2 && hdr[1] != binVersion3 {
+	if hdr[1] < binVersion || hdr[1] > binVersion4 {
 		return 0, fmt.Errorf("pubsub: unsupported binary frame version %d", hdr[1])
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[2:binHeader]))
@@ -444,17 +497,16 @@ func decodeBinaryMessage(payload []byte) (*broker.Message, error) {
 		}
 	case broker.MsgPing, broker.MsgPong:
 		msg.Seq = d.uvarint()
-	case broker.MsgGossip:
-		// Every member record needs at least 4 bytes (two empty
-		// strings, an incarnation, a state byte).
-		n := d.count(4)
-		if d.err == nil {
-			msg.Members = make([]broker.MemberInfo, n)
-			for i := range msg.Members {
-				msg.Members[i].ID = d.string()
-				msg.Members[i].Addr = d.string()
-				msg.Members[i].Incarnation = d.uvarint()
-				msg.Members[i].State = d.byte()
+		// Optional v4 piggybacked membership deltas after the seq.
+		if d.err == nil && len(d.buf) > 0 {
+			msg.Members = d.members()
+		}
+	case broker.MsgGossip, broker.MsgGossipDelta:
+		msg.Members = d.members()
+		if msg.Kind == broker.MsgGossipDelta {
+			msg.MemberHash = d.u64()
+			if d.err == nil && msg.MemberHash == 0 {
+				d.fail("zero gossip-delta member hash")
 			}
 		}
 		// Optional v3 link digest: presence byte after the member list.
@@ -472,6 +524,15 @@ func decodeBinaryMessage(payload []byte) (*broker.Message, error) {
 				}
 			}
 		}
+	case broker.MsgPingReq:
+		if flags := d.byte(); d.err == nil && flags > 1 {
+			d.fail("bad ping-req flags byte %d", flags)
+		} else {
+			msg.Ack = flags == 1
+		}
+		msg.Target = d.string()
+		msg.Seq = d.uvarint()
+		msg.Members = d.members()
 	case broker.MsgSyncRequest:
 		n := d.count(8)
 		if d.err == nil {
@@ -600,6 +661,24 @@ func (d *binDecoder) string() string {
 	s := string(d.buf[:n])
 	d.buf = d.buf[n:]
 	return s
+}
+
+// members reads a uvarint-counted member-record list. Every record
+// needs at least 4 bytes (two empty strings, an incarnation, a state
+// byte), bounding the count before allocating.
+func (d *binDecoder) members() []broker.MemberInfo {
+	n := d.count(4)
+	if d.err != nil {
+		return nil
+	}
+	ms := make([]broker.MemberInfo, n)
+	for i := range ms {
+		ms[i].ID = d.string()
+		ms[i].Addr = d.string()
+		ms[i].Incarnation = d.uvarint()
+		ms[i].State = d.byte()
+	}
+	return ms
 }
 
 func (d *binDecoder) subscription() subscription.Subscription {

@@ -39,6 +39,30 @@ func codecTestFrames() []Frame {
 			{ID: "B1", Addr: "10.0.0.7:7001", Incarnation: 3, State: broker.MemberAlive},
 			{ID: "B2", Incarnation: 1, State: broker.MemberDead},
 		}}},
+		// The v3 vocabulary: gossip piggybacking a link digest, and the
+		// digest-mismatch sync exchange.
+		{Msg: &broker.Message{Kind: broker.MsgGossip, Members: []broker.MemberInfo{
+			{ID: "B1", Addr: "10.0.0.7:7001", Incarnation: 3, State: broker.MemberAlive},
+		}, Digest: &broker.LinkDigest{Count: 7, Root: 0xC0FFEE}}},
+		{Msg: &broker.Message{Kind: broker.MsgSyncRequest, Buckets: []uint64{0, 1, ^uint64(0)}}},
+		{Msg: &broker.Message{Kind: broker.MsgSyncRoots, Mask: 0b1010, Subs: []broker.BatchSub{
+			{SubID: "b/1", Sub: sub},
+		}}},
+		// The v4 vocabulary: indirect probes (both directions) and
+		// bounded delta gossip with its required member-view hash, plus
+		// the ping/pong piggyback tail.
+		{Msg: &broker.Message{Kind: broker.MsgPingReq, Target: "B3", Seq: 9, Members: []broker.MemberInfo{
+			{ID: "B4", Addr: "10.0.0.9:7001", Incarnation: 2, State: broker.MemberSuspect},
+		}}},
+		{Msg: &broker.Message{Kind: broker.MsgPingReq, Ack: true, Target: "B3", Seq: 9}},
+		{Msg: &broker.Message{Kind: broker.MsgPing, Seq: 7, Members: []broker.MemberInfo{
+			{ID: "B5", Incarnation: 4, State: broker.MemberAlive},
+		}}},
+		{Msg: &broker.Message{Kind: broker.MsgGossipDelta, MemberHash: 0xFEED, Members: []broker.MemberInfo{
+			{ID: "B6", Addr: "10.0.0.11:7001", Incarnation: 1, State: broker.MemberAlive},
+		}}},
+		{Msg: &broker.Message{Kind: broker.MsgGossipDelta, MemberHash: 1,
+			Digest: &broker.LinkDigest{Count: 3, Root: 0xBEEF}}},
 		// Degenerate payloads the codec must carry faithfully.
 		{Msg: &broker.Message{Kind: broker.MsgPublish, PubID: ""}},
 		{Msg: &broker.Message{Kind: broker.MsgSubscribeBatch}},
@@ -148,6 +172,10 @@ func TestCodecDecodeRejects(t *testing.T) {
 		"hostile count":     {binMagic, binVersion, 3, 0, 0, 0, byte(broker.MsgUnsubscribeBatch), 0xFF, 0x7F},
 		"unknown kind":      {binMagic, binVersion, 1, 0, 0, 0, 0x63},
 		"not json":          []byte("garbage\n"),
+		// v4 grammar rejects: the delta member-view hash is required and
+		// never zero; the ping-req flags byte has two defined values.
+		"zero delta hash":   {binMagic, binVersion4, 10, 0, 0, 0, byte(broker.MsgGossipDelta), 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"bad pingreq flags": {binMagic, binVersion4, 2, 0, 0, 0, byte(broker.MsgPingReq), 2},
 	}
 	for name, data := range cases {
 		if _, _, err := UnmarshalFrame(data); err == nil {

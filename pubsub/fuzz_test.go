@@ -25,10 +25,10 @@ import (
 )
 
 // wireKind reports whether k is a protocol message kind both codecs
-// express — through MsgGossip since the v2 vocabulary (publish
-// batches and cluster control frames).
+// express — through MsgGossipDelta since the v4 vocabulary (indirect
+// probes and bounded delta gossip).
 func wireKind(k broker.MsgKind) bool {
-	return k >= broker.MsgSubscribe && k <= broker.MsgGossip
+	return k >= broker.MsgSubscribe && k <= broker.MsgGossipDelta
 }
 
 // wireClean reports whether every identifier in the message is valid
@@ -38,7 +38,14 @@ func wireKind(k broker.MsgKind) bool {
 // encoding/json (which substitutes U+FFFD on encode), so the fuzz
 // properties skip them.
 func wireClean(m *broker.Message) bool {
-	if !utf8.ValidString(m.SubID) || !utf8.ValidString(m.PubID) {
+	if !utf8.ValidString(m.SubID) || !utf8.ValidString(m.PubID) || !utf8.ValidString(m.Target) {
+		return false
+	}
+	// The binary decoder rejects a gossip-delta frame without its
+	// member-view hash (the anti-entropy trigger is not optional), but
+	// schemaless JSON can omit the field; such a message cannot
+	// round-trip through the binary codec, so the properties skip it.
+	if m.Kind == broker.MsgGossipDelta && m.MemberHash == 0 {
 		return false
 	}
 	for _, it := range m.Subs {
@@ -99,6 +106,14 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 		// the vocabulary, not the payload grammar).
 		[]byte{binMagic, binVersion2, 2, 0, 0, 0, 0x0a, 0xFF},
 		[]byte{binMagic, binVersion2, 0xFF, 0xFF, 0xFF, 0x7F},
+		// v4-header malformed variants: a gossip-delta truncated before
+		// its required member-view hash, a gossip-delta whose hash is
+		// the reserved zero, a ping-req with an undefined flags byte,
+		// and a ping-req truncated before its piggyback member list.
+		[]byte{binMagic, binVersion4, 2, 0, 0, 0, byte(broker.MsgGossipDelta), 0x00},
+		[]byte{binMagic, binVersion4, 10, 0, 0, 0, byte(broker.MsgGossipDelta), 0x00, 0, 0, 0, 0, 0, 0, 0, 0},
+		[]byte{binMagic, binVersion4, 2, 0, 0, 0, byte(broker.MsgPingReq), 0x02},
+		[]byte{binMagic, binVersion4, 6, 0, 0, 0, byte(broker.MsgPingReq), 0x00, 0x02, 'B', '3', 0x07},
 	)
 	return seeds
 }

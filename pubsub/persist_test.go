@@ -184,6 +184,94 @@ func TestSnapshotCompactsJournal(t *testing.T) {
 	}
 }
 
+// testMembers builds a small member list in wire form.
+func testMembers(incs ...uint64) []broker.MemberInfo {
+	ms := make([]broker.MemberInfo, len(incs))
+	for i, inc := range incs {
+		ms[i] = broker.MemberInfo{
+			ID:          fmt.Sprintf("B%d", i+1),
+			Addr:        fmt.Sprintf("127.0.0.1:%d", 7001+i),
+			Incarnation: inc,
+			State:       0,
+		}
+	}
+	return ms
+}
+
+func membersEqual(a, b []broker.MemberInfo) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMembersRecordRoundTrip pins durable membership through the
+// journal: the LAST membership record wins on recovery, broker
+// routing records interleave untouched, and the member list is not
+// replayed into the broker (membership belongs to the cluster layer).
+func TestMembersRecordRoundTrip(t *testing.T) {
+	st := persist.NewMemStore()
+	b, j := newJournaledBroker(t, st, 1)
+	populate(t, b)
+	j.RecordMembers(testMembers(1, 1))
+	j.RecordMembers(testMembers(2, 1, 5)) // supersedes the first
+	st.Crash()
+
+	b2, err := broker.New("B1", store.PolicyPairwise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RecoverBroker(b2, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !membersEqual(stats.Members, testMembers(2, 1, 5)) {
+		t.Fatalf("recovered members = %+v, want the last record", stats.Members)
+	}
+	if stats.Skipped != 0 {
+		t.Fatalf("membership records counted as skipped: %+v", stats)
+	}
+	if stats.Subscriptions != 2 || stats.Clients != 1 || stats.Neighbors != 1 {
+		t.Fatalf("routing state lost around membership records: %+v", stats)
+	}
+}
+
+// TestSnapshotCarriesMembers pins the compaction path: a snapshot
+// taken with a member source preserves the membership record even
+// though every journaled RecordMembers call was compacted away.
+func TestSnapshotCarriesMembers(t *testing.T) {
+	st := persist.NewMemStore()
+	b, j := newJournaledBroker(t, st, 1)
+	populate(t, b)
+	j.RecordMembers(testMembers(1)) // will be compacted away
+	want := testMembers(3, 2)
+	j.SetMemberSource(func() []broker.MemberInfo { return want })
+	if err := j.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	st.Crash()
+
+	b2, err := broker.New("B1", store.PolicyPairwise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RecoverBroker(b2, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.JournalRecords != 0 {
+		t.Fatalf("journal not compacted: %+v", stats)
+	}
+	if !membersEqual(stats.Members, want) {
+		t.Fatalf("snapshot members = %+v, want %+v", stats.Members, want)
+	}
+}
+
 // TestRestartDedupSurvivesRestart is the satellite (d) semantics pin
 // over real TCP: a publication ID consumed before a restart is still
 // recognized as a duplicate after recovery from the data directory —

@@ -116,25 +116,26 @@ type tcpConfig struct {
 }
 
 func defaultTCPConfig() tcpConfig {
-	return tcpConfig{codec: CodecBinary3, dialCodec: CodecBinary3}
+	return tcpConfig{codec: CodecBinary4, dialCodec: CodecBinary4}
 }
 
 // WithWireCodec caps the codec a broker advertises and sends.
-// CodecBinary3 (the default) negotiates the binary format and the
-// full message vocabulary — including the link-digest reconciliation
-// frames — with every peer that also decodes them; CodecBinary2 pins
-// the PR-5 vocabulary (no sync frames, digest-less gossip),
-// CodecBinary the PR-4 vocabulary (no publish batches, no cluster
-// frames), and CodecJSON the PR-3 JSON format — on the wire those
-// behave exactly like the older builds, which is how the
-// cross-version interop tests model old peers. Decoding always
-// accepts every format regardless.
+// CodecBinary4 (the default) negotiates the binary format and the
+// full message vocabulary — including the SWIM indirect-probe and
+// delta-gossip frames — with every peer that also decodes them;
+// CodecBinary3 pins the PR-6/7 vocabulary (full-snapshot gossip only,
+// no ping-req/delta frames), CodecBinary2 the PR-5 vocabulary (no
+// sync frames, digest-less gossip), CodecBinary the PR-4 vocabulary
+// (no publish batches, no cluster frames), and CodecJSON the PR-3
+// JSON format — on the wire those behave exactly like the older
+// builds, which is how the cross-version interop tests model old
+// peers. Decoding always accepts every format regardless.
 func WithWireCodec(c WireCodec) TCPOption {
 	return func(cfg *tcpConfig) { cfg.codec = c }
 }
 
 // WithDialWireCodec caps the codec clients opened through
-// Transport.Open advertise and send (default CodecBinary3). The
+// Transport.Open advertise and send (default CodecBinary4). The
 // cross-process form is Dial's WithDialCodec.
 func WithDialWireCodec(c WireCodec) TCPOption {
 	return func(cfg *tcpConfig) { cfg.dialCodec = c }
@@ -606,6 +607,23 @@ func (s *tcpServer) send(o broker.Outbound) {
 			stripped := o.Msg
 			stripped.Digest = nil
 			s.sendTo(p, stripped)
+			return
+		}
+		if o.Msg.Kind != broker.MsgGossip && len(o.Msg.Members) > 0 && remote < CodecBinary4 {
+			// Pre-v4 decoders reject ping/pong frames with a delta
+			// tail; strip the piggyback — the peer keeps learning
+			// membership from full-snapshot gossip instead.
+			stripped := o.Msg
+			stripped.Members = nil
+			s.sendTo(p, stripped)
+			return
+		}
+	case broker.MsgPingReq, broker.MsgGossipDelta:
+		if p.cluster.Load() == 0 || remote < CodecBinary4 {
+			// The SWIM vocabulary has no older form: a pre-v4 peer is
+			// never asked to relay a probe, and deltas toward it ride
+			// the legacy full-snapshot gossip the cluster layer still
+			// emits for exactly this case.
 			return
 		}
 	case broker.MsgSyncRequest, broker.MsgSyncRoots:
