@@ -86,6 +86,14 @@ const (
 	// MsgGossip it may piggyback a LinkDigest for subscription-set
 	// reconciliation on the link.
 	MsgGossipDelta
+	// MsgRouteAnnounce routes a batch of subscriptions hop-by-hop
+	// toward the rendezvous broker named in Target (wire v5) instead of
+	// flooding them on every link. Each broker on the path installs the
+	// normal reverse-path state and relays the uncovered subset one hop
+	// closer; at the rendezvous the announce terminates. Peers that
+	// predate the kind receive the flood form (MsgSubscribeBatch)
+	// instead — see the transport's version gate.
+	MsgRouteAnnounce
 )
 
 // String returns the message kind name.
@@ -119,6 +127,8 @@ func (k MsgKind) String() string {
 		return "ping-req"
 	case MsgGossipDelta:
 		return "gossip-delta"
+	case MsgRouteAnnounce:
+		return "route-announce"
 	default:
 		return "unknown"
 	}
@@ -244,6 +254,10 @@ type Metrics struct {
 	SyncRequests    int // digest mismatches that started a sync exchange
 	SyncRootsResent int // roots re-sent while answering sync requests
 	SyncStalePruned int // stale reverse-path entries pruned by sync
+	ControlDropped  int // control frames dropped before reaching a peer
+	RoutedSubs      int // client subscriptions routed toward rendezvous
+	RouteForwards   int // route-announce forwards sent to neighbors
+	RoutedPubs      int // publications forwarded toward their rendezvous
 }
 
 // Add accumulates another broker's counters into m — the one
@@ -263,6 +277,10 @@ func (m *Metrics) Add(o Metrics) {
 	m.SyncRequests += o.SyncRequests
 	m.SyncRootsResent += o.SyncRootsResent
 	m.SyncStalePruned += o.SyncStalePruned
+	m.ControlDropped += o.ControlDropped
+	m.RoutedSubs += o.RoutedSubs
+	m.RouteForwards += o.RouteForwards
+	m.RoutedPubs += o.RoutedPubs
 }
 
 // counters is the internal, atomically updated form of Metrics, so the
@@ -281,6 +299,10 @@ type counters struct {
 	syncRequests    atomic.Int64
 	syncRootsResent atomic.Int64
 	syncStalePruned atomic.Int64
+	controlDropped  atomic.Int64
+	routedSubs      atomic.Int64
+	routeForwards   atomic.Int64
+	routedPubs      atomic.Int64
 }
 
 // snapshot converts the counters to the public Metrics form.
@@ -299,6 +321,10 @@ func (c *counters) snapshot() Metrics {
 		SyncRequests:    int(c.syncRequests.Load()),
 		SyncRootsResent: int(c.syncRootsResent.Load()),
 		SyncStalePruned: int(c.syncStalePruned.Load()),
+		ControlDropped:  int(c.controlDropped.Load()),
+		RoutedSubs:      int(c.routedSubs.Load()),
+		RouteForwards:   int(c.routeForwards.Load()),
+		RoutedPubs:      int(c.routedPubs.Load()),
 	}
 }
 
@@ -409,6 +435,23 @@ type Broker struct {
 	// +guarded_by:mu
 	recv map[string]map[string]bool
 
+	// routeOut holds the routed counterpart of out: per neighbor, per
+	// rendezvous target, the coverage table of subscriptions forwarded
+	// to that neighbor toward that target (see route.go). Subscriptions
+	// bound for different rendezvous never suppress each other.
+	// +guarded_by:mu
+	routeOut map[string]map[string]*subsume.Table
+	// routeFwd records, per routed subscription, the forwarding
+	// decision taken per rendezvous target: the neighbor the announce
+	// went to, or "" when it terminated here or degraded to flood.
+	// +guarded_by:mu
+	routeFwd map[string]map[string]string
+	// router, when attached, supplies rendezvous routing decisions.
+	// Atomic because the publish path consults it under the shared
+	// lock. Nil means flood mode — the pre-routing behavior and the
+	// rollback knob.
+	router atomic.Pointer[Router]
+
 	// seenPubs deduplicates publications on cyclic overlays. It is a
 	// bounded generation ring (see pubDedup) so long-running brokers
 	// do not grow memory without limit; lookups and inserts run under
@@ -487,6 +530,17 @@ func (d *pubDedup) init(limit int) {
 func (d *pubDedup) seen(id string) bool {
 	g := d.gens.Load()
 	if _, ok := g.prev.m.Load(id); ok {
+		// Refresh a previous-generation hit into the current generation.
+		// Without this, an ID re-sighted just before its generation
+		// rotates away is dropped with it — the documented at-least-limit
+		// horizon from the LAST sighting would shrink to as little as one
+		// newer distinct ID when the current generation sits at the
+		// rotation boundary.
+		if _, loaded := g.cur.m.LoadOrStore(id, struct{}{}); !loaded {
+			if g.cur.n.Add(1) >= d.limit {
+				d.rotate(g)
+			}
+		}
 		return true
 	}
 	if _, loaded := g.cur.m.LoadOrStore(id, struct{}{}); loaded {
@@ -541,6 +595,8 @@ func New(id string, policy store.Policy, opts ...Option) (*Broker, error) {
 		matchers:   make(map[string]*match.ITreeIndex),
 		source:     make(map[string]string),
 		recv:       make(map[string]map[string]bool),
+		routeOut:   make(map[string]map[string]*subsume.Table),
+		routeFwd:   make(map[string]map[string]string),
 	}
 	for _, opt := range opts {
 		opt(b)
@@ -719,7 +775,7 @@ func (b *Broker) AttachClient(id string) {
 // run concurrently (see the type comment).
 func (b *Broker) Handle(from string, msg Message) ([]Outbound, error) {
 	switch msg.Kind {
-	case MsgSubscribe, MsgUnsubscribe, MsgSubscribeBatch, MsgUnsubscribeBatch, MsgSyncRoots:
+	case MsgSubscribe, MsgUnsubscribe, MsgSubscribeBatch, MsgUnsubscribeBatch, MsgSyncRoots, MsgRouteAnnounce:
 		// State-changing kinds: handled under the exclusive lock and —
 		// on success — journaled inside the same critical section, so
 		// the journal's record order is exactly the application order.
@@ -738,6 +794,8 @@ func (b *Broker) Handle(from string, msg Message) ([]Outbound, error) {
 			out, err = b.handleUnsubscribeBatch(from, msg)
 		case MsgSyncRoots:
 			out, err = b.handleSyncRoots(from, msg)
+		case MsgRouteAnnounce:
+			out, err = b.handleRouteAnnounce(from, msg)
 		}
 		if err == nil {
 			if j := b.journal.Load(); j != nil {
@@ -835,9 +893,12 @@ func (b *Broker) handleSubscribe(from string, msg Message) ([]Outbound, error) {
 	}
 	if _, seen := b.source[msg.SubID]; seen {
 		// Duplicate arrival over a cycle: the first arrival defined
-		// the reverse path; drop this copy — but remember that this
-		// port did send it, so the link digest still balances.
+		// the forwarding tree, so the re-flood is dropped — but the
+		// announcing port is still a valid reverse path and MUST be
+		// recorded (see recordDupPathLocked), and the link digest
+		// still balances.
 		b.recvAdd(from, msg.SubID)
+		b.recordDupPathLocked(from, msg.SubID, msg.Sub)
 		b.metrics.dupSubsDropped.Add(1)
 		return nil, nil
 	}
@@ -851,6 +912,13 @@ func (b *Broker) handleSubscribe(from string, msg Message) ([]Outbound, error) {
 
 	id := b.storeID(msg.SubID)
 	b.matcher(from).Add(match.ID(id), msg.Sub)
+	// Routed path first: with a router attached, a client subscription
+	// travels toward its rendezvous brokers instead of every link. A
+	// declined route (no router, relayed arrival, unroutable target)
+	// falls through to the flood below.
+	if outs, routed, err := b.routeSubLocked(from, msg.SubID, msg.Sub); routed || err != nil {
+		return outs, err
+	}
 	var out []Outbound
 	for _, n := range sortedKeys(b.neighbors) {
 		if n == from {
@@ -870,6 +938,65 @@ func (b *Broker) handleSubscribe(from string, msg Message) ([]Outbound, error) {
 	return out, nil
 }
 
+// recordDupPathLocked registers a duplicate subscription announcement
+// from a neighbor port in the reverse-path state: the port announced
+// the subscription, so matching publications arriving here must be
+// forwarded toward it even though the re-flood itself is dropped. On
+// a cyclic overlay each subscription's announcements form a
+// first-arrival tree, and when a broker suppresses a covered client
+// subscription it relies on the covering roots it announced pulling
+// publications back in — announcements that land at the neighbors as
+// exactly these duplicates. Dropping them without recording the port
+// severs that gradient and silently loses deliveries to any covered
+// subscription off the covering root's own tree (caught at n=200 by
+// the scale harness's flood-vs-routed delivery gate).
+//
+// +mustlock:mu
+func (b *Broker) recordDupPathLocked(from, subID string, sub subscription.Subscription) {
+	if !b.neighbors[from] || b.source[subID] == from {
+		return
+	}
+	if b.in[from] == nil {
+		b.in[from] = make(map[string]subscription.Subscription)
+	}
+	if _, ok := b.in[from][subID]; ok {
+		return
+	}
+	b.in[from][subID] = sub
+	b.matcher(from).Add(match.ID(b.storeID(subID)), sub)
+}
+
+// dropPathLocked removes one port's reverse-path registration of a
+// subscription, if present — the inverse of recordDupPathLocked,
+// applied when the port cancels its copy or a digest sync declares it
+// stale.
+//
+// +mustlock:mu
+func (b *Broker) dropPathLocked(port, subID string) {
+	set := b.in[port]
+	if set == nil {
+		return
+	}
+	if _, ok := set[subID]; !ok {
+		return
+	}
+	delete(set, subID)
+	if id, ok := b.outIDs[subID]; ok {
+		b.matcher(port).Remove(match.ID(id))
+	}
+}
+
+// dropAllPathsLocked removes every port's reverse-path registration of
+// a subscription (full cancellation along the owning tree). Must run
+// before the subID→ID mappings are deleted.
+//
+// +mustlock:mu
+func (b *Broker) dropAllPathsLocked(subID string) {
+	for port := range b.in {
+		b.dropPathLocked(port, subID)
+	}
+}
+
 // handleUnsubscribe cancels one subscription and late-forwards the
 // promotions its removal uncovered.
 //
@@ -884,22 +1011,29 @@ func (b *Broker) handleUnsubscribe(from string, msg Message) ([]Outbound, error)
 	}
 	if src != from {
 		// Unsubscriptions follow the same tree as the subscription;
-		// copies arriving over other links are dropped.
+		// copies arriving over other links only retire that port's
+		// duplicate reverse path.
+		b.dropPathLocked(from, msg.SubID)
 		return nil, nil
 	}
 	delete(b.source, msg.SubID)
-	delete(b.in[from], msg.SubID)
 	b.recvDelAll(msg.SubID)
 
 	id, ok := b.outIDs[msg.SubID]
 	if !ok {
+		delete(b.in[from], msg.SubID)
 		return nil, nil
 	}
-	b.matcher(from).Remove(match.ID(id))
+	b.dropAllPathsLocked(msg.SubID)
 	delete(b.outIDs, msg.SubID)
 	delete(b.idToSub, id)
 
-	var out []Outbound
+	// Tear down the routed forwarding state first: the cancellation
+	// follows the announce path toward each rendezvous (see route.go).
+	out, err := b.routeUnsubLocked(msg.SubID, id)
+	if err != nil {
+		return nil, err
+	}
 	for _, n := range sortedKeys(b.neighbors) {
 		if n == from {
 			continue
@@ -964,6 +1098,7 @@ func (b *Broker) handleSubscribeBatch(from string, msg Message) ([]Outbound, err
 	for _, it := range msg.Subs {
 		b.recvAdd(from, it.SubID)
 		if _, seen := b.source[it.SubID]; seen {
+			b.recordDupPathLocked(from, it.SubID, it.Sub)
 			b.metrics.dupSubsDropped.Add(1)
 			continue
 		}
@@ -979,13 +1114,21 @@ func (b *Broker) handleSubscribeBatch(from string, msg Message) ([]Outbound, err
 	if len(fresh) == 0 {
 		return nil, nil
 	}
+	// Routed path first (see handleSubscribe): routable items leave as
+	// route announces, the rest flood as one batch per neighbor.
+	out, fresh, err := b.routeSubBatchLocked(from, fresh)
+	if err != nil {
+		return nil, err
+	}
+	if len(fresh) == 0 {
+		return out, nil
+	}
 	ids := make([]subsume.ID, len(fresh))
 	subs := make([]subscription.Subscription, len(fresh))
 	for i, it := range fresh {
 		ids[i] = b.outIDs[it.SubID]
 		subs[i] = it.Sub
 	}
-	var out []Outbound
 	for _, n := range sortedKeys(b.neighbors) {
 		if n == from {
 			continue
@@ -1023,8 +1166,12 @@ func (b *Broker) handleUnsubscribeBatch(from string, msg Message) ([]Outbound, e
 		b.recvDel(from, subID)
 		src, known := b.source[subID]
 		if !known || src != from {
-			// Unknown cancellations and copies arriving over other
-			// links are dropped, as on the per-item path.
+			// Unknown cancellations are dropped; copies arriving over
+			// other links retire that port's duplicate reverse path,
+			// as on the per-item path.
+			if known {
+				b.dropPathLocked(from, subID)
+			}
 			continue
 		}
 		id, ok := b.outIDs[subID]
@@ -1032,9 +1179,8 @@ func (b *Broker) handleUnsubscribeBatch(from string, msg Message) ([]Outbound, e
 			continue
 		}
 		delete(b.source, subID)
-		delete(b.in[from], subID)
 		b.recvDelAll(subID)
-		b.matcher(from).Remove(match.ID(id))
+		b.dropAllPathsLocked(subID)
 		delete(b.outIDs, subID)
 		delete(b.idToSub, id)
 		subIDs = append(subIDs, subID)
@@ -1044,6 +1190,14 @@ func (b *Broker) handleUnsubscribeBatch(from string, msg Message) ([]Outbound, e
 		return nil, nil
 	}
 	var out []Outbound
+	// Routed teardown first, per item (see route.go).
+	for i, subID := range subIDs {
+		o, err := b.routeUnsubLocked(subID, ids[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o...)
+	}
 	for _, n := range sortedKeys(b.neighbors) {
 		if n == from {
 			continue
@@ -1127,33 +1281,26 @@ func (b *Broker) handlePublishBatchMsg(from string, msg Message) ([]Outbound, er
 	return out, nil
 }
 
-// NeighborRoots exports the ACTIVE subscriptions of the per-neighbor
-// coverage table — the forwarding roots the neighbor must know for
-// routing to work, exactly the set a healed or restarted peer is
-// re-announced as one SUBBATCH (cluster healing protocol). Covered
-// subscriptions are omitted by construction: the neighbor never saw
-// them, and their coverers are in the set. IDs are in admission order
-// of the table's active list (ascending numeric ID).
+// NeighborRoots exports the ACTIVE subscriptions announced to a
+// neighbor — the forwarding roots the neighbor must know for routing
+// to work, exactly the set a healed or restarted peer is re-announced
+// as one SUBBATCH (cluster healing protocol). The set unions the
+// flood table with every routed (neighbor, target) table, each
+// subscription once. Covered subscriptions are omitted by
+// construction: the neighbor never saw them, and their coverers are
+// in the set. Flood-table IDs come first in admission order
+// (ascending numeric ID), routed ones after, per target.
 func (b *Broker) NeighborRoots(id string) []BatchSub {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	tbl, ok := b.out[id]
-	if !ok {
-		return nil
-	}
-	ids := tbl.ActiveIDs()
-	out := make([]BatchSub, 0, len(ids))
-	for _, sid := range ids {
-		subID := b.idToSub[sid]
-		if subID == "" {
-			continue
-		}
+	var out []BatchSub
+	b.sentActiveLocked(id, func(subID string, sid subsume.ID, tbl *subsume.Table) {
 		sub, _, found := tbl.Get(sid)
 		if !found {
-			continue
+			return
 		}
 		out = append(out, BatchSub{SubID: subID, Sub: sub})
-	}
+	})
 	return out
 }
 
@@ -1219,6 +1366,10 @@ func (b *Broker) handlePublish(from string, msg Message) ([]Outbound, error) {
 			out = append(out, Outbound{To: n, Msg: msg})
 		}
 	}
+	// With a router attached, also push the publication toward the
+	// rendezvous of its cell, where the reverse paths of every matching
+	// subscription converge (see route.go).
+	out = b.routePublishLocked(from, msg, out)
 	sortOutbound(out)
 	return out, nil
 }

@@ -365,3 +365,70 @@ func TestConnectNeighborPinsSingleShard(t *testing.T) {
 		t.Fatalf("per-neighbor table has %d shards, want 1", got)
 	}
 }
+
+// TestDupAnnouncementCreatesReversePath pins the cycle-gradient fix:
+// when a subscription already known via one port is announced again
+// over another (the inevitable duplicate on any cyclic overlay), the
+// announcing port must join the reverse-path set — it leads to a
+// broker that suppressed covered subscriptions behind this
+// announcement, and publications that never forward toward it are
+// silently lost there. The cancellation paths must retire exactly the
+// registrations the announcements created.
+func TestDupAnnouncementCreatesReversePath(t *testing.T) {
+	b := newBroker(t, store.PolicyPairwise)
+	for _, n := range []string{"X", "Y"} {
+		if err := b.ConnectNeighbor(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := box(0, 100, 0, 100)
+	sub := func(from string) {
+		if _, err := b.Handle(from, Message{Kind: MsgSubscribe, SubID: "w", Sub: w}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pubTargets := func(pubID string) map[string]bool {
+		outs, err := b.Handle("X", Message{Kind: MsgPublish, PubID: pubID,
+			Pub: subscription.NewPublication(50, 50)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		to := make(map[string]bool)
+		for _, o := range outs {
+			if o.Msg.Kind == MsgPublish {
+				to[o.To] = true
+			}
+		}
+		return to
+	}
+
+	sub("X") // first arrival: reverse path toward X
+	if to := pubTargets("p1"); to["Y"] {
+		t.Fatal("publication forwarded to Y before Y announced anything")
+	}
+	sub("Y") // cycle duplicate: dropped as a re-flood, but Y is a valid path now
+	if to := pubTargets("p2"); !to["Y"] {
+		t.Error("publication not forwarded to the duplicate announcer Y — covered subscriptions behind Y are unreachable")
+	}
+	// Y retires its copy: the gradient toward Y goes with it, while the
+	// owning path via X keeps the subscription alive.
+	if _, err := b.Handle("Y", Message{Kind: MsgUnsubscribe, SubID: "w"}); err != nil {
+		t.Fatal(err)
+	}
+	if to := pubTargets("p3"); to["Y"] {
+		t.Error("publication still forwarded to Y after Y cancelled its copy")
+	}
+	if _, ok := b.KnowsSubscription("w"); !ok {
+		t.Fatal("non-owner cancellation removed the subscription entirely")
+	}
+	// The owner cancels: everything goes.
+	if _, err := b.Handle("X", Message{Kind: MsgUnsubscribe, SubID: "w"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.KnowsSubscription("w"); ok {
+		t.Fatal("owner cancellation left the subscription behind")
+	}
+	if to := pubTargets("p4"); len(to) != 0 {
+		t.Errorf("publication forwarded to %v after full cancellation", to)
+	}
+}

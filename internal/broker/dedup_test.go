@@ -61,6 +61,56 @@ func TestPubDedupBounded(t *testing.T) {
 	}
 }
 
+// TestPubDedupRotationBoundary pins the horizon at its exact edge: an
+// ID re-sighted while the current generation sits one insert short of
+// rotation must survive the NEXT rotation too, because the documented
+// horizon — at least limit newer distinct IDs — restarts from the
+// LAST sighting. Without refreshing previous-generation hits into the
+// current generation, the re-sighted ID rotates away with its old
+// generation and a duplicate slips through after exactly limit newer
+// IDs.
+func TestPubDedupRotationBoundary(t *testing.T) {
+	const limit = 8
+	b, err := New("B1", store.PolicyNone, WithDedupLimit(limit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AttachClient("pub")
+
+	publish := func(id string) Metrics {
+		if _, err := b.Handle("pub", Message{Kind: MsgPublish, PubID: id,
+			Pub: subscription.NewPublication(1)}); err != nil {
+			t.Fatal(err)
+		}
+		if size := b.dedupSize(); size > 2*limit {
+			t.Fatalf("dedup set holds %d entries (> 2×%d)", size, limit)
+		}
+		return b.Metrics()
+	}
+
+	publish("X")
+	// Fill to the rotation: X's generation becomes previous.
+	for i := 0; i < limit-1; i++ {
+		publish(fmt.Sprintf("a%d", i))
+	}
+	// Re-sight X out of the previous generation — still a duplicate,
+	// and the horizon restarts here.
+	before := b.Metrics().DupPubsDropped
+	if got := publish("X").DupPubsDropped; got != before+1 {
+		t.Fatalf("X not suppressed from the previous generation: drops %d -> %d", before, got)
+	}
+	// Exactly limit newer distinct IDs — the minimum horizon from the
+	// re-sighting.
+	for i := 0; i < limit; i++ {
+		publish(fmt.Sprintf("b%d", i))
+	}
+	before = b.Metrics().DupPubsDropped
+	if got := publish("X").DupPubsDropped; got != before+1 {
+		t.Fatalf("X processed again after exactly %d newer IDs since its last sighting (horizon must be ≥ %d): drops %d -> %d",
+			limit, limit, before, got)
+	}
+}
+
 // TestPubDedupDefaultUnchanged pins that within the default horizon
 // the broker behaves exactly as the old unbounded set.
 func TestPubDedupDefaultUnchanged(t *testing.T) {

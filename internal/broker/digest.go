@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"probsum/internal/store"
+	"probsum/subsume"
 )
 
 // DigestBuckets is the fan-out of the link digest's bucket level.
@@ -121,25 +122,22 @@ func (b *Broker) recvDelAll(subID string) {
 	}
 }
 
-// outDigestLocked digests the active set of the outgoing table for
-// peer (the sender-side view). Shared lock must be held.
+// outDigestLocked digests the active set announced to peer — the
+// flood table unioned with every routed (peer, target) table, each
+// subscription once (see sentActiveLocked; double-counting would XOR
+// a hash out of its bucket). Shared lock must be held.
 //
 // +mustlock:mu (shared)
 func (b *Broker) outDigestLocked(peer string) (LinkDigest, [DigestBuckets]uint64, bool) {
 	var buckets [DigestBuckets]uint64
-	tbl, ok := b.out[peer]
-	if !ok {
-		return LinkDigest{}, buckets, false
-	}
 	count := 0
-	for _, sid := range tbl.ActiveIDs() {
-		subID := b.idToSub[sid]
-		if subID == "" {
-			continue
-		}
+	ok := b.sentActiveLocked(peer, func(subID string, _ subsume.ID, _ *subsume.Table) {
 		h := subDigestHash(subID)
 		buckets[h>>58] ^= h
 		count++
+	})
+	if !ok {
+		return LinkDigest{}, buckets, false
 	}
 	return foldDigest(count, &buckets), buckets, true
 }
@@ -244,22 +242,17 @@ func (b *Broker) handleSyncRequest(from string, msg Message) ([]Outbound, error)
 		// receiver can settle the difference conclusively.
 		mask = ^uint64(0)
 	}
-	tbl := b.out[from]
 	var subs []BatchSub
-	for _, sid := range tbl.ActiveIDs() {
-		subID := b.idToSub[sid]
-		if subID == "" {
-			continue
-		}
+	b.sentActiveLocked(from, func(subID string, sid subsume.ID, tbl *subsume.Table) {
 		if mask&(1<<uint(digestBucket(subID))) == 0 {
-			continue
+			return
 		}
 		sub, status, found := tbl.Get(sid)
 		if !found || status != store.StatusActive {
-			continue
+			return
 		}
 		subs = append(subs, BatchSub{SubID: subID, Sub: sub})
-	}
+	})
 	b.metrics.syncRootsResent.Add(int64(len(subs)))
 	return []Outbound{{To: from, Msg: Message{
 		Kind: MsgSyncRoots,
@@ -328,6 +321,7 @@ func (b *Broker) handleSyncRoots(from string, msg Message) ([]Outbound, error) {
 			staleOwned = append(staleOwned, subID)
 		} else {
 			b.recvDel(from, subID)
+			b.dropPathLocked(from, subID)
 			staleOther++
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"probsum/internal/broker"
@@ -270,6 +271,17 @@ type Node struct {
 	// +guarded_by:mu
 	viewDirty bool
 
+	// routeEpoch counts member-view mutations (new members, state or
+	// incarnation changes, link health transitions). The attached
+	// router's cached rendezvous view rebuilds lazily when it falls
+	// behind this counter (see route.go).
+	routeEpoch atomic.Uint64
+
+	// router, when attached, recomputes rendezvous routes after
+	// membership changes: Tick kicks it once per call, and the kick
+	// no-ops until routeEpoch moves.
+	router atomic.Pointer[Router]
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -389,6 +401,7 @@ func (n *Node) adoptRecovered(ms []broker.MemberInfo) int {
 // +mustlock:mu
 func (n *Node) trackLocked(st *memberState) {
 	n.viewDirty = true
+	n.routeEpoch.Add(1)
 	n.members[st.ID] = st
 	i := sort.Search(len(n.order), func(i int) bool { return n.order[i].ID >= st.ID })
 	n.order = append(n.order, nil)
@@ -405,6 +418,7 @@ func (n *Node) linkLocked(st *memberState) {
 		return
 	}
 	st.linked = true
+	n.routeEpoch.Add(1)
 	i := sort.Search(len(n.linkedOrder), func(i int) bool { return n.linkedOrder[i].ID >= st.ID })
 	n.linkedOrder = append(n.linkedOrder, nil)
 	copy(n.linkedOrder[i+1:], n.linkedOrder[i:])
@@ -550,6 +564,7 @@ func (n *Node) memberHashLocked() uint64 {
 func (n *Node) enqueueUpdateLocked(mi broker.MemberInfo) {
 	n.persistDirty = true
 	n.viewDirty = true
+	n.routeEpoch.Add(1)
 	budget := n.cfg.RetransmitMult * bits.Len(uint(len(n.members)+2))
 	if qu := n.updates[mi.ID]; qu != nil {
 		qu.info = mi
@@ -610,6 +625,11 @@ func (n *Node) Tick() {
 		to     string
 		msg    broker.Message
 		digest bool // piggyback the link digest (gossip kinds)
+		// probe marks a direct ping: if the transport drops it (the
+		// peer's cluster capability is still unknown mid-handshake, or
+		// the link just died), the outstanding-ping count rolls back so
+		// a frame that never left this process cannot feed suspicion.
+		probe *memberState
 	}
 	type dialOp struct {
 		id, addr string
@@ -652,7 +672,7 @@ func (n *Node) Tick() {
 		if n.deltaPeer(st.ID) {
 			ping.Members = n.takeDeltasLocked(n.cfg.MaxDeltasPerFrame)
 		}
-		sends = append(sends, sendOp{to: st.ID, msg: ping})
+		sends = append(sends, sendOp{to: st.ID, msg: ping, probe: st})
 		// Indirect probe: a previous ping already stands unanswered,
 		// so ask r relays to vouch for the member before the suspect
 		// threshold trips — SWIM's defense against declaring a member
@@ -761,6 +781,7 @@ func (n *Node) Tick() {
 	n.mu.Unlock()
 
 	var sentBytes uint64
+	var lostProbes []*memberState
 	for i := range sends {
 		s := &sends[i]
 		if s.digest {
@@ -772,12 +793,26 @@ func (n *Node) Tick() {
 				s.msg.Digest = &d
 			}
 		}
-		sentBytes += uint64(controlFrameSize(&s.msg))
-		n.link.Send(s.to, s.msg)
+		if n.link.Send(s.to, s.msg) {
+			sentBytes += uint64(controlFrameSize(&s.msg))
+		} else if s.probe != nil {
+			lostProbes = append(lostProbes, s.probe)
+		}
 	}
-	if sentBytes > 0 {
+	if sentBytes > 0 || len(lostProbes) > 0 {
 		n.mu.Lock()
 		n.metrics.ControlBytesSent += sentBytes
+		for _, st := range lostProbes {
+			// The ping was dropped before reaching the wire (see sendOp):
+			// undo its contribution to the miss count. The probe itself
+			// retries on the normal cadence, and once the peer's ack
+			// finally lands the transport's peer-up hook re-kicks the
+			// probe path (markUp resets the count and re-arms the
+			// membership push).
+			if st.awaiting > 0 {
+				st.awaiting--
+			}
+		}
 		n.mu.Unlock()
 	}
 	for _, d := range dials {
@@ -786,6 +821,12 @@ func (n *Node) Tick() {
 	}
 	if persistFn != nil {
 		persistFn(persistSnap)
+	}
+	if r := n.router.Load(); r != nil {
+		// Membership moved (or may have): let the router re-evaluate
+		// rendezvous ownership and re-announce routed subscriptions
+		// whose next hop changed. No-ops until routeEpoch advances.
+		r.kick()
 	}
 }
 
@@ -841,6 +882,7 @@ func (n *Node) dialDone(id string, established bool, err error) {
 			st.linkUp = true
 			st.backoff = 0
 			st.nextDial = time.Time{}
+			n.routeEpoch.Add(1)
 		}
 		n.mu.Unlock()
 		return
@@ -872,6 +914,7 @@ func (n *Node) PeerDown(id string) {
 		st.linkUp = false
 		st.lossy = true
 		st.synced = false
+		n.routeEpoch.Add(1)
 		if st.State == StateAlive && !st.dialing {
 			st.State = StateSuspect
 			st.suspectSince = now

@@ -214,6 +214,85 @@ func TestRecoveryReannouncesRoots(t *testing.T) {
 	}
 }
 
+// dropLink is a nullLink whose transport refuses control frames while
+// dropControl is set — the shape of a TCP port whose peer has not yet
+// advertised a cluster layer (its hello/ack is still in flight), where
+// sendPeer drops every ping before it reaches the wire.
+type dropLink struct {
+	nullLink
+	dropControl bool
+	dropped     int
+}
+
+func (l *dropLink) Send(peer string, msg broker.Message) bool {
+	if l.dropControl && msg.Kind.IsControl() {
+		l.dropped++
+		return false
+	}
+	return l.nullLink.Send(peer, msg)
+}
+
+// TestLostProbeNoSuspicionDuringHandshake pins the handshake-race fix:
+// pings the transport refuses (peer's cluster version still unknown,
+// so control frames are dropped at the port) must not count as
+// outstanding probes — a peer whose ack is merely slow must never be
+// suspected for not answering pings that were never sent. Once the ack
+// arrives and the transport re-fires the peer-up hook, probing resumes
+// and the round trip completes normally.
+func TestLostProbeNoSuspicionDuringHandshake(t *testing.T) {
+	l := &dropLink{nullLink: nullLink{self: "A"}}
+	now := time.Unix(0, 0)
+	n := NewNode(Member{ID: "A"}, l, Config{
+		PingEvery:     time.Second,
+		GossipEvery:   time.Minute, // keep gossip out of the trace
+		SuspectMisses: 2,
+		DeadAfter:     time.Hour,
+		ReconnectMin:  time.Hour, // keep the reconnect loop quiet
+		ReconnectMax:  2 * time.Hour,
+		Clock:         func() time.Time { return now },
+	})
+	n.AddMember(Member{ID: "B", Addr: "b:1"}, true)
+	// The outbound connection is up, but B's ack — the frame that
+	// reveals its cluster version — has not arrived: the transport
+	// drops every control frame toward it.
+	l.dropControl = true
+	n.PeerUp("B")
+
+	// Tick far past the suspicion threshold. Every ping is refused by
+	// the transport, so none is outstanding and B must stay alive.
+	for i := 0; i < 8; i++ {
+		now = now.Add(time.Second)
+		n.Tick()
+	}
+	if l.dropped <= n.cfg.SuspectMisses {
+		t.Fatalf("only %d control frames dropped; the scenario never crossed the miss threshold", l.dropped)
+	}
+	if m, _ := n.Member("B"); m.State != StateAlive {
+		t.Fatalf("B became %v from pings that never left the process", m.State)
+	}
+	n.mu.Lock()
+	awaiting := n.members["B"].awaiting
+	n.mu.Unlock()
+	if awaiting != 0 {
+		t.Fatalf("%d probes counted outstanding, want 0 (all sends failed)", awaiting)
+	}
+
+	// The ack arrives: the transport starts passing control frames and
+	// re-fires the peer-up hook (learnPeer's 0→nonzero re-kick).
+	l.dropControl = false
+	n.PeerUp("B")
+	now = now.Add(time.Second)
+	n.Tick()
+	pings := l.sentKinds(broker.MsgPing)
+	if len(pings) == 0 {
+		t.Fatal("no ping sent after the ack arrived — probe path not re-armed")
+	}
+	n.HandleControl("B", broker.Message{Kind: broker.MsgPong, Seq: pings[len(pings)-1].Msg.Seq})
+	if m, _ := n.Member("B"); m.State != StateAlive {
+		t.Fatalf("B is %v after a completed probe round trip", m.State)
+	}
+}
+
 func TestTopologyParseAndValidate(t *testing.T) {
 	good := []byte(`{
 		"policy": "pairwise",

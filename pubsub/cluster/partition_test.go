@@ -32,6 +32,19 @@ type simCluster struct {
 
 func newSimCluster(t *testing.T) *simCluster {
 	t.Helper()
+	return newSimClusterCfg(t, Config{
+		PingEvery:     500 * time.Millisecond,
+		SuspectMisses: 2,
+		DeadAfter:     2 * time.Second,
+		GossipEvery:   time.Second,
+		ReconnectMin:  500 * time.Millisecond,
+		ReconnectMax:  2 * time.Second,
+		Seed:          7,
+	})
+}
+
+func newSimClusterCfg(t *testing.T, cfg Config) *simCluster {
+	t.Helper()
 	sc := &simCluster{
 		t:     t,
 		net:   simnet.New(),
@@ -49,15 +62,6 @@ func newSimCluster(t *testing.T) *simCluster {
 	}
 	if err := sc.net.Connect("B2", "B3"); err != nil {
 		t.Fatal(err)
-	}
-	cfg := Config{
-		PingEvery:     500 * time.Millisecond,
-		SuspectMisses: 2,
-		DeadAfter:     2 * time.Second,
-		GossipEvery:   time.Second,
-		ReconnectMin:  500 * time.Millisecond,
-		ReconnectMax:  2 * time.Second,
-		Seed:          7,
 	}
 	for _, id := range sc.ids {
 		n, err := NewSimNode(sc.net, id, sc.clock, cfg)
@@ -222,6 +226,122 @@ func setsEqual(a, b map[string]bool) bool {
 		}
 	}
 	return true
+}
+
+// TestFlapDuringBackfillDigestGC pins the flap-mid-SUBBATCH repair: a
+// link that drops AGAIN between the heal backfill and the digest
+// round leaves the receiver holding a reverse-path entry for a
+// subscription the sender retired during the first cut (the
+// unsubscribe died on the dead link, and the backfill only adds — it
+// never asserts completeness). The next digest reconciliation must GC
+// that entry through the full unsubscribe machinery — received set,
+// coverage table toward third parties, and a downstream UNSUBBATCH —
+// not merely stop counting it, or every flap inflates the neighbor
+// tables a little more and re-delivers retired subscriptions forever.
+func TestFlapDuringBackfillDigestGC(t *testing.T) {
+	// Gossip (which carries the link digest) runs at 5s against 250ms
+	// sim ticks, so the heal backfill and the digest round land on
+	// clearly different ticks and the flap can be wedged between them.
+	sc := newSimClusterCfg(t, Config{
+		PingEvery:     500 * time.Millisecond,
+		SuspectMisses: 2,
+		DeadAfter:     2 * time.Second,
+		GossipEvery:   5 * time.Second,
+		ReconnectMin:  500 * time.Millisecond,
+		ReconnectMax:  2 * time.Second,
+		Seed:          7,
+	})
+	sc.step(250*time.Millisecond, 8)
+	for _, pair := range [][2]string{{"B1", "B2"}, {"B2", "B1"}, {"B2", "B3"}, {"B3", "B2"}} {
+		if got := sc.memberState(pair[0], pair[1]); got != StateAlive {
+			t.Fatalf("after assembly %s sees %s as %v", pair[0], pair[1], got)
+		}
+	}
+	b2, b3 := sc.net.Broker("B2"), sc.net.Broker("B3")
+	received := func(sub string) bool {
+		for _, id := range b2.ReceivedFrom("B1") {
+			if id == sub {
+				return true
+			}
+		}
+		return false
+	}
+
+	sc.subscribe("alice", "a1", 0, 100)
+	sc.subscribe("carol", "c1", 200, 300)
+	if !received("a1") {
+		t.Fatal("a1 never flooded to B2; the scenario is vacuous")
+	}
+
+	// First cut. While it stands, alice retires a1 (the UNSUBSCRIBE
+	// toward B2 dies on the dead link) and opens a2.
+	sc.net.SetLink("B1", "B2", false)
+	sc.step(250*time.Millisecond, 40)
+	if err := sc.net.ClientUnsubscribe("alice", "a1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sc.subscribe("alice", "a2", 400, 450)
+
+	// First heal: run only until the backfill SUBBATCH {a2} lands on
+	// B2, then flap the link again — before any digest round.
+	sc.net.SetLink("B1", "B2", true)
+	backfilled := false
+	for i := 0; i < 40 && !backfilled; i++ {
+		sc.step(250*time.Millisecond, 1)
+		backfilled = received("a2")
+	}
+	if !backfilled {
+		t.Fatal("backfill never reached B2 after the heal")
+	}
+	if !received("a1") {
+		t.Fatal("a1 already reconciled at backfill time; the flap cannot land between backfill and digest")
+	}
+	sc.net.SetLink("B1", "B2", false)
+	sc.step(250*time.Millisecond, 40)
+
+	// Second heal, this time to quiescence: reconnect, duplicate
+	// backfill, and at least one full digest round trip.
+	sc.net.SetLink("B1", "B2", true)
+	sc.step(250*time.Millisecond, 60)
+
+	// The stale reverse-path entry is gone from the link's received
+	// set, and the digest pair agrees in both directions.
+	if received("a1") {
+		t.Error("B2 still lists a1 as received from B1 after reconciliation")
+	}
+	if !received("a2") {
+		t.Error("reconciliation dropped the live a2")
+	}
+	for _, dir := range [][2]string{{"B1", "B2"}, {"B2", "B1"}} {
+		sender, receiver := sc.net.Broker(dir[0]), sc.net.Broker(dir[1])
+		if sent, ok := sender.LinkDigest(dir[1]); ok && sent != receiver.ReceivedDigest(dir[0]) {
+			t.Errorf("%s→%s digests diverge after reconciliation", dir[0], dir[1])
+		}
+	}
+	// The GC ran the full unsubscribe machinery: B2's coverage table
+	// toward B3 no longer carries a1 (no inflation), and the
+	// downstream UNSUBBATCH purged B3 too.
+	for _, root := range b2.NeighborRoots("B3") {
+		if root.SubID == "a1" {
+			t.Error("B2's table toward B3 still carries the retired a1")
+		}
+	}
+	if src, ok := b3.KnowsSubscription("a1"); ok {
+		t.Errorf("B3 still knows a1 (via %s); the stale-entry GC did not propagate downstream", src)
+	}
+	// And delivery agrees: a publication in a1's old range goes
+	// nowhere, one in a2's range reaches alice.
+	sc.publish("carol", "q-old", 50)
+	sc.publish("carol", "q-new", 420)
+	probes := map[string]bool{"q-old": true, "q-new": true}
+	got := sc.deliveredSet("alice", probes)
+	want := map[string]bool{"a2/q-new": true}
+	if !setsEqual(got, want) {
+		t.Errorf("alice deliveries after the flap: got %v, want %v", got, want)
+	}
 }
 
 func TestPartitionHealsToOracle(t *testing.T) {

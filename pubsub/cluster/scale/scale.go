@@ -20,6 +20,9 @@ import (
 	"time"
 
 	"probsum/internal/broker"
+	"probsum/internal/interval"
+	"probsum/internal/store"
+	"probsum/internal/subscription"
 	"probsum/pubsub/cluster"
 )
 
@@ -41,6 +44,20 @@ type Config struct {
 	// LegacyGossip runs the oracle protocol (periodic full-snapshot
 	// frames, no deltas) for comparison runs.
 	LegacyGossip bool
+	// Subs injects that many client subscriptions after convergence
+	// and counts the subscription-announcement frames each broker link
+	// carries (default 0: membership-only run).
+	Subs int
+	// Pubs publishes that many probe publications through injected
+	// subscriptions and records the delivery set (default 0; needs
+	// Subs > 0).
+	Pubs int
+	// Routed attaches a rendezvous router to every broker, so
+	// subscriptions route toward their cell owners instead of flooding
+	// every link. A flood run of the same seed is the oracle: its
+	// DeliveryHash must match and its SubFramesPerLink is the baseline
+	// structured routing has to beat.
+	Routed bool
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +108,23 @@ type Report struct {
 	// TotalControlBytes is the cumulative control-plane traffic of
 	// the whole run, bootstrap included.
 	TotalControlBytes uint64
+	// SubFrames counts the subscription-announcement frames (SUB,
+	// SUBBATCH, route-announce) that crossed broker links during the
+	// subscription phase; SubFramesPerLink is the same count per
+	// directed overlay link — the headline routing-vs-flood metric.
+	SubFrames        uint64
+	SubFramesPerLink float64
+	// RouteTables / RouteEntries sum the routed per-(link, target)
+	// coverage tables and their entries across brokers (zero in flood
+	// mode).
+	RouteTables  int
+	RouteEntries int
+	// Deliveries counts probe notifications reaching clients;
+	// DeliveryHash folds every (client, sub, pub) delivery
+	// order-independently. A routed run and the flood run of the same
+	// seed must agree on both — the delivery-equivalence gate.
+	Deliveries   int
+	DeliveryHash uint64
 }
 
 // frame is one in-flight control message.
@@ -104,11 +138,17 @@ type frame struct {
 // goroutine, sends append to the queue, and the round loop drains it
 // to empty (delta budgets guarantee the drain terminates).
 type harness struct {
-	ids   []string
-	nodes []*cluster.Node
-	index map[string]int
-	queue []frame
-	now   time.Time
+	ids     []string
+	nodes   []*cluster.Node
+	brokers []*broker.Broker
+	index   map[string]int
+	queue   []frame
+	now     time.Time
+	err     error // first broker error; deliver stops on it
+
+	subFrames    uint64
+	deliveries   int
+	deliveryHash uint64
 }
 
 // link adapts one harness slot to cluster.Link. Connects succeed
@@ -137,17 +177,74 @@ func (l *link) Digest(peer string) (broker.LinkDigest, bool) { return broker.Lin
 func (l *link) DeltaCapable(peer string) bool                { return true }
 
 // deliver drains the frame queue to empty, routing every reply. FIFO
-// order keeps runs reproducible.
+// order keeps runs reproducible. Control frames dispatch to the
+// destination's membership node, broker frames to its broker, and
+// frames addressed to a client port are terminal deliveries.
 func (h *harness) deliver() {
-	for len(h.queue) > 0 {
+	for len(h.queue) > 0 && h.err == nil {
 		f := h.queue[0]
 		h.queue = h.queue[1:]
-		n := h.nodes[h.index[f.to]]
-		for _, out := range n.HandleControl(f.from, f.msg) {
+		i, ok := h.index[f.to]
+		if !ok {
+			// A client port: record the notification and stop routing.
+			if f.msg.Kind == broker.MsgNotify {
+				h.deliveries++
+				h.deliveryHash ^= hash64(f.to + "|" + f.msg.SubID + "|" + f.msg.PubID)
+			}
+			continue
+		}
+		if f.msg.Kind.IsControl() {
+			for _, out := range h.nodes[i].HandleControl(f.from, f.msg) {
+				h.queue = append(h.queue, frame{f.to, out.To, out.Msg})
+			}
+			continue
+		}
+		switch f.msg.Kind {
+		case broker.MsgSubscribe, broker.MsgSubscribeBatch, broker.MsgRouteAnnounce:
+			h.subFrames++
+		}
+		outs, err := h.brokers[i].Handle(f.from, f.msg)
+		if err != nil {
+			h.err = fmt.Errorf("scale: %s handling %v from %s: %w", f.to, f.msg.Kind, f.from, err)
+			return
+		}
+		for _, out := range outs {
 			h.queue = append(h.queue, frame{f.to, out.To, out.Msg})
 		}
 	}
 	h.queue = nil // release the grown backing array between rounds
+}
+
+// inject runs one client-originated message through broker i and
+// drains everything it causes.
+func (h *harness) inject(i int, msg broker.Message) {
+	outs, err := h.brokers[i].Handle("c-"+h.ids[i], msg)
+	if err != nil {
+		h.err = fmt.Errorf("scale: %s injecting %v: %w", h.ids[i], msg.Kind, err)
+		return
+	}
+	for _, out := range outs {
+		h.queue = append(h.queue, frame{h.ids[i], out.To, out.Msg})
+	}
+	h.deliver()
+}
+
+// hash64 is FNV-1a with an avalanche tail, for order-independent
+// XOR-folding of delivery records.
+func hash64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
 }
 
 // converged reports whether every node sees all n members alive.
@@ -197,15 +294,26 @@ func Run(cfg Config) (Report, error) {
 		Clock:         clock,
 		LegacyGossip:  cfg.LegacyGossip,
 	}
+	h.brokers = make([]*broker.Broker, cfg.N)
 	for i := range h.nodes {
 		id := fmt.Sprintf("b%04d", i)
 		h.ids[i] = id
 		h.index[id] = i
 		h.nodes[i] = cluster.NewNode(cluster.Member{ID: id, Addr: id}, &link{h: h, id: id}, ncfg)
+		b, err := broker.New(id, store.PolicyPairwise)
+		if err != nil {
+			return Report{}, err
+		}
+		h.brokers[i] = b
+		b.AttachClient("c-" + id)
+		if cfg.Routed {
+			cluster.AttachRouter(h.nodes[i], b, cluster.RouterConfig{})
+		}
 	}
 
 	// Overlay: ring + chords. Each link is registered on both ends, so
-	// both sides probe and both sides gossip across it.
+	// both sides probe and both sides gossip across it — and the
+	// brokers carry the same graph as their content overlay.
 	degree := make([]int, cfg.N)
 	connect := func(i, j int) bool {
 		if i == j {
@@ -213,6 +321,12 @@ func Run(cfg Config) (Report, error) {
 		}
 		h.nodes[i].AddMember(cluster.Member{ID: h.ids[j], Addr: h.ids[j]}, true)
 		h.nodes[j].AddMember(cluster.Member{ID: h.ids[i], Addr: h.ids[i]}, true)
+		if err := h.brokers[i].ConnectNeighbor(h.ids[j]); err != nil {
+			return false
+		}
+		if err := h.brokers[j].ConnectNeighbor(h.ids[i]); err != nil {
+			return false
+		}
 		degree[i]++
 		degree[j]++
 		return true
@@ -267,5 +381,46 @@ func Run(cfg Config) (Report, error) {
 	rep.SteadyFullGossipFrames = full1 - full0
 	rep.SteadyDeltaFrames = delta1 - delta0
 	rep.TotalControlBytes = bytes1
+
+	// Phase 3: content layer. Inject client subscriptions over the
+	// converged overlay (every draw comes from the same seeded stream,
+	// so a routed and a flood run issue identical operations), count
+	// the announcement frames they cost, then probe with publications
+	// and fold the delivery set.
+	if cfg.Subs > 0 {
+		type subRec struct{ lo, hi int64 }
+		subs := make([]subRec, cfg.Subs)
+		frames0 := h.subFrames
+		for k := range subs {
+			origin := rng.IntN(cfg.N)
+			lo := int64(rng.IntN(4000))
+			width := int64(16 + rng.IntN(112))
+			subs[k] = subRec{lo, lo + width}
+			s := subscription.New(interval.New(lo, lo+width), interval.New(lo, lo+width))
+			h.inject(origin, broker.Message{Kind: broker.MsgSubscribe, SubID: fmt.Sprintf("s%05d", k), Sub: s})
+			if h.err != nil {
+				return rep, h.err
+			}
+		}
+		rep.SubFrames = h.subFrames - frames0
+		rep.SubFramesPerLink = float64(rep.SubFrames) / float64(2*links)
+		for _, b := range h.brokers {
+			t, e := b.RouteTableStats()
+			rep.RouteTables += t
+			rep.RouteEntries += e
+		}
+		for k := 0; k < cfg.Pubs; k++ {
+			sr := subs[k%len(subs)]
+			mid := (sr.lo + sr.hi) / 2
+			origin := rng.IntN(cfg.N)
+			h.inject(origin, broker.Message{Kind: broker.MsgPublish, PubID: fmt.Sprintf("p%05d", k),
+				Pub: subscription.NewPublication(mid, mid)})
+			if h.err != nil {
+				return rep, h.err
+			}
+		}
+		rep.Deliveries = h.deliveries
+		rep.DeliveryHash = h.deliveryHash
+	}
 	return rep, nil
 }

@@ -93,6 +93,13 @@ const (
 	// piggybacked deltas — the link then keeps PR-5/6 full-snapshot
 	// gossip semantics.
 	CodecBinary4 WireCodec = 4
+	// CodecBinary5 adds the structured-routing vocabulary: the
+	// route-announce kind that carries subscriptions hop-by-hop toward
+	// a rendezvous broker. Toward peers that advertised less, senders
+	// rewrite a route announce as its flood form (a subscribe-batch
+	// with the same items) — the link then keeps flood semantics, which
+	// routed delivery is a strict subset of.
+	CodecBinary5 WireCodec = 5
 )
 
 // String returns the codec name.
@@ -107,6 +114,8 @@ func (c WireCodec) String() string {
 	case CodecBinary3:
 		return "binary-v3"
 	case CodecBinary4:
+		return "binary-v4"
+	case CodecBinary5:
 		return "binary"
 	default:
 		return fmt.Sprintf("codec(%d)", uint8(c))
@@ -115,22 +124,25 @@ func (c WireCodec) String() string {
 
 // ParseWireCodec parses a codec name as accepted by the CLI tools:
 // "json", "binary" (the latest binary version), and the pinned
-// historical vocabularies "binary-v1" (PR-4), "binary-v2" (PR-5), and
-// "binary-v3" (PR-6/7), for interop tests and staged rollouts.
+// historical vocabularies "binary-v1" (PR-4), "binary-v2" (PR-5),
+// "binary-v3" (PR-6/7), and "binary-v4" (PR-8), for interop tests and
+// staged rollouts.
 func ParseWireCodec(s string) (WireCodec, error) {
 	switch s {
 	case "json":
 		return CodecJSON, nil
 	case "binary":
-		return CodecBinary4, nil
+		return CodecBinary5, nil
 	case "binary-v1":
 		return CodecBinary, nil
 	case "binary-v2":
 		return CodecBinary2, nil
 	case "binary-v3":
 		return CodecBinary3, nil
+	case "binary-v4":
+		return CodecBinary4, nil
 	default:
-		return 0, fmt.Errorf("pubsub: unknown wire codec %q (want json | binary | binary-v1 | binary-v2 | binary-v3)", s)
+		return 0, fmt.Errorf("pubsub: unknown wire codec %q (want json | binary | binary-v1 | binary-v2 | binary-v3 | binary-v4)", s)
 	}
 }
 
@@ -156,6 +168,7 @@ const (
 	binVersion2 = 2
 	binVersion3 = 3
 	binVersion4 = 4
+	binVersion5 = 5
 	binHeader   = 6
 	// maxBinaryPayload bounds a decoded frame; hostile length fields
 	// cannot force large allocations past it.
@@ -185,6 +198,7 @@ var frameMinCodec = map[broker.MsgKind]WireCodec{
 	broker.MsgSyncRoots:        CodecBinary3,
 	broker.MsgPingReq:          CodecBinary4,
 	broker.MsgGossipDelta:      CodecBinary4,
+	broker.MsgRouteAnnounce:    CodecBinary5,
 }
 
 // wireVersionOf returns the header version byte for a message. The
@@ -236,7 +250,7 @@ func MarshalFrame(codec WireCodec, buf []byte, fr *Frame) ([]byte, error) {
 		}
 		buf = append(buf, data...)
 		return append(buf, '\n'), nil
-	case CodecBinary, CodecBinary2, CodecBinary3, CodecBinary4:
+	case CodecBinary, CodecBinary2, CodecBinary3, CodecBinary4, CodecBinary5:
 		return appendBinaryFrame(buf, fr)
 	default:
 		return buf, fmt.Errorf("pubsub: cannot marshal under codec %d", codec)
@@ -368,6 +382,13 @@ func appendBinaryMessage(buf []byte, m *broker.Message) ([]byte, error) {
 			buf = appendString(buf, it.SubID)
 			buf = appendSubscription(buf, it.Sub)
 		}
+	case broker.MsgRouteAnnounce:
+		buf = appendString(buf, m.Target)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Subs)))
+		for _, it := range m.Subs {
+			buf = appendString(buf, it.SubID)
+			buf = appendSubscription(buf, it.Sub)
+		}
 	default:
 		return buf, fmt.Errorf("pubsub: cannot encode message kind %v", m.Kind)
 	}
@@ -415,7 +436,7 @@ func appendPublication(buf []byte, p subscription.Publication) []byte {
 // length — the single copy of the header contract shared by
 // UnmarshalFrame and the stream reader's blocking and buffered paths.
 func parseBinaryHeader(hdr []byte) (int, error) {
-	if hdr[1] < binVersion || hdr[1] > binVersion4 {
+	if hdr[1] < binVersion || hdr[1] > binVersion5 {
 		return 0, fmt.Errorf("pubsub: unsupported binary frame version %d", hdr[1])
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[2:binHeader]))
@@ -543,6 +564,16 @@ func decodeBinaryMessage(payload []byte) (*broker.Message, error) {
 		}
 	case broker.MsgSyncRoots:
 		msg.Mask = d.u64()
+		n := d.count(2)
+		if d.err == nil {
+			msg.Subs = make([]broker.BatchSub, n)
+			for i := range msg.Subs {
+				msg.Subs[i].SubID = d.string()
+				msg.Subs[i].Sub = d.subscription()
+			}
+		}
+	case broker.MsgRouteAnnounce:
+		msg.Target = d.string()
 		n := d.count(2)
 		if d.err == nil {
 			msg.Subs = make([]broker.BatchSub, n)

@@ -116,26 +116,28 @@ type tcpConfig struct {
 }
 
 func defaultTCPConfig() tcpConfig {
-	return tcpConfig{codec: CodecBinary4, dialCodec: CodecBinary4}
+	return tcpConfig{codec: CodecBinary5, dialCodec: CodecBinary5}
 }
 
 // WithWireCodec caps the codec a broker advertises and sends.
-// CodecBinary4 (the default) negotiates the binary format and the
-// full message vocabulary — including the SWIM indirect-probe and
-// delta-gossip frames — with every peer that also decodes them;
-// CodecBinary3 pins the PR-6/7 vocabulary (full-snapshot gossip only,
-// no ping-req/delta frames), CodecBinary2 the PR-5 vocabulary (no
-// sync frames, digest-less gossip), CodecBinary the PR-4 vocabulary
-// (no publish batches, no cluster frames), and CodecJSON the PR-3
-// JSON format — on the wire those behave exactly like the older
-// builds, which is how the cross-version interop tests model old
-// peers. Decoding always accepts every format regardless.
+// CodecBinary5 (the default) negotiates the binary format and the
+// full message vocabulary — including the rendezvous route-announce
+// frame — with every peer that also decodes it; CodecBinary4 pins
+// the PR-8 vocabulary (SWIM indirect probes and delta gossip, no
+// route announces), CodecBinary3 the PR-6/7 vocabulary
+// (full-snapshot gossip only, no ping-req/delta frames), CodecBinary2
+// the PR-5 vocabulary (no sync frames, digest-less gossip),
+// CodecBinary the PR-4 vocabulary (no publish batches, no cluster
+// frames), and CodecJSON the PR-3 JSON format — on the wire those
+// behave exactly like the older builds, which is how the
+// cross-version interop tests model old peers. Decoding always
+// accepts every format regardless.
 func WithWireCodec(c WireCodec) TCPOption {
 	return func(cfg *tcpConfig) { cfg.codec = c }
 }
 
 // WithDialWireCodec caps the codec clients opened through
-// Transport.Open advertise and send (default CodecBinary4). The
+// Transport.Open advertise and send (default CodecBinary5). The
 // cross-process form is Dial's WithDialCodec.
 func WithDialWireCodec(c WireCodec) TCPOption {
 	return func(cfg *tcpConfig) { cfg.dialCodec = c }
@@ -516,6 +518,12 @@ func (s *tcpServer) sendPeer(id string, msg broker.Message) bool {
 	default:
 	}
 	if msg.Kind.IsControl() && p.cluster.Load() == 0 {
+		// The peer has not (yet) advertised a cluster layer — either a
+		// legacy build that never will, or a fresh link whose ack is
+		// still in flight. Count the drop so the loss is observable; if
+		// the ack later reveals a cluster layer, learnPeer re-fires the
+		// peer-up hook and the membership layer re-arms its probes.
+		s.b.CountControlDrop()
 		return false
 	}
 	s.send(broker.Outbound{To: id, Msg: msg})
@@ -533,16 +541,30 @@ func (s *tcpServer) learnPeerCodec(id string, advertised WireCodec) {
 }
 
 // learnPeer records what a peer broker advertised (codec version and
-// cluster protocol) and re-negotiates the live outbound port.
+// cluster protocol) and re-negotiates the live outbound port. A peer
+// whose advertisement reveals a cluster layer for the first time gets
+// the peer-up hook re-fired: until this moment every control frame
+// toward it was dropped (sendPeer's cluster gate), so the membership
+// layer must restart its probe cycle now that pings can flow.
 func (s *tcpServer) learnPeer(id string, advertised WireCodec, cluster uint8) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	prevClu := s.peerClu[id]
 	s.peerCodec[id] = advertised
 	s.peerClu[id] = cluster
+	linked := false
 	if p, ok := s.ports[id]; ok {
 		p.codec.Store(uint32(s.cfg.codec.negotiate(advertised)))
 		p.remote.Store(uint32(advertised))
 		p.cluster.Store(uint32(cluster))
+		select {
+		case <-p.dead:
+		default:
+			linked = true
+		}
+	}
+	s.mu.Unlock()
+	if linked && prevClu == 0 && cluster != 0 {
+		s.firePeerUp(id)
 	}
 }
 
@@ -599,6 +621,7 @@ func (s *tcpServer) send(o broker.Outbound) {
 		}
 	case broker.MsgPing, broker.MsgPong, broker.MsgGossip:
 		if p.cluster.Load() == 0 {
+			s.b.CountControlDrop()
 			return
 		}
 		if o.Msg.Kind == broker.MsgGossip && o.Msg.Digest != nil && remote < CodecBinary3 {
@@ -619,7 +642,11 @@ func (s *tcpServer) send(o broker.Outbound) {
 			return
 		}
 	case broker.MsgPingReq, broker.MsgGossipDelta:
-		if p.cluster.Load() == 0 || remote < CodecBinary4 {
+		if p.cluster.Load() == 0 {
+			s.b.CountControlDrop()
+			return
+		}
+		if remote < CodecBinary4 {
 			// The SWIM vocabulary has no older form: a pre-v4 peer is
 			// never asked to relay a probe, and deltas toward it ride
 			// the legacy full-snapshot gossip the cluster layer still
@@ -631,6 +658,20 @@ func (s *tcpServer) send(o broker.Outbound) {
 			// Sync frames have no older form: a peer that never saw our
 			// digest never asks, and one that predates the vocabulary
 			// must never see the kinds.
+			return
+		}
+	case broker.MsgRouteAnnounce:
+		if remote < CodecBinary5 {
+			// A route announce IS a subscription announcement with a
+			// rendezvous address attached; toward a peer that predates
+			// the kind, send its flood form — the same items as a
+			// subscribe-batch. The link then degrades to flood
+			// semantics, which routed delivery is a strict subset of,
+			// and the recursive send applies the older splits in turn.
+			s.send(broker.Outbound{To: o.To, Msg: broker.Message{
+				Kind: broker.MsgSubscribeBatch,
+				Subs: o.Msg.Subs,
+			}})
 			return
 		}
 	}

@@ -167,6 +167,10 @@ func (b *Broker) PeerRoots(peer string) []BatchSub {
 	return b.impl.core().NeighborRoots(peer)
 }
 
+// Core returns the underlying broker engine — the handle
+// cluster.AttachRouter wires rendezvous routing through.
+func (b *Broker) Core() *broker.Broker { return b.impl.core() }
+
 // PeerClusterVersion reports the cluster protocol version a peer
 // advertised in its hello or ack (0 = no cluster layer).
 func (b *Broker) PeerClusterVersion(peer string) uint8 {

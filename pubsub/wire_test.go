@@ -465,7 +465,7 @@ func TestTCPPeerCodecDowngrade(t *testing.T) {
 
 // TestTCPPeerBinaryUpgrade is the positive peer case: two binary
 // brokers end up with binary ports in both directions once hellos and
-// acks have crossed — at the v4 vocabulary, since both default builds
+// acks have crossed — at the v5 vocabulary, since both default builds
 // advertise it.
 func TestTCPPeerBinaryUpgrade(t *testing.T) {
 	a := listenTestBroker(t, "A", Pairwise)
@@ -485,11 +485,11 @@ func TestTCPPeerBinaryUpgrade(t *testing.T) {
 			pair.srv.mu.Lock()
 			p := pair.srv.ports[pair.peer]
 			pair.srv.mu.Unlock()
-			if p != nil && p.writeCodec() == CodecBinary4 {
+			if p != nil && p.writeCodec() == CodecBinary5 {
 				break
 			}
 			if time.Now().After(deadline) {
-				t.Fatalf("%s port to %s never upgraded to binary v4", pair.srv.b.ID(), pair.peer)
+				t.Fatalf("%s port to %s never upgraded to binary v5", pair.srv.b.ID(), pair.peer)
 			}
 			time.Sleep(5 * time.Millisecond)
 		}
