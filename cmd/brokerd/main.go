@@ -65,6 +65,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -114,6 +116,7 @@ func run() error {
 		dataDir     = flag.String("data-dir", "", "durable state directory: journal + snapshots; restart recovers from it (empty = in-memory only)")
 		journalSync = flag.Int("journal-sync", 64, "fsync the journal every N records (1 = every record; needs -data-dir)")
 		snapEvery   = flag.Duration("snapshot-interval", 30*time.Second, "journal compaction interval (needs -data-dir)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /metrics.json, and /flight on this HTTP address (empty = disabled)")
 	)
 	flag.Var(peers, "peer", "neighbor broker as NAME=ADDR (repeatable; static link, dialed outward)")
 	flag.Var(seeds, "seed-node", "cluster seed broker as NAME=ADDR (repeatable): join by gossip, full-mesh overlay")
@@ -207,6 +210,24 @@ func run() error {
 			return err
 		}
 		fmt.Printf("connected peer %s at %s\n", name, addr)
+	}
+
+	if *metricsAddr != "" {
+		reg := b.Observability()
+		if reg == nil {
+			return fmt.Errorf("-metrics-addr: this transport exposes no metrics registry")
+		}
+		if node != nil {
+			node.RegisterObservability(reg)
+		}
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
+		msrv := &http.Server{Handler: reg.Handler()}
+		go msrv.Serve(ln)
+		defer msrv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

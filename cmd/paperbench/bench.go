@@ -18,6 +18,7 @@ import (
 	"probsum/internal/benchcases"
 	"probsum/internal/conflict"
 	"probsum/internal/core"
+	"probsum/internal/obs"
 	"probsum/internal/store"
 	"probsum/pubsub"
 	"probsum/pubsub/cluster/scale"
@@ -34,11 +35,18 @@ type BenchResult struct {
 
 // BenchReport is the file-level envelope.
 type BenchReport struct {
-	Date       string        `json:"date"`
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	Benchmarks []BenchResult `json:"benchmarks"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Calibration is the host-speed probe: ns/op of a fixed CPU-bound
+	// workload (FNV-1a over 64 KiB) with no allocation, no syscalls,
+	// and no concurrency. The regression gate divides each fresh
+	// measurement by the calibration ratio fresh/baseline before
+	// comparing, so a slower or faster host does not read as a code
+	// regression (or mask one).
+	Calibration float64       `json:"calibration_ns_per_op,omitempty"`
+	Benchmarks  []BenchResult `json:"benchmarks"`
 	// Scale tracks the membership-at-scale trajectory: deterministic
 	// runs of the pubsub/cluster/scale harness (fixed seed, manual
 	// clock), so convergence and gossip-traffic numbers diff across
@@ -166,7 +174,49 @@ func microBenchmarks() []struct {
 		{"TCPSubscribeBurst/batch", func(b *testing.B) {
 			benchcases.TCPSubscribeBurst(b, true)
 		}},
+		// Observability primitives: the per-observation cost the
+		// instrumented hot paths pay. allocs/op here must stay zero —
+		// the same invariant internal/obs's alloc tests pin.
+		{"ObsHistogramObserve", func(b *testing.B) {
+			h := obs.NewHistogram()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.Observe(time.Duration(i%4096) * time.Microsecond)
+			}
+		}},
+		{"ObsLinkFrames", func(b *testing.B) {
+			var ls obs.LinkStats
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ls.Sent(i % 16)
+				ls.Recv(i % 16)
+			}
+		}},
 	}
+}
+
+// benchSink defeats dead-code elimination in the calibration loop.
+var benchSink uint64
+
+// calibrate measures the host-speed probe (see BenchReport.Calibration).
+func calibrate() float64 {
+	buf := make([]byte, 64<<10)
+	for i := range buf {
+		buf[i] = byte(i * 131)
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			h := uint64(14695981039346656037)
+			for _, c := range buf {
+				h ^= uint64(c)
+				h *= 1099511628211
+			}
+			sink ^= h
+		}
+		benchSink = sink
+	})
+	return float64(r.T.Nanoseconds()) / float64(r.N)
 }
 
 // regressionGated lists the benchmark-name prefixes the CI regression
@@ -174,13 +224,27 @@ func microBenchmarks() []struct {
 // and Table), and the wire codec, per the perf-trajectory roadmap
 // item. Figure benchmarks, ablations, and the socket-level TCP
 // benchmarks stay informational.
-var regressionGated = []string{"CoveredInto/", "StoreSubscribe/", "TableSubscribeBatch/", "TableUnsubscribeBatch/", "WireCodec/"}
+var regressionGated = []string{"CoveredInto/", "StoreSubscribe/", "TableSubscribeBatch/", "TableUnsubscribeBatch/", "WireCodec/", "publish_notify_"}
+
+// hostScale derives the normalization factor between a fresh report
+// and its baseline from their calibration probes: > 1 means this host
+// ran the fixed workload slower than the baseline host. Clamped to
+// [0.25, 4.0] so a broken probe can neither hide a real regression
+// behind a huge divisor nor invent one; missing calibration on either
+// side (pre-calibration baselines) disables normalization.
+func hostScale(report, base BenchReport) float64 {
+	if report.Calibration <= 0 || base.Calibration <= 0 {
+		return 1
+	}
+	scale := report.Calibration / base.Calibration
+	return min(max(scale, 0.25), 4.0)
+}
 
 // checkRegressions compares a fresh report against a committed
 // baseline file and errors when any gated benchmark's ns/op regressed
-// by more than maxRegress (0.30 = +30%). Benchmarks present on only
-// one side are skipped, so adding or retiring benchmarks never breaks
-// the gate.
+// by more than maxRegress (0.30 = +30%) after host-speed
+// normalization. Benchmarks present on only one side are skipped, so
+// adding or retiring benchmarks never breaks the gate.
 func checkRegressions(report BenchReport, baselinePath string, maxRegress float64) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -189,6 +253,11 @@ func checkRegressions(report BenchReport, baselinePath string, maxRegress float6
 	var base BenchReport
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+	scale := hostScale(report, base)
+	if scale != 1 {
+		fmt.Fprintf(os.Stderr, "gate  host calibration %.1f vs baseline %.1f ns/op: normalizing by %.2fx\n",
+			report.Calibration, base.Calibration, scale)
 	}
 	baseNs := make(map[string]float64, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
@@ -208,8 +277,8 @@ func checkRegressions(report BenchReport, baselinePath string, maxRegress float6
 		if !ok || old <= 0 || !gated(b.Name) {
 			continue
 		}
-		delta := b.NsPerOp/old - 1
-		fmt.Fprintf(os.Stderr, "gate  %-32s %12.1f -> %12.1f ns/op (%+.1f%%)\n",
+		delta := (b.NsPerOp/scale)/old - 1
+		fmt.Fprintf(os.Stderr, "gate  %-32s %12.1f -> %12.1f ns/op (%+.1f%% normalized)\n",
 			b.Name, old, b.NsPerOp, 100*delta)
 		if delta > maxRegress {
 			failures = append(failures,
@@ -237,6 +306,8 @@ func runBenchJSON(dir string) (string, BenchReport, error) {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 	}
+	report.Calibration = calibrate()
+	fmt.Fprintf(os.Stderr, "bench %-32s %12.1f ns/op (host-speed probe)\n", "Calibration", report.Calibration)
 	for _, bm := range microBenchmarks() {
 		fmt.Fprintf(os.Stderr, "bench %-32s ", bm.name)
 		r := testing.Benchmark(bm.fn)
@@ -253,6 +324,23 @@ func runBenchJSON(dir string) (string, BenchReport, error) {
 		}
 		fmt.Fprintf(os.Stderr, "%12.1f ns/op %6d allocs/op\n", res.NsPerOp, res.AllocsPerOp)
 		report.Benchmarks = append(report.Benchmarks, res)
+	}
+	// End-to-end latency: the paper's user-visible number. Closed-loop
+	// probes over two real TCP brokers, exact percentiles from
+	// ClientStats raw samples; gated like the micro-benchmarks.
+	{
+		const warmup, probes = 50, 300
+		fmt.Fprintf(os.Stderr, "bench %-32s ", "publish_notify")
+		p50, p99, err := publishNotifyLatency(warmup, probes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "FAILED")
+			return "", BenchReport{}, fmt.Errorf("publish-notify latency: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "p50 %12.1f ns  p99 %12.1f ns (%d probes)\n", p50, p99, probes)
+		report.Benchmarks = append(report.Benchmarks,
+			BenchResult{Name: "publish_notify_p50", Iterations: probes, NsPerOp: p50},
+			BenchResult{Name: "publish_notify_p99", Iterations: probes, NsPerOp: p99},
+		)
 	}
 	for _, n := range []int{200, 1000} {
 		fmt.Fprintf(os.Stderr, "scale n=%-4d ", n)

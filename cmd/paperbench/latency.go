@@ -1,0 +1,108 @@
+package main
+
+// End-to-end publish-to-notify latency: a closed-loop run over two
+// real TCP brokers, measured from the client's side with
+// pubsub.ClientStats raw samples (the log2 histogram is too coarse
+// for a 30% gate, so the percentiles come from the exact durations).
+// The resulting publish_notify_p50/p99 entries are regression-gated
+// in BENCH_*.json, normalized by the calibration loop.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"probsum/pubsub"
+	"probsum/subsume"
+)
+
+// publishNotifyLatency runs warmup + probes closed-loop publishes
+// through B1 while a full-range subscription listens on B2, and
+// returns the exact p50/p99 publish-to-notify latencies in
+// nanoseconds.
+func publishNotifyLatency(warmup, probes int) (p50, p99 float64, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	tr, err := pubsub.NewTCPTransport(pubsub.Pairwise, pubsub.Config{})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer tr.Shutdown(context.Background())
+	if _, err := tr.AddBroker("B1"); err != nil {
+		return 0, 0, err
+	}
+	if _, err := tr.AddBroker("B2"); err != nil {
+		return 0, 0, err
+	}
+	if err := tr.Connect("B1", "B2"); err != nil {
+		return 0, 0, err
+	}
+	schema := subsume.NewSchema(
+		subsume.Attr("x1", 0, 100),
+		subsume.Attr("x2", 0, 100),
+	)
+	sub, err := tr.Open(ctx, "S", "B2")
+	if err != nil {
+		return 0, 0, err
+	}
+	pub, err := tr.Open(ctx, "P", "B1")
+	if err != nil {
+		return 0, 0, err
+	}
+	s := subsume.NewSubscription(schema).Range("x1", 0, 100).Range("x2", 0, 100).Build()
+	if err := sub.Subscribe(ctx, "s1", s); err != nil {
+		return 0, 0, err
+	}
+	if err := tr.Settle(ctx); err != nil {
+		return 0, 0, err
+	}
+
+	// One probe in flight at a time: each publish waits for its own
+	// notification, so probes never queue behind each other and the
+	// sample is pure per-event latency.
+	event := subsume.NewPublication(50, 50)
+	probe := func(id string) error {
+		if err := pub.Publish(ctx, id, event); err != nil {
+			return err
+		}
+		select {
+		case _, ok := <-sub.Notifications():
+			if !ok {
+				return fmt.Errorf("notification stream closed")
+			}
+			return nil
+		case <-ctx.Done():
+			return fmt.Errorf("timed out waiting for notification of %s", id)
+		}
+	}
+	for i := 0; i < warmup; i++ {
+		if err := probe(fmt.Sprintf("warm-%04d", i)); err != nil {
+			return 0, 0, err
+		}
+	}
+	stats := pubsub.NewClientStats(pubsub.WithRawSamples())
+	sub.SetStats(stats)
+	pub.SetStats(stats)
+	for i := 0; i < probes; i++ {
+		if err := probe(fmt.Sprintf("probe-%04d", i)); err != nil {
+			return 0, 0, err
+		}
+	}
+	raw := stats.RawSamples()
+	if len(raw) != probes {
+		return 0, 0, fmt.Errorf("latency run measured %d samples, want %d", len(raw), probes)
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+	return float64(quantileDur(raw, 0.50)), float64(quantileDur(raw, 0.99)), nil
+}
+
+// quantileDur reads the q-quantile of an ascending sample.
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

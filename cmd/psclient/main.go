@@ -17,6 +17,11 @@
 //	psclient -broker localhost:7002 -name bob \
 //	         -publish '{"x1":42,"x2":7}' -schema '...'
 //
+//	# self-probe latency: subscribe, publish -count probes that match,
+//	# and print the publish-to-notify latency histogram
+//	psclient -broker localhost:7001 -name probe -stats -count 50 \
+//	         -subscribe '{"x1":[0,500]}' -publish '{"x1":42,"x2":7}' -schema '...'
+//
 // Frames use the binary wire codec once the broker's ack advertises
 // it; -codec json pins the client to the PR-3 JSON format.
 package main
@@ -30,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"probsum/internal/obs"
 	"probsum/pubsub"
 	"probsum/subsume"
 )
@@ -62,6 +68,8 @@ func run() error {
 		pubID      = flag.String("pub-id", "", "publication id (default <name>/p1)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-operation deadline")
 		codecIn    = flag.String("codec", "binary", "wire codec cap: binary (negotiated) | json (PR-3 compatible)")
+		stats      = flag.Bool("stats", false, "self-probe latency mode: subscribe, publish -count probes matching the subscription, print the publish-to-notify latency histogram")
+		count      = flag.Int("count", 20, "probe publications to send in -stats mode")
 	)
 	flag.Var(&subsIn, "subscribe", "subscription JSON: stream notifications until interrupted (repeatable; several travel as one batch frame)")
 	flag.Parse()
@@ -94,6 +102,17 @@ func run() error {
 	}
 
 	switch {
+	case *stats:
+		// The broker never notifies a publication's own source port, so
+		// the self-probe publishes through a second connection.
+		ctx, cancel := opCtx()
+		pubClient, err := pubsub.Dial(ctx, *brokerAddr, *name+"-pub", pubsub.WithDialCodec(codec))
+		cancel()
+		if err != nil {
+			return err
+		}
+		defer pubClient.Close()
+		return runStats(client, pubClient, schema, subsIn, *pubIn, *name, *count, opCtx)
 	case len(subsIn) > 0:
 		batch := make([]pubsub.BatchSub, len(subsIn))
 		for i, in := range subsIn {
@@ -159,5 +178,68 @@ func run() error {
 	default:
 		flag.Usage()
 		return fmt.Errorf("nothing to do: pass -subscribe or -publish")
+	}
+}
+
+// runStats is the -stats self-probe loop: the subscribing connection
+// installs the probe subscription, the publishing connection sends
+// probe events that match it, and every delivery resolves against its
+// publish stamp in a shared ClientStats — the same histogram code the
+// broker registry uses — which is printed as a latency profile on
+// exit.
+func runStats(subClient, pubClient *pubsub.Client, schema *subsume.Schema, subsIn jsonList, pubIn, name string, count int,
+	opCtx func() (context.Context, context.CancelFunc)) error {
+	if len(subsIn) == 0 || pubIn == "" {
+		return fmt.Errorf("-stats needs both -subscribe (the probe target) and -publish (the probe event)")
+	}
+	sub, err := subsume.UnmarshalSubscription([]byte(subsIn[0]), schema)
+	if err != nil {
+		return err
+	}
+	pub, err := subsume.UnmarshalPublication([]byte(pubIn), schema)
+	if err != nil {
+		return err
+	}
+	cs := pubsub.NewClientStats()
+	subClient.SetStats(cs)
+	pubClient.SetStats(cs)
+
+	ctx, cancel := opCtx()
+	err = subClient.Subscribe(ctx, name+"/probe", sub)
+	cancel()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < count; i++ {
+		ctx, cancel := opCtx()
+		err := pubClient.Publish(ctx, fmt.Sprintf("%s/p%d", name, i+1), pub)
+		cancel()
+		if err != nil {
+			return err
+		}
+		// Drain until this probe's notification arrives so probes do not
+		// queue behind each other and inflate the measurement.
+		for cs.Pending() > 0 {
+			if _, ok := <-subClient.Notifications(); !ok {
+				return fmt.Errorf("connection closed after %d probes", i)
+			}
+		}
+	}
+	printHistogram(cs.Snapshot(), count)
+	return nil
+}
+
+// printHistogram renders one latency profile: headline quantiles plus
+// the populated log2 buckets.
+func printHistogram(s obs.HistSnapshot, probes int) {
+	fmt.Printf("publish-to-notify latency over %d probes (%d measured):\n", probes, s.Count)
+	fmt.Printf("  mean %v  p50 %v  p99 %v  max %v\n",
+		time.Duration(s.MeanNs()), time.Duration(s.Quantile(0.50)),
+		time.Duration(s.Quantile(0.99)), time.Duration(s.MaxNs))
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		fmt.Printf("  <= %12v  %d\n", time.Duration(obs.BucketUpperNs(i)), n)
 	}
 }

@@ -73,9 +73,16 @@ func TestGuardAnnotationsPresent(t *testing.T) {
 		"probsum/pubsub": {
 			"tcpServer":     {"ports", "readers", "peerCodec", "peerClu", "hooks"},
 			"BrokerJournal": {"unsynced", "err"},
+			"notifyQueue":   {"stats"},
+			"Client":        {"stats"},
+			"ClientStats":   {"pending", "raw"},
 		},
 		"probsum/pubsub/cluster": {
 			"Node": {"rng", "self", "members", "lastGossip", "metrics"},
+		},
+		"probsum/internal/obs": {
+			"FlightRecorder": {"ring", "next", "total"},
+			"Registry":       {"counters", "gauges", "gaugeVecs", "hists", "links", "kindName"},
 		},
 	}
 

@@ -589,6 +589,22 @@ func (b *Broker) RouteTableStats() (tables, entries int) {
 	return tables, entries
 }
 
+// RouteTargetLoad reports the routed-entry count per rendezvous
+// target, summed over neighbors — a direct view of per-owner load for
+// the hot-cell question the rendezvous rungs keep asking. The metrics
+// endpoint exports it as a labeled gauge family.
+func (b *Broker) RouteTargetLoad() map[string]int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make(map[string]int)
+	for _, byTarget := range b.routeOut {
+		for target, tbl := range byTarget {
+			out[target] += tbl.Len()
+		}
+	}
+	return out
+}
+
 // CountControlDrop counts one control frame dropped before reaching a
 // peer (its cluster capability still unknown mid-handshake, or its
 // wire vocabulary predates the kind). The transport calls it at every

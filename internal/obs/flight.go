@@ -1,0 +1,106 @@
+package obs
+
+// FlightRecorder: a bounded in-memory ring of recent broker events
+// (frame drops, suspicions, digest repairs, re-announces, crashes in
+// the chaos harness). It trades completeness for a hard memory bound:
+// when the ring is full the oldest event is overwritten. The recorder
+// never reads the wall clock itself — the clock is injected at
+// construction so simulated harnesses stamp events with simulated
+// time (and internal/obs stays clockcheck-clean).
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FlightEvent is one recorded event.
+type FlightEvent struct {
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"`   // e.g. "suspect", "frame_drop", "digest_repair"
+	Origin string    `json:"origin"` // broker/node that observed it
+	Detail string    `json:"detail"`
+}
+
+// FlightRecorder holds the most recent events, up to a fixed cap.
+type FlightRecorder struct {
+	clock func() time.Time
+
+	mu sync.Mutex
+	// +guarded_by:mu
+	ring []FlightEvent
+	// +guarded_by:mu
+	next int
+	// +guarded_by:mu
+	total uint64
+}
+
+// NewFlightRecorder returns a recorder keeping the last cap events,
+// stamping each with the injected clock. cap <= 0 defaults to 256.
+func NewFlightRecorder(cap int, clock func() time.Time) *FlightRecorder {
+	if cap <= 0 {
+		cap = 256
+	}
+	return &FlightRecorder{clock: clock, ring: make([]FlightEvent, 0, cap)}
+}
+
+// Record appends one event, evicting the oldest if the ring is full.
+func (fr *FlightRecorder) Record(kind, origin, detail string) {
+	if fr == nil {
+		return
+	}
+	ev := FlightEvent{Time: fr.clock(), Kind: kind, Origin: origin, Detail: detail}
+	fr.mu.Lock()
+	if len(fr.ring) < cap(fr.ring) {
+		fr.ring = append(fr.ring, ev)
+	} else {
+		fr.ring[fr.next] = ev
+		fr.next = (fr.next + 1) % len(fr.ring)
+	}
+	fr.total++
+	fr.mu.Unlock()
+}
+
+// Recordf is Record with a formatted detail. Not for hot paths.
+func (fr *FlightRecorder) Recordf(kind, origin, format string, args ...any) {
+	if fr == nil {
+		return
+	}
+	fr.Record(kind, origin, fmt.Sprintf(format, args...))
+}
+
+// Events returns the recorded events oldest-first.
+func (fr *FlightRecorder) Events() []FlightEvent {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	out := make([]FlightEvent, 0, len(fr.ring))
+	out = append(out, fr.ring[fr.next:]...)
+	out = append(out, fr.ring[:fr.next]...)
+	return out
+}
+
+// Total returns how many events were ever recorded (including ones
+// that have since been evicted).
+func (fr *FlightRecorder) Total() uint64 {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.total
+}
+
+// Dump renders the events one per line, oldest-first, for failure
+// reports and the /flight endpoint's text form.
+func (fr *FlightRecorder) Dump() []string {
+	evs := fr.Events()
+	out := make([]string, len(evs))
+	for i, ev := range evs {
+		out[i] = fmt.Sprintf("%s %-14s %-12s %s",
+			ev.Time.UTC().Format("15:04:05.000000"), ev.Kind, ev.Origin, ev.Detail)
+	}
+	return out
+}

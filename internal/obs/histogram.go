@@ -1,0 +1,128 @@
+package obs
+
+// Log2-bucketed latency histogram. Buckets are powers of two in
+// nanoseconds: bucket i holds observations with bits.Len64(ns) == i,
+// i.e. [2^(i-1), 2^i). Forty buckets cover 1ns to ~9 minutes, which
+// spans everything a publish path can plausibly take. Observe is a
+// single atomic add on a fixed array — zero allocations, safe from
+// any goroutine — so it can sit on the hot path.
+//
+// The histogram never reads the clock itself; callers time with an
+// injected clock and hand the duration in. That keeps internal/obs
+// clockcheck-clean (it is in brokervet.CriticalPackages).
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count: bits.Len64 of a nanosecond
+// duration, clamped. 2^39 ns ≈ 9.2 minutes.
+const histBuckets = 40
+
+// Histogram is a fixed-size log2 latency histogram. The zero value is
+// NOT ready; use NewHistogram (the struct is large, so it lives behind
+// a pointer anyway).
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // total nanoseconds
+	max     atomic.Int64 // high-water nanoseconds (monotone CAS)
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration. Negative durations (clock skew under
+// a manual clock) count into bucket 0 rather than corrupting the
+// index. Zero allocations.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a histogram. Buckets may be
+// mutually torn with respect to count under concurrent observation;
+// quantiles treat Buckets as authoritative.
+type HistSnapshot struct {
+	Buckets [histBuckets]uint64
+	Count   uint64
+	SumNs   int64
+	MaxNs   int64
+}
+
+// Snapshot copies the current bucket counts.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNs = h.sum.Load()
+	s.MaxNs = h.max.Load()
+	return s
+}
+
+// BucketUpperNs returns the exclusive upper bound of bucket i in
+// nanoseconds (2^i), with the final bucket unbounded (reported as
+// MaxNs by callers that care).
+func BucketUpperNs(i int) int64 {
+	if i >= 63 {
+		return int64(1) << 62
+	}
+	return int64(1) << uint(i)
+}
+
+// Quantile returns an estimate of the q-th quantile (0 < q <= 1) in
+// nanoseconds, using the upper bound of the bucket containing the
+// rank. Log2 buckets make this coarse (within 2x); exact percentiles
+// need raw samples (see paperbench, which keeps its own).
+func (s HistSnapshot) Quantile(q float64) int64 {
+	total := uint64(0)
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	cum := uint64(0)
+	for i, b := range s.Buckets {
+		cum += b
+		if cum > rank {
+			up := BucketUpperNs(i)
+			if s.MaxNs > 0 && up > s.MaxNs {
+				up = s.MaxNs
+			}
+			return up
+		}
+	}
+	return s.MaxNs
+}
+
+// MeanNs returns the arithmetic mean in nanoseconds.
+func (s HistSnapshot) MeanNs() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.SumNs / int64(s.Count)
+}

@@ -1,0 +1,180 @@
+package obs
+
+// Registry is the broker-wide catalog of observable series. It is
+// deliberately pull-based: hot paths own their atomic counters and
+// histograms directly (no registry lookup per event); the registry
+// holds callbacks and pointers that a scrape walks. Registration is
+// rare (startup, peer connect), scraping is rare (human or CI curl),
+// so one mutex over plain maps is plenty.
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry catalogs counters, gauges, histograms, and per-link frame
+// stats for one broker process.
+type Registry struct {
+	flight *FlightRecorder
+
+	mu sync.Mutex
+	// +guarded_by:mu
+	counters map[string]func() int64
+	// +guarded_by:mu
+	gauges map[string]func() int64
+	// +guarded_by:mu
+	gaugeVecs map[string]func(emit func(label string, v int64))
+	// +guarded_by:mu
+	hists map[string]*Histogram
+	// +guarded_by:mu
+	links map[string]*LinkStats
+	// +guarded_by:mu
+	kindName func(int) string
+}
+
+// NewRegistry returns an empty registry with the given flight
+// recorder (nil is allowed; Flight() then returns nil and recording
+// is a no-op).
+func NewRegistry(flight *FlightRecorder) *Registry {
+	return &Registry{
+		flight:    flight,
+		counters:  make(map[string]func() int64),
+		gauges:    make(map[string]func() int64),
+		gaugeVecs: make(map[string]func(emit func(label string, v int64))),
+		hists:     make(map[string]*Histogram),
+		links:     make(map[string]*LinkStats),
+	}
+}
+
+// Flight returns the registry's flight recorder (may be nil).
+func (r *Registry) Flight() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.flight
+}
+
+// RegisterCounter registers a monotone series read via fn at scrape
+// time. Re-registering a name replaces the previous reader.
+func (r *Registry) RegisterCounter(name string, fn func() int64) {
+	r.mu.Lock()
+	r.counters[name] = fn
+	r.mu.Unlock()
+}
+
+// RegisterGauge registers a point-in-time series read via fn.
+func (r *Registry) RegisterGauge(name string, fn func() int64) {
+	r.mu.Lock()
+	r.gauges[name] = fn
+	r.mu.Unlock()
+}
+
+// RegisterGaugeVec registers a labeled gauge family: at scrape time
+// collect is called and must invoke emit once per label value.
+func (r *Registry) RegisterGaugeVec(name string, collect func(emit func(label string, v int64))) {
+	r.mu.Lock()
+	r.gaugeVecs[name] = collect
+	r.mu.Unlock()
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Link returns the LinkStats for the named peer link, creating it on
+// first use. The returned pointer is stable for the life of the
+// registry, so transports cache it per connection.
+func (r *Registry) Link(name string) *LinkStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l := r.links[name]
+	if l == nil {
+		l = &LinkStats{}
+		r.links[name] = l
+	}
+	return l
+}
+
+// SetKindNamer installs the wire-kind → name mapping used when
+// rendering per-link frame counts. Without one, kinds render as
+// "kind_<n>". (obs cannot import pubsub — that would be a cycle.)
+func (r *Registry) SetKindNamer(fn func(int) string) {
+	r.mu.Lock()
+	r.kindName = fn
+	r.mu.Unlock()
+}
+
+// snapshot captures everything a render needs under one lock hold,
+// then reads the callbacks outside it (callbacks may take broker
+// locks of their own and must not be called under r.mu).
+type regSnapshot struct {
+	counterNames []string
+	counters     map[string]func() int64
+	gaugeNames   []string
+	gauges       map[string]func() int64
+	vecNames     []string
+	vecs         map[string]func(emit func(label string, v int64))
+	histNames    []string
+	hists        map[string]HistSnapshot
+	linkNames    []string
+	links        map[string]LinkSnapshot
+	kindName     func(int) string
+}
+
+func (r *Registry) snapshot() regSnapshot {
+	r.mu.Lock()
+	s := regSnapshot{
+		counters: make(map[string]func() int64, len(r.counters)),
+		gauges:   make(map[string]func() int64, len(r.gauges)),
+		vecs:     make(map[string]func(emit func(label string, v int64)), len(r.gaugeVecs)),
+		hists:    make(map[string]HistSnapshot, len(r.hists)),
+		links:    make(map[string]LinkSnapshot, len(r.links)),
+		kindName: r.kindName,
+	}
+	for n, fn := range r.counters {
+		s.counterNames = append(s.counterNames, n)
+		s.counters[n] = fn
+	}
+	for n, fn := range r.gauges {
+		s.gaugeNames = append(s.gaugeNames, n)
+		s.gauges[n] = fn
+	}
+	for n, fn := range r.gaugeVecs {
+		s.vecNames = append(s.vecNames, n)
+		s.vecs[n] = fn
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		s.histNames = append(s.histNames, n)
+		hists[n] = h
+	}
+	links := make(map[string]*LinkStats, len(r.links))
+	for n, l := range r.links {
+		s.linkNames = append(s.linkNames, n)
+		links[n] = l
+	}
+	r.mu.Unlock()
+
+	// Atomic snapshots happen outside the registry lock; they are
+	// lock-free and safe against concurrent observation.
+	for n, h := range hists {
+		s.hists[n] = h.Snapshot()
+	}
+	for n, l := range links {
+		s.links[n] = l.Snapshot()
+	}
+	sort.Strings(s.counterNames)
+	sort.Strings(s.gaugeNames)
+	sort.Strings(s.vecNames)
+	sort.Strings(s.histNames)
+	sort.Strings(s.linkNames)
+	return s
+}

@@ -1,0 +1,135 @@
+package pubsub
+
+// ClientStats measures end-to-end publish-to-notify latency from the
+// client's side of the wire, using the same histogram code as the
+// broker registry: attach one ClientStats to a publishing client and
+// a subscribing client (often the same process), and every delivery
+// whose publication ID was marked at publish time lands in the
+// histogram. This is how `psclient -stats` and paperbench's
+// publish_notify entries measure latency without any broker-side
+// cooperation.
+
+import (
+	"sync"
+	"time"
+
+	"probsum/internal/obs"
+)
+
+// ClientStats correlates publish timestamps with notify arrivals.
+// Safe for concurrent use; one instance may be shared across multiple
+// clients (publisher and subscriber ends).
+type ClientStats struct {
+	clock   func() time.Time
+	hist    *obs.Histogram
+	keepRaw bool
+
+	mu sync.Mutex
+	// +guarded_by:mu
+	pending map[string]time.Time
+	// +guarded_by:mu
+	raw []time.Duration
+}
+
+// ClientStatsOption configures NewClientStats.
+type ClientStatsOption func(*ClientStats)
+
+// WithStatsClock injects the clock (default time.Now) — harnesses
+// with simulated time pass their own.
+func WithStatsClock(clock func() time.Time) ClientStatsOption {
+	return func(cs *ClientStats) { cs.clock = clock }
+}
+
+// WithRawSamples keeps every measured latency, so callers needing
+// exact percentiles (paperbench's gated entries) are not limited to
+// the histogram's log2 resolution. Memory grows with sample count.
+func WithRawSamples() ClientStatsOption {
+	return func(cs *ClientStats) { cs.keepRaw = true }
+}
+
+// NewClientStats returns an empty latency collector.
+func NewClientStats(opts ...ClientStatsOption) *ClientStats {
+	cs := &ClientStats{
+		clock:   time.Now,
+		hist:    obs.NewHistogram(),
+		pending: make(map[string]time.Time),
+	}
+	for _, opt := range opts {
+		opt(cs)
+	}
+	return cs
+}
+
+// markPublished stamps a publication's departure. Called by
+// Client.Publish/PublishBatch on clients this ClientStats is attached
+// to; harnesses driving raw messages may call MarkPublished directly.
+func (cs *ClientStats) markPublished(pubID string) {
+	now := cs.clock()
+	cs.mu.Lock()
+	cs.pending[pubID] = now
+	cs.mu.Unlock()
+}
+
+// MarkPublished is the exported form of markPublished for harnesses
+// that publish outside an attached Client.
+func (cs *ClientStats) MarkPublished(pubID string) { cs.markPublished(pubID) }
+
+// observeDelivery resolves one notify arrival against its publish
+// stamp. Unknown IDs (published elsewhere, or already resolved — the
+// first matching delivery wins) are ignored.
+func (cs *ClientStats) observeDelivery(pubID string) {
+	now := cs.clock()
+	cs.mu.Lock()
+	t0, ok := cs.pending[pubID]
+	if ok {
+		delete(cs.pending, pubID)
+	}
+	if ok && cs.keepRaw {
+		cs.raw = append(cs.raw, now.Sub(t0))
+	}
+	cs.mu.Unlock()
+	if ok {
+		cs.hist.Observe(now.Sub(t0))
+	}
+}
+
+// MarkDelivered is the exported form of observeDelivery for
+// harnesses that consume deliveries outside an attached Client.
+func (cs *ClientStats) MarkDelivered(pubID string) { cs.observeDelivery(pubID) }
+
+// Snapshot returns the latency histogram so far.
+func (cs *ClientStats) Snapshot() obs.HistSnapshot { return cs.hist.Snapshot() }
+
+// RawSamples returns a copy of the kept samples (WithRawSamples).
+func (cs *ClientStats) RawSamples() []time.Duration {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	out := make([]time.Duration, len(cs.raw))
+	copy(out, cs.raw)
+	return out
+}
+
+// Pending reports publications still awaiting their first delivery.
+func (cs *ClientStats) Pending() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return len(cs.pending)
+}
+
+// SetStats attaches a latency collector to this client: subsequent
+// Publish/PublishBatch calls stamp departure times and every
+// delivered notification is matched against them. Pass nil to detach.
+// Attach the SAME ClientStats to the publishing and the subscribing
+// client to measure end-to-end publish-to-notify latency.
+func (c *Client) SetStats(cs *ClientStats) {
+	c.statsMu.Lock()
+	c.stats = cs
+	c.statsMu.Unlock()
+	c.q.setStats(cs)
+}
+
+func (c *Client) clientStats() *ClientStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}

@@ -18,6 +18,7 @@ import (
 
 	"probsum/internal/broker"
 	"probsum/internal/interval"
+	"probsum/internal/obs"
 	"probsum/internal/persist"
 	"probsum/internal/simnet"
 	"probsum/internal/store"
@@ -121,19 +122,25 @@ type ChaosReport struct {
 	// oracle comparison surface.
 	Probes     int
 	Deliveries map[string]map[string]bool
+	// FlightDump is the run's flight-recorder tail (crashes, restarts,
+	// partitions, suspicions, deaths, recoveries, re-announces),
+	// oldest-first — attached to failure reports so a divergent run
+	// explains itself.
+	FlightDump []string
 }
 
 // chaosRun carries one run's live state.
 type chaosRun struct {
-	cfg    ChaosConfig
-	rng    *rand.Rand
-	net    *simnet.Network
-	clock  *simnet.Clock
+	cfg     ChaosConfig
+	rng     *rand.Rand
+	net     *simnet.Network
+	clock   *simnet.Clock
 	ids     []string
 	edges   [][2]string
 	nodes   map[string]*Node
 	stores  map[string]*persist.MemStore
 	routers map[string]*Router
+	flight  *obs.FlightRecorder
 	report  ChaosReport
 }
 
@@ -149,13 +156,14 @@ const chaosRendezvousProbe = 450
 func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	cfg = cfg.withDefaults()
 	r := &chaosRun{
-		cfg:    cfg,
-		rng:    rand.New(rand.NewPCG(cfg.Seed, cfg.Seed|1)),
+		cfg:     cfg,
+		rng:     rand.New(rand.NewPCG(cfg.Seed, cfg.Seed|1)),
 		clock:   simnet.NewClock(),
 		nodes:   make(map[string]*Node),
 		stores:  make(map[string]*persist.MemStore),
 		routers: make(map[string]*Router),
 	}
+	r.flight = obs.NewFlightRecorder(512, r.clock.Now)
 	var opts []simnet.Option
 	if cfg.Faults {
 		opts = append(opts,
@@ -190,6 +198,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		ReconnectMin:  500 * time.Millisecond,
 		ReconnectMax:  2 * time.Second,
 		Seed:          cfg.Seed ^ 0x0de,
+		Events:        r.flight,
 	}
 	for _, id := range r.ids {
 		n, err := NewSimNode(r.net, id, r.clock, ncfg)
@@ -253,6 +262,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		if crashIdx >= 0 {
 			r.report.Crashes++
 			if cfg.Faults {
+				r.flight.Recordf("crash", "harness", "round %d: %s", round, r.ids[crashIdx])
 				if err := r.crash(r.ids[crashIdx]); err != nil {
 					return nil, err
 				}
@@ -261,6 +271,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		if cutEdge >= 0 {
 			r.report.Partitions++
 			if cfg.Faults {
+				r.flight.Recordf("partition", "harness", "round %d: %s-%s cut", round, r.edges[cutEdge][0], r.edges[cutEdge][1])
 				r.net.SetLink(r.edges[cutEdge][0], r.edges[cutEdge][1], false)
 			}
 		}
@@ -314,9 +325,11 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 
 		// Heal this round's faults.
 		if cutEdge >= 0 && cfg.Faults {
+			r.flight.Recordf("heal", "harness", "round %d: %s-%s restored", round, r.edges[cutEdge][0], r.edges[cutEdge][1])
 			r.net.SetLink(r.edges[cutEdge][0], r.edges[cutEdge][1], true)
 		}
 		if crashIdx >= 0 && cfg.Faults {
+			r.flight.Recordf("restart", "harness", "round %d: %s", round, r.ids[crashIdx])
 			if err := r.restart(r.ids[crashIdx]); err != nil {
 				return nil, err
 			}
@@ -373,6 +386,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		}
 		r.report.Deliveries["c-"+id] = set
 	}
+	r.report.FlightDump = r.flight.Dump()
 	for _, id := range r.ids {
 		m := r.net.Broker(id).Metrics()
 		r.report.SyncRequests += m.SyncRequests

@@ -8,8 +8,20 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 )
+
+// dumpFlight attaches the run's flight-recorder tail to a failing
+// test: the sequence of crashes, partitions, suspicions, deaths, and
+// repairs that led to the divergence.
+func dumpFlight(t *testing.T, label string, dump []string) {
+	t.Helper()
+	if len(dump) == 0 {
+		return
+	}
+	t.Logf("%s flight recorder (%d events):\n%s", label, len(dump), strings.Join(dump, "\n"))
+}
 
 func TestChaosConvergesToOracle(t *testing.T) {
 	for _, seed := range []uint64{1, 7, 42} {
@@ -26,6 +38,9 @@ func TestChaosConvergesToOracle(t *testing.T) {
 			if chaos.Crashes+chaos.Partitions == 0 {
 				t.Fatalf("seed scheduled no faults; the scenario is vacuous")
 			}
+			if len(chaos.FlightDump) == 0 {
+				t.Error("faulted run recorded no flight events")
+			}
 			if !chaos.Converged {
 				t.Fatalf("link digests did not converge within the heal bound (%d rounds)", chaos.HealRounds)
 			}
@@ -41,6 +56,9 @@ func TestChaosConvergesToOracle(t *testing.T) {
 				if !setsEqual(got, want) {
 					t.Errorf("%s probe deliveries diverge from oracle:\n chaos  %v\n oracle %v", client, got, want)
 				}
+			}
+			if t.Failed() {
+				dumpFlight(t, "chaos", chaos.FlightDump)
 			}
 			t.Logf("seed %d: %d crashes, %d partitions, %d subs, %d unsubs, %d records recovered, healed in %d rounds, %d sync requests, %d roots resent, %d stale pruned, %d probes, %d deliveries",
 				seed, chaos.Crashes, chaos.Partitions, chaos.Subscribes, chaos.Unsubscribes,
@@ -91,6 +109,9 @@ func TestChaosKillRendezvousRoutes(t *testing.T) {
 				if !setsEqual(got, want) {
 					t.Errorf("%s probe deliveries diverge from flood oracle:\n routed %v\n oracle %v", client, got, want)
 				}
+			}
+			if t.Failed() {
+				dumpFlight(t, "routed", routed.FlightDump)
 			}
 			t.Logf("seed %d: %d crashes, %d partitions, healed in %d rounds, %d probes, %d deliveries",
 				seed, routed.Crashes, routed.Partitions, routed.HealRounds, routed.Probes, total)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"probsum/internal/broker"
+	"probsum/internal/obs"
 )
 
 // Link is the cluster node's view of its broker's overlay links — the
@@ -91,6 +92,11 @@ type Config struct {
 	// Clock supplies the node's time (time.Now). Simulator tests
 	// inject a simnet.Clock for fully deterministic schedules.
 	Clock func() time.Time
+	// Events, when set, receives membership flight events (suspicions,
+	// deaths, recoveries, re-announce batches) for post-mortem dumps —
+	// the chaos harness attaches one recorder across all its nodes and
+	// includes the dump in failure reports. Nil disables recording.
+	Events *obs.FlightRecorder
 	// Mesh links every member discovered through gossip (seed-node
 	// operation: the overlay converges to a full mesh). Without it
 	// only explicitly added peers are linked (topology operation).
@@ -919,6 +925,7 @@ func (n *Node) PeerDown(id string) {
 			st.State = StateSuspect
 			st.suspectSince = now
 			n.metrics.Suspects++
+			n.cfg.Events.Record("suspect", n.self.ID, st.ID+" link down")
 			n.enqueueUpdateLocked(st.wire())
 		}
 	}
@@ -963,6 +970,9 @@ func (n *Node) markUp(id string) {
 	st.backoff = 0
 	st.nextDial = time.Time{}
 	recovered := st.lossy || st.State == StateDead
+	if recovered {
+		n.cfg.Events.Record("recover", n.self.ID, st.ID)
+	}
 	if st.State != StateAlive {
 		// Observer-assisted refutation: propagate the recovery at a
 		// fresh incarnation so gossip overrides the standing suspect
@@ -1025,6 +1035,7 @@ func (n *Node) announce(id string) bool {
 	n.metrics.ReannounceBatches++
 	n.metrics.ReannouncedSubs += uint64(len(roots))
 	n.mu.Unlock()
+	n.cfg.Events.Recordf("reannounce", n.link.Self(), "%s roots=%d", id, len(roots))
 	return true
 }
 

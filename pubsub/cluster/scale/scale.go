@@ -125,6 +125,11 @@ type Report struct {
 	// seed must agree on both — the delivery-equivalence gate.
 	Deliveries   int
 	DeliveryHash uint64
+	// FramesByKind counts every frame the router carried over the whole
+	// run, keyed by wire kind name — the per-kind traffic profile the
+	// observability layer exposes per link on real transports, summed
+	// across the simulated overlay here.
+	FramesByKind map[string]uint64
 }
 
 // frame is one in-flight control message.
@@ -149,6 +154,7 @@ type harness struct {
 	subFrames    uint64
 	deliveries   int
 	deliveryHash uint64
+	framesByKind map[string]uint64
 }
 
 // link adapts one harness slot to cluster.Link. Connects succeed
@@ -184,6 +190,7 @@ func (h *harness) deliver() {
 	for len(h.queue) > 0 && h.err == nil {
 		f := h.queue[0]
 		h.queue = h.queue[1:]
+		h.framesByKind[f.msg.Kind.String()]++
 		i, ok := h.index[f.to]
 		if !ok {
 			// A client port: record the notification and stop routing.
@@ -277,10 +284,11 @@ func Run(cfg Config) (Report, error) {
 	}
 	const pingEvery = time.Second
 	h := &harness{
-		ids:   make([]string, cfg.N),
-		nodes: make([]*cluster.Node, cfg.N),
-		index: make(map[string]int, cfg.N),
-		now:   time.Unix(0, 0),
+		ids:          make([]string, cfg.N),
+		nodes:        make([]*cluster.Node, cfg.N),
+		index:        make(map[string]int, cfg.N),
+		now:          time.Unix(0, 0),
+		framesByKind: make(map[string]uint64),
 	}
 	clock := func() time.Time { return h.now }
 	ncfg := cluster.Config{
@@ -422,5 +430,6 @@ func Run(cfg Config) (Report, error) {
 		rep.Deliveries = h.deliveries
 		rep.DeliveryHash = h.deliveryHash
 	}
+	rep.FramesByKind = h.framesByKind
 	return rep, nil
 }

@@ -1,6 +1,9 @@
 package scale
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // TestScaleSmall pins the harness mechanics at a size every CI run
 // affords: convergence within the round budget, steady state with
@@ -22,6 +25,13 @@ func TestScaleSmall(t *testing.T) {
 	if rep.SteadyBytesPerMemberRound > 4096 {
 		t.Fatalf("steady-state traffic %.0f bytes/member/round, want bounded ≤ 4096", rep.SteadyBytesPerMemberRound)
 	}
+	// The per-kind traffic profile must cover the protocol's control
+	// kinds: a membership-only run lives on pings, pongs, and deltas.
+	for _, kind := range []string{"ping", "pong", "gossip-delta"} {
+		if rep.FramesByKind[kind] == 0 {
+			t.Errorf("frames by kind missing %q: %v", kind, rep.FramesByKind)
+		}
+	}
 }
 
 // TestScaleDeterministic pins reproducibility: the same seed yields
@@ -36,7 +46,7 @@ func TestScaleDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("same seed, different reports:\n  %+v\n  %+v", a, b)
 	}
 	if _, err := Run(Config{N: 100, Seed: 43}); err != nil {

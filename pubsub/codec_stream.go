@@ -15,6 +15,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
+
+	"probsum/internal/obs"
 )
 
 // frameReaderBufSize is the bufio window; frames larger than it still
@@ -24,10 +27,26 @@ const frameReaderBufSize = 64 << 10
 type frameReader struct {
 	r       *bufio.Reader
 	payload []byte // reused binary-payload scratch
+
+	// hist/clock, when set (server-side readers), time the decode
+	// stage: unmarshal only, never the blocking socket read. Both nil
+	// or both set.
+	hist  *obs.Histogram
+	clock func() time.Time
 }
 
 func newFrameReader(r io.Reader) *frameReader {
 	return &frameReader{r: bufio.NewReaderSize(r, frameReaderBufSize)}
+}
+
+// instrument attaches decode-stage timing; zero overhead when unset.
+func (fr *frameReader) instrument(hist *obs.Histogram, clock func() time.Time) {
+	fr.hist, fr.clock = hist, clock
+}
+
+// observeDecode records one decode duration starting at t0.
+func (fr *frameReader) observeDecode(t0 time.Time) {
+	fr.hist.Observe(fr.clock().Sub(t0))
 }
 
 // grow returns the reusable payload buffer resized to n bytes.
@@ -57,7 +76,14 @@ func (fr *frameReader) read(f *Frame) error {
 		if _, err := io.ReadFull(fr.r, payload); err != nil {
 			return err
 		}
+		var t0 time.Time
+		if fr.hist != nil {
+			t0 = fr.clock()
+		}
 		msg, err := decodeBinaryMessage(payload)
+		if fr.hist != nil {
+			fr.observeDecode(t0)
+		}
 		// One outsized frame must not pin its buffer for the life of
 		// the connection — drop anything beyond the bufio window and
 		// fall back to the steady-state size on the next frame.
@@ -74,9 +100,16 @@ func (fr *frameReader) read(f *Frame) error {
 	if err != nil {
 		return err
 	}
+	var t0 time.Time
+	if fr.hist != nil {
+		t0 = fr.clock()
+	}
 	*f = Frame{}
 	if err := json.Unmarshal(line, f); err != nil {
 		return fmt.Errorf("pubsub: json frame: %w", err)
+	}
+	if fr.hist != nil {
+		fr.observeDecode(t0)
 	}
 	return nil
 }
@@ -106,7 +139,14 @@ func (fr *frameReader) tryRead(f *Frame) (bool, error) {
 		if n < binHeader+plen {
 			return false, nil
 		}
+		var t0 time.Time
+		if fr.hist != nil {
+			t0 = fr.clock()
+		}
 		msg, err := decodeBinaryMessage(buf[binHeader : binHeader+plen])
+		if fr.hist != nil {
+			fr.observeDecode(t0)
+		}
 		if err != nil {
 			return false, err
 		}
@@ -120,9 +160,16 @@ func (fr *frameReader) tryRead(f *Frame) (bool, error) {
 		// window); let the blocking path handle it.
 		return false, nil
 	}
+	var t0 time.Time
+	if fr.hist != nil {
+		t0 = fr.clock()
+	}
 	*f = Frame{}
 	if err := json.Unmarshal(buf[:i+1], f); err != nil {
 		return false, fmt.Errorf("pubsub: json frame: %w", err)
+	}
+	if fr.hist != nil {
+		fr.observeDecode(t0)
 	}
 	fr.r.Discard(i + 1)
 	return true, nil

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"probsum/internal/broker"
+	"probsum/internal/obs"
 	"probsum/internal/simnet"
 	"probsum/internal/store"
 )
@@ -161,6 +162,7 @@ func (s simBroker) peerCluster(id string) uint8                 { return 0 }
 func (s simBroker) peerWireCodec(id string) WireCodec           { return CodecBinary3 }
 func (s simBroker) journalRef() *BrokerJournal                  { return nil }
 func (s simBroker) recoveryStats() (RecoveryStats, bool)        { return RecoveryStats{}, false }
+func (s simBroker) observability() *obs.Registry                { return nil }
 
 // simClient adapts a simulator client port to clientImpl.
 type simClient struct {

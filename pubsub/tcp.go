@@ -65,6 +65,7 @@ import (
 	"time"
 
 	"probsum/internal/broker"
+	"probsum/internal/obs"
 	"probsum/internal/persist"
 )
 
@@ -224,6 +225,14 @@ type tcpPort struct {
 	ch   chan wireItem
 	dead chan struct{} // closed when the port is torn down mid-stream
 	once sync.Once
+
+	// stats counts frames queued toward this destination by wire kind
+	// (atomic fixed-array adds — zero allocations on the frame path);
+	// writeHist/clock time the encode+write stage. All three are set
+	// once in addPort, before the port is visible to senders.
+	stats     *obs.LinkStats
+	writeHist *obs.Histogram
+	clock     func() time.Time
 }
 
 func (p *tcpPort) writeCodec() WireCodec { return WireCodec(p.codec.Load()) }
@@ -231,6 +240,10 @@ func (p *tcpPort) writeCodec() WireCodec { return WireCodec(p.codec.Load()) }
 // writeFrame encodes one queue item with the port's current codec
 // into a pooled buffer and writes it in a single call.
 func (p *tcpPort) writeFrame(it wireItem) error {
+	var t0 time.Time
+	if p.writeHist != nil {
+		t0 = p.clock()
+	}
 	buf := getEncBuf()
 	defer putEncBuf(buf)
 	var (
@@ -247,8 +260,11 @@ func (p *tcpPort) writeFrame(it wireItem) error {
 		return err
 	}
 	p.wmu.Lock()
-	defer p.wmu.Unlock()
 	_, err = p.conn.Write(data)
+	p.wmu.Unlock()
+	if p.writeHist != nil {
+		p.writeHist.Observe(p.clock().Sub(t0))
+	}
 	return err
 }
 
@@ -301,6 +317,14 @@ type tcpServer struct {
 	recovery RecoveryStats
 	durable  bool
 
+	// reg is the server's observability registry; the stage histograms
+	// below are cached out of it so frame paths never take its lock.
+	reg      *obs.Registry
+	hDecode  *obs.Histogram
+	hEnqueue *obs.Histogram
+	hWrite   *obs.Histogram
+	obsClock func() time.Time
+
 	stopping chan struct{} // Shutdown began: stop accepting/registering
 	closed   chan struct{} // hard close: abandon queued frames
 
@@ -331,6 +355,12 @@ func newTCPServer(b *broker.Broker, addr string, cfg tcpConfig) (*tcpServer, err
 		stopping:  make(chan struct{}),
 		closed:    make(chan struct{}),
 	}
+	s.reg = newServerRegistry(b)
+	s.hDecode = s.reg.Histogram(histFrameDecode)
+	s.hEnqueue = s.reg.Histogram(histFrameEnqueue)
+	s.hWrite = s.reg.Histogram(histFrameWrite)
+	s.obsClock = time.Now
+	registerQueueDepths(s.reg, s)
 	s.readerWg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -359,11 +389,14 @@ var errPortExists = errors.New("pubsub: port already connected")
 // channel before the port becomes visible to senders.
 func (s *tcpServer) addPort(name string, conn net.Conn, replace, peer bool, clientCodec WireCodec, ack *Frame) (*tcpPort, error) {
 	p := &tcpPort{
-		name: name,
-		peer: peer,
-		conn: conn,
-		ch:   make(chan wireItem, s.cfg.queueLen),
-		dead: make(chan struct{}),
+		name:      name,
+		peer:      peer,
+		conn:      conn,
+		ch:        make(chan wireItem, s.cfg.queueLen),
+		dead:      make(chan struct{}),
+		stats:     s.reg.Link(name),
+		writeHist: s.hWrite,
+		clock:     s.obsClock,
 	}
 	if ack != nil {
 		p.ch <- wireItem{ctrl: ack}
@@ -447,6 +480,11 @@ func (s *tcpServer) firePeerHook(id string, up bool) {
 		h = s.hooks.up
 	}
 	s.mu.Unlock()
+	kind := "peer_down"
+	if up {
+		kind = "peer_up"
+	}
+	s.reg.Flight().Record(kind, s.b.ID(), id)
 	if h == nil {
 		return
 	}
@@ -500,6 +538,7 @@ func (s *tcpServer) peerWireCodec(id string) WireCodec {
 // journalRef and recoveryStats expose the durability layer.
 func (s *tcpServer) journalRef() *BrokerJournal           { return s.journal }
 func (s *tcpServer) recoveryStats() (RecoveryStats, bool) { return s.recovery, s.durable }
+func (s *tcpServer) observability() *obs.Registry         { return s.reg }
 
 // sendPeer queues one message for a peer broker, subject to the same
 // vocabulary negotiation as broker-originated traffic (legacy splits,
@@ -622,6 +661,7 @@ func (s *tcpServer) send(o broker.Outbound) {
 	case broker.MsgPing, broker.MsgPong, broker.MsgGossip:
 		if p.cluster.Load() == 0 {
 			s.b.CountControlDrop()
+			s.reg.Flight().Record("frame_drop", s.b.ID(), o.To+" "+o.Msg.Kind.String())
 			return
 		}
 		if o.Msg.Kind == broker.MsgGossip && o.Msg.Digest != nil && remote < CodecBinary3 {
@@ -644,6 +684,7 @@ func (s *tcpServer) send(o broker.Outbound) {
 	case broker.MsgPingReq, broker.MsgGossipDelta:
 		if p.cluster.Load() == 0 {
 			s.b.CountControlDrop()
+			s.reg.Flight().Record("frame_drop", s.b.ID(), o.To+" "+o.Msg.Kind.String())
 			return
 		}
 		if remote < CodecBinary4 {
@@ -680,6 +721,7 @@ func (s *tcpServer) send(o broker.Outbound) {
 
 // sendTo queues one message onto a resolved port.
 func (s *tcpServer) sendTo(p *tcpPort, msg broker.Message) {
+	p.stats.Sent(int(msg.Kind))
 	if s.cfg.serialized {
 		// Ablation baseline: encode inline on the dispatching
 		// goroutine (which holds the global mutex), exactly as the old
@@ -695,11 +737,13 @@ func (s *tcpServer) sendTo(p *tcpPort, msg broker.Message) {
 		}
 		return
 	}
+	t0 := s.obsClock()
 	select {
 	case p.ch <- wireItem{msg: msg}:
 	case <-p.dead:
 	case <-s.closed:
 	}
+	s.hEnqueue.Observe(s.obsClock().Sub(t0))
 }
 
 // dispatch runs one inbound message through the broker and fans the
@@ -803,6 +847,8 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		return
 	}
 	from := hello.Hello
+	reader.instrument(s.hDecode, s.obsClock)
+	linkStats := s.reg.Link(from)
 	ack := &Frame{Ack: s.b.ID(), Codec: uint8(s.cfg.codec), Cluster: s.clusterVer()}
 
 	var port *tcpPort
@@ -885,6 +931,7 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		if fr.Msg == nil {
 			continue
 		}
+		linkStats.Recv(int(fr.Msg.Kind))
 		if fr.Msg.Kind != broker.MsgPublish || s.cfg.serialized {
 			if err := s.dispatch(from, *fr.Msg); err != nil {
 				fail()
@@ -914,6 +961,7 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 				pending = true
 				break
 			}
+			linkStats.Recv(int(fr.Msg.Kind))
 			pubRun = append(pubRun, *fr.Msg)
 		}
 		if err := s.dispatchPublishBatch(from, pubRun); err != nil {
@@ -1158,6 +1206,9 @@ func ListenBroker(id, addr string, policy Policy, cfg Config, opts ...TCPOption)
 		return nil, err
 	}
 	srv.journal, srv.jstore, srv.recovery, srv.durable = j, st, rec, st != nil
+	if srv.durable {
+		registerRecoveryStats(srv.reg, rec)
+	}
 	if j != nil {
 		iv := tc.snapInterval
 		if iv <= 0 {

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"probsum/internal/broker"
+	"probsum/internal/obs"
 	"probsum/subsume"
 )
 
@@ -91,10 +92,14 @@ type brokerImpl interface {
 	peerCluster(id string) uint8
 	// peerWireCodec reports the wire codec a peer advertised.
 	peerWireCodec(id string) WireCodec
-	// journalRef returns the durability journal (nil when the broker
-	// runs without one); recoveryStats the boot-time replay summary.
+	// journalRef returns the durability journal (nil without one);
+	// recoveryStats the boot-time replay summary.
 	journalRef() *BrokerJournal
 	recoveryStats() (RecoveryStats, bool)
+	// observability returns the broker's metrics registry; nil on
+	// transports without one (the simulator reads broker state
+	// directly).
+	observability() *obs.Registry
 }
 
 // ID returns the broker identifier.
@@ -208,6 +213,13 @@ func (b *Broker) Journal() *BrokerJournal { return b.impl.journalRef() }
 // when the broker is not durable.
 func (b *Broker) Recovery() (RecoveryStats, bool) { return b.impl.recoveryStats() }
 
+// Observability returns the broker's metrics registry: per-link frame
+// counts, publish-stage histograms, queue depths, route-table
+// footprint, and the flight recorder, exported over HTTP via its
+// Handler (see cmd/brokerd's -metrics-addr). Nil on in-process
+// simulator brokers, which are inspected directly.
+func (b *Broker) Observability() *obs.Registry { return b.impl.observability() }
+
 // NeighborTableMetrics returns the coverage-table operation counters
 // for one peer port — how the subscriptions forwarded to that peer
 // were admitted (per-item vs batch, suppressed, promoted). The
@@ -224,6 +236,12 @@ type Client struct {
 	name string
 	impl clientImpl
 	q    *notifyQueue
+
+	statsMu sync.Mutex
+	// stats, when attached (SetStats), stamps publish departures for
+	// end-to-end latency measurement.
+	// +guarded_by:statsMu
+	stats *ClientStats
 }
 
 // clientImpl is the transport-specific side of a Client.
@@ -291,6 +309,9 @@ func (c *Client) Publish(ctx context.Context, pubID string, p Publication) error
 	if pubID == "" {
 		return fmt.Errorf("pubsub: empty publication id")
 	}
+	if cs := c.clientStats(); cs != nil {
+		cs.markPublished(pubID)
+	}
 	return c.impl.send(ctx, broker.Message{Kind: broker.MsgPublish, PubID: pubID, Pub: p})
 }
 
@@ -309,6 +330,11 @@ func (c *Client) PublishBatch(ctx context.Context, pubs []BatchPub) error {
 	for i, it := range pubs {
 		if it.PubID == "" {
 			return fmt.Errorf("pubsub: batch item %d has empty publication id", i)
+		}
+	}
+	if cs := c.clientStats(); cs != nil {
+		for _, it := range pubs {
+			cs.markPublished(it.PubID)
 		}
 	}
 	return c.impl.send(ctx, broker.Message{Kind: broker.MsgPublishBatch, Pubs: pubs})
@@ -345,6 +371,10 @@ type notifyQueue struct {
 	cond     *sync.Cond
 	buf      []Notification
 	finished bool
+	// stats, when attached, observes delivery arrival times against
+	// their publish stamps (see ClientStats).
+	// +guarded_by:mu
+	stats *ClientStats
 
 	ch  chan Notification
 	die chan struct{}
@@ -360,10 +390,24 @@ func newNotifyQueue() *notifyQueue {
 // push appends one notification; a finished queue drops it.
 func (q *notifyQueue) push(n Notification) {
 	q.mu.Lock()
+	cs := q.stats
 	if !q.finished {
 		q.buf = append(q.buf, n)
 		q.cond.Signal()
 	}
+	q.mu.Unlock()
+	if cs != nil {
+		// Latency is measured at ARRIVAL (the transport handed the
+		// notification over), not at consumption from the channel — a
+		// slow reader must not inflate broker latency figures.
+		cs.observeDelivery(n.PubID)
+	}
+}
+
+// setStats attaches a delivery-latency collector (nil detaches).
+func (q *notifyQueue) setStats(cs *ClientStats) {
+	q.mu.Lock()
+	q.stats = cs
 	q.mu.Unlock()
 }
 
